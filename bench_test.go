@@ -1,0 +1,230 @@
+package sirl_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§9), plus ablation benches for Castor's design
+// choices (DESIGN.md). Each benchmark iteration regenerates the experiment
+// at a reduced scale so `go test -bench=.` finishes in minutes; run the
+// cmd/experiments binary for full laptop-scale tables.
+
+import (
+	"testing"
+
+	"repro/internal/castor"
+	"repro/internal/datasets"
+	"repro/internal/experiments"
+	"repro/internal/ilp"
+	"repro/internal/relstore"
+)
+
+// benchConfig is the reduced scale used by every table/figure benchmark.
+func benchConfig() experiments.Config {
+	return experiments.Config{Scale: 0.12, Folds: 2, Parallelism: 2, Seed: 1}
+}
+
+func BenchmarkTable2Stats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable9HIV(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table9(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTable10UWCSE(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table10(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 20 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkTable11IMDb(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Scale = 0.25
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table11(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable12GeneralINDs(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table12(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable13StoredProcedures(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[0].SpeedupWithProcs, "speedup")
+		}
+	}
+}
+
+func BenchmarkFigure2Parallelism(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(cfg, []int{1, 2, 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3QueryComplexity(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure3(cfg, 3, []int{4, 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && len(rows) > 0 {
+			b.ReportMetric(rows[0].AvgMQs, "avgMQs")
+		}
+	}
+}
+
+// --- ablations -----------------------------------------------------------
+
+// benchUWCSEProblem builds one small UW-CSE problem for the ablations.
+func benchUWCSEProblem(b *testing.B, indexed bool) *ilp.Problem {
+	b.Helper()
+	cfg := datasets.DefaultUWCSE()
+	cfg.Students, cfg.Courses = 16, 12
+	ds, err := datasets.GenerateUWCSE(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prob, err := ds.Problem("Original")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !indexed {
+		v := ds.Variants[0]
+		un := relstore.NewUnindexedInstance(v.Schema)
+		for _, r := range v.Schema.Relations() {
+			for _, tp := range v.Instance.Table(r.Name).Tuples() {
+				un.MustInsert(r.Name, tp...)
+			}
+		}
+		prob.Instance = un
+	}
+	return prob
+}
+
+func benchCastorParams() ilp.Params {
+	p := ilp.Defaults()
+	p.Sample = 4
+	p.BeamWidth = 2
+	return p
+}
+
+func runCastor(b *testing.B, prob *ilp.Problem, params ilp.Params) {
+	b.Helper()
+	def, err := castor.New().Learn(prob, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if def.IsEmpty() {
+		b.Fatal("learned nothing")
+	}
+}
+
+// BenchmarkAblationCoverageMode compares direct database evaluation with
+// subsumption against ground bottom clauses (§7.5.3).
+func BenchmarkAblationCoverageMode(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    ilp.CoverageMode
+	}{{"db", ilp.CoverageDB}, {"subsumption", ilp.CoverageSubsumption}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prob := benchUWCSEProblem(b, true)
+			params := benchCastorParams()
+			params.CoverageMode = mode.m
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runCastor(b, prob, params)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCoverageCache toggles the §7.5.4 known-covered shortcut.
+func BenchmarkAblationCoverageCache(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			prob := benchUWCSEProblem(b, true)
+			params := benchCastorParams()
+			params.DisableCoverageCache = c.disable
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runCastor(b, prob, params)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMinimization toggles θ-subsumption clause reduction
+// (§7.5.5).
+func BenchmarkAblationMinimization(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		on   bool
+	}{{"on", true}, {"off", false}} {
+		b.Run(c.name, func(b *testing.B) {
+			prob := benchUWCSEProblem(b, true)
+			params := benchCastorParams()
+			params.Minimize = c.on
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runCastor(b, prob, params)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIndexes compares the indexed store with full scans.
+func BenchmarkAblationIndexes(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		indexed bool
+	}{{"indexed", true}, {"scan", false}} {
+		b.Run(c.name, func(b *testing.B) {
+			prob := benchUWCSEProblem(b, c.indexed)
+			params := benchCastorParams()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runCastor(b, prob, params)
+			}
+		})
+	}
+}

@@ -1,0 +1,217 @@
+// Command castor learns a target relation over one of the generated
+// benchmark databases — or over a user-supplied database — with any of the
+// implemented learners, and prints the learned Horn definition and its
+// training-set quality.
+//
+// Usage:
+//
+//	castor -dataset uwcse -variant Original -learner castor
+//	castor -dataset hiv -variant 4NF-2 -learner aleph-progol
+//	castor -dataset imdb -variant Stanford
+//
+//	# user data: a schema file, a Datalog fact file, and example files
+//	castor -schema db.schema -data db.facts \
+//	       -pos pos.facts -neg neg.facts -target 'advisedBy(stud, prof)'
+//
+// File formats are those of internal/relstore: `rel name(attr, …)` /
+// `fd` / `ind` / `domain` lines for the schema, one ground fact per line
+// for data and examples.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/castor"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/foil"
+	"repro/internal/golem"
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/progol"
+	"repro/internal/progolem"
+	"repro/internal/relstore"
+)
+
+func main() {
+	dataset := flag.String("dataset", "uwcse", "dataset: uwcse|hiv|imdb")
+	variant := flag.String("variant", "", "schema variant (default: first)")
+	schemaFile := flag.String("schema", "", "schema file (user data mode)")
+	dataFile := flag.String("data", "", "Datalog fact file (user data mode)")
+	posFile := flag.String("pos", "", "positive example fact file (user data mode)")
+	negFile := flag.String("neg", "", "negative example fact file (user data mode)")
+	targetDecl := flag.String("target", "", "target declaration, e.g. 'advisedBy(stud, prof)' (user data mode)")
+	valueAttrs := flag.String("values", "", "comma-separated value attribute domains (user data mode)")
+	learnerName := flag.String("learner", "castor", "learner: castor|foil|aleph-foil|aleph-progol|progolem|golem")
+	sample := flag.Int("sample", 4, "positives sampled per generalization round")
+	beam := flag.Int("beam", 2, "beam width")
+	clauseLength := flag.Int("clauselength", 10, "max clause length for top-down learners")
+	par := flag.Int("par", 4, "coverage-test parallelism")
+	seed := flag.Int64("seed", 1, "random seed")
+	subsetINDs := flag.Bool("subset-inds", false, "Castor: chase general subset INDs (§7.4)")
+	flag.Parse()
+
+	var prob *ilp.Problem
+	var pos, neg []logic.Atom
+	datasetLabel := *dataset
+	if *schemaFile != "" {
+		p, err := loadUserProblem(*schemaFile, *dataFile, *posFile, *negFile, *targetDecl, *valueAttrs)
+		if err != nil {
+			fail(err)
+		}
+		prob, pos, neg = p, p.Pos, p.Neg
+		datasetLabel = *dataFile
+		*variant = "user"
+	} else {
+		ds, err := buildDataset(*dataset)
+		if err != nil {
+			fail(err)
+		}
+		if *variant == "" {
+			*variant = ds.Variants[0].Name
+		}
+		p, err := ds.Problem(*variant)
+		if err != nil {
+			fail(err)
+		}
+		prob, pos, neg = p, ds.Pos, ds.Neg
+		datasetLabel = ds.Name
+	}
+
+	var learner ilp.Learner
+	switch *learnerName {
+	case "castor":
+		learner = castor.New()
+	case "foil":
+		learner = foil.New()
+	case "aleph-foil":
+		learner = progol.NewAlephFOIL()
+	case "aleph-progol":
+		learner = progol.NewAlephProgol()
+	case "progolem":
+		learner = progolem.New()
+	case "golem":
+		learner = golem.New()
+	default:
+		fail(fmt.Errorf("unknown learner %q", *learnerName))
+	}
+
+	params := ilp.Defaults()
+	params.Sample = *sample
+	params.BeamWidth = *beam
+	params.ClauseLength = *clauseLength
+	params.Parallelism = *par
+	params.Seed = *seed
+	params.SubsetINDs = *subsetINDs
+	if *dataset != "uwcse" {
+		params.CoverageMode = ilp.CoverageSubsumption
+	}
+
+	fmt.Printf("dataset=%s variant=%s learner=%s (%d pos, %d neg, %d tuples)\n",
+		datasetLabel, *variant, learner.Name(), len(pos), len(neg), prob.Instance.NumTuples())
+	start := time.Now()
+	def, err := learner.Learn(prob, params)
+	if err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\nlearned definition (%d clauses, %.2fs):\n", def.Len(), elapsed.Seconds())
+	if def.IsEmpty() {
+		fmt.Println("  (nothing learned)")
+	} else {
+		fmt.Println(def)
+	}
+	m := eval.Evaluate(prob.Instance, def, pos, neg)
+	fmt.Printf("\ntraining-set quality: %s\n", m)
+}
+
+// loadUserProblem assembles an ILP problem from user-supplied files.
+func loadUserProblem(schemaFile, dataFile, posFile, negFile, targetDecl, valueAttrs string) (*ilp.Problem, error) {
+	if dataFile == "" || posFile == "" || targetDecl == "" {
+		return nil, fmt.Errorf("user data mode needs -schema, -data, -pos and -target")
+	}
+	sf, err := os.Open(schemaFile)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	schema, err := relstore.ReadSchema(sf)
+	if err != nil {
+		return nil, err
+	}
+	df, err := os.Open(dataFile)
+	if err != nil {
+		return nil, err
+	}
+	defer df.Close()
+	inst, err := relstore.ReadInstance(df, schema)
+	if err != nil {
+		return nil, err
+	}
+	head, err := logic.ParseAtom(targetDecl)
+	if err != nil {
+		return nil, fmt.Errorf("parsing -target: %w", err)
+	}
+	attrs := make([]string, head.Arity())
+	for i, a := range head.Args {
+		attrs[i] = a.Name
+	}
+	target := &relstore.Relation{Name: head.Pred, Attrs: attrs}
+	readExamples := func(path string) ([]logic.Atom, error) {
+		if path == "" {
+			return nil, nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		clauses, err := logic.ParseProgram(string(data))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]logic.Atom, len(clauses))
+		for i, c := range clauses {
+			if len(c.Body) != 0 || !c.Head.IsGround() {
+				return nil, fmt.Errorf("%s: examples must be ground facts, got %v", path, c)
+			}
+			out[i] = c.Head
+		}
+		return out, nil
+	}
+	pos, err := readExamples(posFile)
+	if err != nil {
+		return nil, err
+	}
+	neg, err := readExamples(negFile)
+	if err != nil {
+		return nil, err
+	}
+	values := map[string]bool{}
+	for _, v := range strings.Split(valueAttrs, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			values[v] = true
+		}
+	}
+	return &ilp.Problem{Instance: inst, Target: target, Pos: pos, Neg: neg, ValueAttrs: values}, nil
+}
+
+func buildDataset(name string) (*datasets.Dataset, error) {
+	switch name {
+	case "uwcse":
+		return datasets.GenerateUWCSE(datasets.DefaultUWCSE())
+	case "hiv":
+		return datasets.GenerateHIV(datasets.DefaultHIV2K4K())
+	case "imdb":
+		return datasets.GenerateIMDb(datasets.DefaultIMDb())
+	}
+	return nil, fmt.Errorf("unknown dataset %q (have uwcse, hiv, imdb)", name)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "castor:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything, laptop scale
+//	experiments -exp table10 -folds 5    # one experiment
+//	experiments -exp table9 -scale 0.5   # smaller/faster
+//
+// Experiments: table2, table9, table10, table11, table12, table13, fig2,
+// fig3, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table2|table9|table10|table11|table12|table13|fig2|fig3|ablations|all")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	folds := flag.Int("folds", 0, "cross-validation folds (0 = per-table default)")
+	par := flag.Int("par", 4, "coverage-test parallelism")
+	seed := flag.Int64("seed", 1, "random seed")
+	fig3Defs := flag.Int("fig3-defs", 10, "random definitions per Figure 3 setting")
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:       *scale,
+		Folds:       *folds,
+		Parallelism: *par,
+		Seed:        *seed,
+		Out:         os.Stdout,
+	}
+
+	runners := map[string]func() error{
+		"table2":    func() error { _, err := experiments.Table2(cfg); return err },
+		"table9":    func() error { _, err := experiments.Table9(cfg); return err },
+		"table10":   func() error { _, err := experiments.Table10(cfg); return err },
+		"table11":   func() error { _, err := experiments.Table11(cfg); return err },
+		"table12":   func() error { _, err := experiments.Table12(cfg); return err },
+		"table13":   func() error { _, err := experiments.Table13(cfg); return err },
+		"fig2":      func() error { _, err := experiments.Figure2(cfg, nil); return err },
+		"fig3":      func() error { _, err := experiments.Figure3(cfg, *fig3Defs, nil); return err },
+		"ablations": func() error { _, err := experiments.Ablations(cfg); return err },
+	}
+	order := []string{"table2", "table9", "table10", "table11", "table12", "table13", "fig2", "fig3", "ablations"}
+
+	var ids []string
+	if *exp == "all" {
+		ids = order
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		run, ok := runners[strings.TrimSpace(id)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have %v\n", id, order)
+			os.Exit(2)
+		}
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Schema transformations as first-class objects: build a composition
+// pipeline, move a database instance through it (τ) and back (τ⁻¹), and
+// rewrite a Horn definition across schemas with the definition mapping δτ
+// — the machinery behind the paper's Proposition 3.7 and Example 3.6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	sirl "repro"
+	"repro/internal/relstore"
+)
+
+func main() {
+	// The Original UW-CSE student fragment (Table 1).
+	original := sirl.NewSchema()
+	original.MustAddRelation("student", "stud")
+	original.MustAddRelation("inPhase", "stud", "phase")
+	original.MustAddRelation("yearsInProgram", "stud", "years")
+	original.MustAddIND("student", []string{"stud"}, "inPhase", []string{"stud"}, true)
+	original.MustAddIND("student", []string{"stud"}, "yearsInProgram", []string{"stud"}, true)
+
+	db := sirl.NewInstance(original)
+	db.MustInsert("student", "abe")
+	db.MustInsert("inPhase", "abe", "prelim")
+	db.MustInsert("yearsInProgram", "abe", "3")
+	db.MustInsert("student", "bea")
+	db.MustInsert("inPhase", "bea", "post_generals")
+	db.MustInsert("yearsInProgram", "bea", "5")
+
+	// Example 3.6's composition: Original → 4NF.
+	pipe := sirl.NewPipeline(original)
+	pipe.MustCompose("student", "student", "inPhase", "yearsInProgram")
+	fmt.Println("4NF schema after composing the three student relations:")
+	fmt.Print(pipe.To())
+
+	// τ: map the instance forward.
+	fourNF, err := pipe.Apply(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nτ(I) — the composed student table:")
+	if err := relstore.WriteInstance(os.Stdout, fourNF); err != nil {
+		log.Fatal(err)
+	}
+
+	// τ⁻¹: and back, recovering the original instance exactly.
+	back, err := pipe.Inverse().Apply(fourNF)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nτ⁻¹(τ(I)) equals I: %v\n", db.Equal(back))
+
+	// δτ: rewrite a definition across the transformation (Example 6.5's
+	// clause pair) and show both return the same answers.
+	def, err := sirl.ParseDefinition(
+		"hardWorking(X) :- student(X), inPhase(X, prelim), yearsInProgram(X, 3).")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mapped, err := pipe.MapDefinition(def)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nδτ rewrites")
+	fmt.Println("  ", def)
+	fmt.Println("into")
+	fmt.Println("  ", mapped)
+
+	resI, err := db.EvalDefinition(def)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resJ, err := fourNF.EvalDefinition(mapped)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhR(I) = %v\nδτ(hR)(τ(I)) = %v\n", resI, resJ)
+}

@@ -1,0 +1,61 @@
+// The paper's motivating scenario (Example 1.1): learning
+// advisedBy(stud, prof) over the UW-CSE database under the Original and
+// 4NF schemas. A top-down learner (FOIL) produces different definitions
+// with different quality on the two schemas; Castor produces definitions
+// that cover exactly the same examples on both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sirl "repro"
+)
+
+func main() {
+	ds, err := sirl.GenerateUWCSE()
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := sirl.DefaultParams()
+	params.Sample = 8
+	params.BeamWidth = 3
+
+	fmt.Println("Learning advisedBy(stud, prof) over UW-CSE (Original vs 4NF)")
+	fmt.Println()
+	for _, learner := range []sirl.Learner{sirl.NewFOIL(), sirl.NewCastor()} {
+		fmt.Printf("=== %s ===\n", learner.Name())
+		covers := map[string][]bool{}
+		for _, variant := range []string{"Original", "4NF"} {
+			prob, err := ds.Problem(variant)
+			if err != nil {
+				log.Fatal(err)
+			}
+			def, err := learner.Learn(prob, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := sirl.Evaluate(prob.Instance, def, ds.Pos, ds.Neg)
+			fmt.Printf("%s schema → %s\n", variant, m)
+			for _, c := range def.Clauses {
+				fmt.Printf("    %s\n", c)
+			}
+			// Record the coverage signature of the learned definition.
+			var sig []bool
+			for _, e := range append(append([]sirl.Atom(nil), ds.Pos...), ds.Neg...) {
+				sig = append(sig, prob.Instance.DefinitionCovers(def, e))
+			}
+			covers[variant] = sig
+		}
+		same := true
+		for i := range covers["Original"] {
+			if covers["Original"][i] != covers["4NF"][i] {
+				same = false
+				break
+			}
+		}
+		fmt.Printf("→ identical answers over both schemas: %v\n\n", same)
+	}
+	fmt.Println("FOIL's answers depend on the schema; Castor's do not — the")
+	fmt.Println("property the paper calls schema independence.")
+}

@@ -1,0 +1,168 @@
+package castor
+
+import (
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+)
+
+// Castor's bottom-clause construction (§7.1): classic saturation extended
+// with IND chasing — whenever a tuple enters the clause, every tuple that
+// joins with it through an IND of the (precompiled) plan enters in the same
+// step, so the parts of a decomposed relation always travel together
+// (Lemma 7.5). The stopping condition is a budget on distinct variables,
+// which is invariant under (de)composition, instead of the schema-dependent
+// depth bound.
+
+// copyTuples deep-copies a query result, emulating per-call API
+// marshaling for the no-stored-procedures configuration.
+func copyTuples(tuples []relstore.Tuple) []relstore.Tuple {
+	out := make([]relstore.Tuple, len(tuples))
+	for i, tp := range tuples {
+		out[i] = append(relstore.Tuple(nil), tp...)
+	}
+	return out
+}
+
+// BottomClause builds the variablized bottom clause of example e.
+func BottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, params ilp.Params) *logic.Clause {
+	return ilp.Variablize(prob, GroundBottomClause(prob, plan, e, params))
+}
+
+// GroundBottomClause builds the ground bottom clause (saturation) of e with
+// IND chasing.
+//
+// Unlike the classic construction, no per-relation recall cap applies: the
+// cap truncates *asymmetrically* across (de)compositions (one bonds
+// relation vs. a bSource/bTarget pair gets half the budget each), which
+// would break Lemma 7.5 at the coverage level. The distinct-variable
+// budget MaxVars — which is invariant under (de)composition — is the
+// stopping condition, as in §7.1.
+//
+// When params.UseStoredProc is false, every query result is deep-copied
+// before use: that is the data movement a client-server RDBMS API performs
+// on every call, which the stored-procedure deployment of §7.5.2 avoids
+// (together with recompiling the plan per call, handled by the learner).
+func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, params ilp.Params) *logic.Clause {
+	fetch := func(tuples []relstore.Tuple) []relstore.Tuple { return tuples }
+	if !params.UseStoredProc {
+		fetch = copyTuples
+	}
+	schema := plan.Schema()
+	c := &logic.Clause{Head: e.Clone()}
+
+	known := make(map[string]bool)     // every constant seen
+	entities := make(map[string]bool)  // constants that will become variables
+	seenAtoms := make(map[string]bool) // literal dedup
+	var frontier []string
+
+	for _, t := range e.Args {
+		if !known[t.Name] {
+			known[t.Name] = true
+			entities[t.Name] = true
+			frontier = append(frontier, t.Name)
+		}
+	}
+
+	// addWithChase inserts the tuple's literal and transitively chases the
+	// plan's IND hops to pull in the partner tuples that belong to the same
+	// joined row (§7.1): the chase tracks the accumulated row (attribute →
+	// value, natural-join convention) and only follows partners that agree
+	// with it on every shared attribute. Without that restriction a
+	// one-to-many reverse hop (e.g. genre → every movie of that genre)
+	// floods the clause with tuples from *other* joined rows — those are
+	// reached by later frontier iterations instead, under the usual recall
+	// cap, on every schema variant alike.
+	var discovered *[]string
+	addWithChase := func(rel *relstore.Relation, tp relstore.Tuple) {
+		type item struct {
+			rel *relstore.Relation
+			tp  relstore.Tuple
+		}
+		row := make(map[string]string, rel.Arity())
+		queue := []item{{rel, tp}}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			// Row consistency: skip tuples conflicting with the joined row
+			// assembled so far; merge the survivors into it.
+			conflict := false
+			for pos, attr := range it.rel.Attrs {
+				if v, ok := row[attr]; ok && v != it.tp[pos] {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			atom := logic.GroundAtom(it.rel.Name, it.tp...)
+			k := atom.Key()
+			if seenAtoms[k] {
+				continue
+			}
+			seenAtoms[k] = true
+			for pos, attr := range it.rel.Attrs {
+				row[attr] = it.tp[pos]
+			}
+			c.Body = append(c.Body, atom)
+			for pos, v := range it.tp {
+				if prob.IsValueAttr(schema, it.rel.Attrs[pos]) {
+					continue
+				}
+				entities[v] = true
+				if !known[v] {
+					known[v] = true
+					*discovered = append(*discovered, v)
+				}
+			}
+			for _, hop := range plan.Partners(it.rel.Name) {
+				partner := prob.Instance.Table(hop.Rel)
+				if partner == nil {
+					continue
+				}
+				req := make(map[int]string, len(hop.SrcPos))
+				for i, sp := range hop.SrcPos {
+					req[hop.DstPos[i]] = it.tp[sp]
+				}
+				joined := fetch(partner.TuplesWith(req))
+				if len(joined) > maxINDJoin {
+					joined = joined[:maxINDJoin]
+				}
+				prel, _ := schema.Relation(hop.Rel)
+				for _, jt := range joined {
+					queue = append(queue, item{prel, jt})
+				}
+			}
+		}
+	}
+
+	for iter := 0; len(frontier) > 0; iter++ {
+		if params.Depth > 0 && iter >= params.Depth {
+			break
+		}
+		chase := frontier
+		frontier = nil
+		var found []string
+		discovered = &found
+		for _, rel := range schema.Relations() {
+			table := prob.Instance.Table(rel.Name)
+			if table == nil {
+				continue
+			}
+			for _, cst := range chase {
+				for _, tp := range fetch(table.TuplesContaining(cst)) {
+					addWithChase(rel, tp)
+				}
+			}
+		}
+		frontier = found
+		// §7.1 stopping condition: stop expanding once the distinct-variable
+		// budget is reached. The count is schema independent because
+		// corresponding clauses over (de)compositions share their variables.
+		if params.MaxVars > 0 && len(entities) >= params.MaxVars {
+			break
+		}
+	}
+	return c
+}

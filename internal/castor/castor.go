@@ -1,0 +1,274 @@
+// Package castor implements Castor, the paper's contribution (§7): a
+// bottom-up relational learner that is schema independent under vertical
+// composition/decomposition. Castor follows ProGolem's covering + beam
+// search strategy but integrates inclusion dependencies (INDs) into every
+// phase:
+//
+//   - bottom-clause construction chases INDs with equality so that the
+//     tuples of a decomposed relation always enter the clause together, and
+//     stops on a distinct-variable budget rather than a depth bound
+//     (§7.1, Lemma 7.5);
+//   - ARMG re-establishes the INDs after dropping a blocking atom, removing
+//     literals whose free tuples no longer satisfy any IND (§7.2.1,
+//     Lemma 7.7);
+//   - negative reduction removes non-essential *instances of inclusion
+//     classes* — whole groups of IND-linked literals — instead of single
+//     literals (§7.2.2, Lemma 7.8), keeping clauses safe (§7.3);
+//   - clauses are minimized by θ-subsumption reduction (§7.5.5), coverage
+//     tests run in parallel and reuse parent results (§7.5.3–7.5.4), and
+//     per-schema access plans play the role of stored procedures (§7.5.2).
+//
+// The §7.4 extensions are available through Params: PromoteINDs runs the
+// preprocessing that upgrades subset INDs holding as equalities, and
+// SubsetINDs chases general subset INDs directly (Table 12's
+// configuration, robust but not fully schema independent).
+package castor
+
+import (
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/subsume"
+)
+
+// Learner is the Castor algorithm.
+type Learner struct{}
+
+// New returns a Castor learner.
+func New() *Learner { return &Learner{} }
+
+// Name implements ilp.Learner.
+func (l *Learner) Name() string { return "Castor" }
+
+// reduceCutoff bounds the clause size on which θ-subsumption minimization
+// is attempted.
+const reduceCutoff = 200
+
+// maxINDJoin caps how many partner tuples one tuple may pull in through a
+// single IND hop during bottom-clause construction (the paper uses 10).
+const maxINDJoin = 10
+
+// Learn implements ilp.Learner.
+func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	schema := prob.Instance.Schema()
+	if params.PromoteINDs {
+		schema = prob.Instance.PromoteEqualityINDs()
+	}
+	var plan *relstore.Plan
+	if params.UseStoredProc {
+		// Compiled once and reused across every bottom clause — the
+		// stored-procedure configuration (§7.5.2).
+		plan = relstore.CompilePlan(schema, params.SubsetINDs)
+	}
+	tester := ilp.NewTester(prob, params)
+	if params.CoverageMode == ilp.CoverageSubsumption {
+		// Coverage via θ-subsumption against *IND-chased* ground bottom
+		// clauses (§7.5.3) — the classic saturation would reintroduce
+		// schema dependence at the coverage level.
+		satPlan := plan
+		if satPlan == nil {
+			satPlan = relstore.CompilePlan(schema, params.SubsetINDs)
+		}
+		tester.SatFn = func(e logic.Atom) *logic.Clause {
+			return GroundBottomClause(prob, satPlan, e, params)
+		}
+	}
+	rng := newRand(params.Seed)
+	learn := func(uncovered []logic.Atom) (*logic.Clause, error) {
+		p := plan
+		if p == nil {
+			p = relstore.CompilePlan(schema, params.SubsetINDs)
+		}
+		return l.learnClause(prob, params, tester, rng, p, uncovered), nil
+	}
+	return ilp.Cover(prob, params, tester, learn)
+}
+
+// scored is one beam entry with cached coverage, enabling the §7.5.4
+// shortcut: a generalization of this clause covers at least these examples.
+type scored struct {
+	clause     *logic.Clause
+	posCovered []bool // over the uncovered positives
+	negCovered []bool // over all negatives
+	score      float64
+}
+
+// maxSeedTries bounds how many seed examples one LearnClause call may
+// try: a seed whose generalization degenerates (e.g. its entire bottom
+// clause cascades away under ARMG) should not end the covering loop while
+// other seeds can still produce acceptable clauses.
+const maxSeedTries = 3
+
+// learnClause is Algorithm 4, retrying with the next uncovered seed when a
+// seed yields no acceptable clause.
+func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, plan *relstore.Plan, uncovered []logic.Atom) *logic.Clause {
+	tries := maxSeedTries
+	if tries > len(uncovered) {
+		tries = len(uncovered)
+	}
+	var fallback *logic.Clause
+	for s := 0; s < tries; s++ {
+		c := l.learnClauseFromSeed(prob, params, tester, rng, plan, uncovered, uncovered[s])
+		if c == nil {
+			continue
+		}
+		p, n := tester.PosNeg(c, uncovered, prob.Neg)
+		if ilp.AcceptClause(params, p, n) {
+			return c
+		}
+		if fallback == nil {
+			fallback = c
+		}
+	}
+	return fallback
+}
+
+// learnClauseFromSeed runs the beam search of Algorithm 4 for one seed.
+func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, plan *relstore.Plan, uncovered []logic.Atom, seed logic.Atom) *logic.Clause {
+	bottom := BottomClause(prob, plan, seed, params)
+	if params.Minimize && len(bottom.Body) <= reduceCutoff {
+		bottom = subsume.Reduce(bottom)
+	}
+
+	evaluate := func(c *logic.Clause, parent *scored) *scored {
+		var knownPos, knownNeg []bool
+		if parent != nil && !params.DisableCoverageCache {
+			knownPos, knownNeg = parent.posCovered, parent.negCovered
+		}
+		pc := tester.CoveredSet(c, uncovered, knownPos)
+		nc := tester.CoveredSet(c, prob.Neg, knownNeg)
+		p, n := countTrue(pc), countTrue(nc)
+		return &scored{clause: c, posCovered: pc, negCovered: nc, score: float64(p - n)}
+	}
+
+	beam := []*scored{evaluate(bottom, nil)}
+	k := params.Sample
+	if k < 1 {
+		k = 1
+	}
+	width := params.BeamWidth
+	if width < 1 {
+		width = 1
+	}
+	for {
+		best := beam[0]
+		for _, b := range beam {
+			if b.score > best.score {
+				best = b
+			}
+		}
+		bestScore := best.score
+		// Sample generalization targets among the positives the current
+		// best clause does not cover yet (as Golem's Algorithm 2 does):
+		// ARMG toward an already-covered example is the identity.
+		pool := make([]logic.Atom, 0, len(uncovered))
+		for i, e := range uncovered {
+			if !best.posCovered[i] {
+				pool = append(pool, e)
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		sample := sampleAtoms(rng, pool, k)
+		var next []*scored
+		for _, b := range beam {
+			for _, e := range sample {
+				g := ARMG(tester, plan, b.clause, e, params)
+				if g == nil || g.Equal(b.clause) {
+					continue
+				}
+				if !g.IsSafe() {
+					continue // §7.3.2: unsafe candidates are discarded
+				}
+				cand := evaluate(g, b)
+				if cand.score > bestScore {
+					next = append(next, cand)
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		// Keep the N best (stable selection sort for determinism).
+		for i := 0; i < len(next); i++ {
+			for j := i + 1; j < len(next); j++ {
+				if next[j].score > next[i].score {
+					next[i], next[j] = next[j], next[i]
+				}
+			}
+		}
+		if len(next) > width {
+			next = next[:width]
+		}
+		beam = next
+	}
+	best := beam[0]
+	for _, b := range beam {
+		if b.score > best.score {
+			best = b
+		}
+	}
+	reduced := NegativeReduce(tester, plan, best.clause, prob.Neg)
+	if params.Minimize && len(reduced.Body) <= reduceCutoff {
+		reduced = subsume.Reduce(reduced)
+	}
+	if len(reduced.Body) == 0 {
+		return nil
+	}
+	return reduced
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// --- deterministic PRNG + sampling ---
+
+type rand struct{ s uint64 }
+
+func newRand(seed int64) *rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &rand{s: uint64(seed)}
+}
+
+func (r *rand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rand) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func sampleAtoms(r *rand, pool []logic.Atom, k int) []logic.Atom {
+	if k >= len(pool) {
+		return append([]logic.Atom(nil), pool...)
+	}
+	idx := make(map[int]bool, k)
+	out := make([]logic.Atom, 0, k)
+	for len(out) < k {
+		i := r.intn(len(pool))
+		if !idx[i] {
+			idx[i] = true
+			out = append(out, pool[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,315 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestGenerateUWCSE(t *testing.T) {
+	cfg := DefaultUWCSE()
+	cfg.Students, cfg.Courses = 16, 8
+	d, err := GenerateUWCSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Variants) != 4 {
+		t.Fatalf("variants = %d", len(d.Variants))
+	}
+	wantRels := map[string]int{"Original": 9, "4NF": 6, "Denormalized-1": 5, "Denormalized-2": 4}
+	for _, v := range d.Variants {
+		if got := v.Schema.NumRelations(); got != wantRels[v.Name] {
+			t.Errorf("%s: %d relations, want %d", v.Name, got, wantRels[v.Name])
+		}
+		if err := v.Instance.Validate(); err != nil {
+			t.Errorf("%s violates constraints: %v", v.Name, err)
+		}
+	}
+	if len(d.Pos) == 0 || len(d.Neg) == 0 {
+		t.Fatal("no examples")
+	}
+	if len(d.Neg) > 2*len(d.Pos) {
+		t.Errorf("negative sampling ratio broken: %d pos %d neg", len(d.Pos), len(d.Neg))
+	}
+	// Tuple counts shrink monotonically under composition (joins merge rows).
+	for i := 1; i < len(d.Variants); i++ {
+		if d.Variants[i].Instance.NumTuples() > d.Variants[i-1].Instance.NumTuples() {
+			t.Errorf("%s has more tuples than %s", d.Variants[i].Name, d.Variants[i-1].Name)
+		}
+	}
+}
+
+func TestUWCSEVariantsAreCorresponding(t *testing.T) {
+	cfg := DefaultUWCSE()
+	cfg.Students, cfg.Courses = 12, 6
+	d, err := GenerateUWCSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A definition mapped through the pipeline returns the same result on
+	// every variant — information equivalence in action.
+	def := logic.MustParseDefinition("x(S,P) :- publication(T,S), publication(T,P), hasPosition(P,faculty).")
+	orig := d.Variants[0].Instance
+	base, err := orig.EvalDefinition(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSchema := d.Variants[0].Schema
+	for _, v := range d.Variants[1:] {
+		pipe, err := UWCSEPipelineTo(origSchema, v.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mapped, err := pipe.MapDefinition(def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.Instance.EvalDefinition(mapped)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Name, err)
+		}
+		if len(got) != len(base) {
+			t.Errorf("%s: %d results, want %d", v.Name, len(got), len(base))
+		}
+	}
+}
+
+func TestUWCSEPipelineToUnknown(t *testing.T) {
+	if _, err := UWCSEPipelineTo(UWCSEOriginalSchema(), "nope"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestGenerateHIV(t *testing.T) {
+	cfg := DefaultHIV2K4K()
+	cfg.Compounds = 60
+	d, err := GenerateHIV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Variants) != 3 {
+		t.Fatalf("variants = %d", len(d.Variants))
+	}
+	for _, v := range d.Variants {
+		if err := v.Instance.Validate(); err != nil {
+			t.Errorf("%s violates constraints: %v", v.Name, err)
+		}
+	}
+	// 4NF-2 has roughly twice the bond tuples of Initial's bonds relation
+	// (bSource + bTarget), the effect the paper blames for the slowdown.
+	init, _ := d.Variant("Initial")
+	v2, _ := d.Variant("4NF-2")
+	nb := init.Instance.Table("bonds").Len()
+	if v2.Instance.Table("bSource").Len() != nb || v2.Instance.Table("bTarget").Len() != nb {
+		t.Errorf("4NF-2 decomposition sizes wrong: %d vs %d/%d", nb,
+			v2.Instance.Table("bSource").Len(), v2.Instance.Table("bTarget").Len())
+	}
+	// 4NF-1 composes the three type relations away.
+	v1, _ := d.Variant("4NF-1")
+	if rel, _ := v1.Schema.Relation("bonds"); rel.Arity() != 6 {
+		t.Errorf("4NF-1 bonds arity = %d", rel.Arity())
+	}
+	if _, ok := v1.Schema.Relation("bType1"); ok {
+		t.Error("4NF-1 still has bType1")
+	}
+	if len(d.Pos) < 5 {
+		t.Errorf("too few positives: %d", len(d.Pos))
+	}
+}
+
+func TestHIVMotifIsLearnableSignal(t *testing.T) {
+	cfg := DefaultHIV2K4K()
+	cfg.Compounds = 80
+	cfg.NoiseFrac = 0
+	d, err := GenerateHIV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planted motif clause must cover every positive and no negative
+	// when noise is off.
+	motif := logic.MustParseClause(
+		"hivActive(C) :- compound(C,A1), compound(C,A2), bonds(B,A1,A2), element_c(A1), element_n(A2), bType1(B,bt1).")
+	init, _ := d.Variant("Initial")
+	for _, e := range d.Pos {
+		if !init.Instance.CoversExample(motif, e) {
+			t.Errorf("positive %v not covered by the motif", e)
+		}
+	}
+	for _, e := range d.Neg {
+		if init.Instance.CoversExample(motif, e) {
+			t.Errorf("negative %v covered by the motif", e)
+		}
+	}
+}
+
+func TestGenerateIMDb(t *testing.T) {
+	cfg := DefaultIMDb()
+	cfg.Movies, cfg.Directors, cfg.Actors = 80, 20, 40
+	d, err := GenerateIMDb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Variants) != 3 {
+		t.Fatalf("variants = %d", len(d.Variants))
+	}
+	for _, v := range d.Variants {
+		if err := v.Instance.Validate(); err != nil {
+			t.Errorf("%s violates constraints: %v", v.Name, err)
+		}
+	}
+	// Stanford's movie relation holds the five composed link columns.
+	st, _ := d.Variant("Stanford")
+	if rel, _ := st.Schema.Relation("movie"); rel.Arity() != 8 {
+		t.Errorf("Stanford movie arity = %d (%v)", rel.Arity(), rel)
+	}
+	// Denormalized keeps the link names with entity payloads.
+	de, _ := d.Variant("Denormalized")
+	if rel, _ := de.Schema.Relation("movies2director"); rel.Arity() != 3 {
+		t.Errorf("Denormalized movies2director = %v", rel)
+	}
+	if _, ok := de.Schema.Relation("director"); ok {
+		t.Error("Denormalized still has the director relation")
+	}
+}
+
+func TestIMDbExactDefinition(t *testing.T) {
+	cfg := DefaultIMDb()
+	cfg.Movies, cfg.Directors = 80, 20
+	d, err := GenerateIMDb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := logic.MustParseClause(
+		"dramaDirector(D) :- movies2director(M,D), movies2genre(M,G), genre(G,drama).")
+	jm, _ := d.Variant("JMDB")
+	for _, e := range d.Pos {
+		if !jm.Instance.CoversExample(exact, e) {
+			t.Errorf("positive %v not covered by the exact definition", e)
+		}
+	}
+	for _, e := range d.Neg {
+		if jm.Instance.CoversExample(exact, e) {
+			t.Errorf("negative %v covered by the exact definition", e)
+		}
+	}
+}
+
+func TestDatasetHelpers(t *testing.T) {
+	cfg := DefaultUWCSE()
+	cfg.Students, cfg.Courses = 8, 4
+	d, err := GenerateUWCSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Variant("nope"); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	prob, err := d.Problem("4NF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prob.Validate(); err != nil {
+		t.Errorf("problem invalid: %v", err)
+	}
+	stats := d.TableStats()
+	if len(stats) != 4 || stats[0].Relations != 9 || stats[0].Pos != len(d.Pos) {
+		t.Errorf("stats = %+v", stats[0])
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	cfg := DefaultUWCSE()
+	cfg.Students, cfg.Courses = 8, 4
+	a, err := GenerateUWCSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateUWCSE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Variants[0].Instance.Equal(b.Variants[0].Instance) {
+		t.Error("UW-CSE generation not deterministic")
+	}
+	if len(a.Pos) != len(b.Pos) || len(a.Neg) != len(b.Neg) {
+		t.Error("examples not deterministic")
+	}
+	for i := range a.Pos {
+		if !a.Pos[i].Equal(b.Pos[i]) {
+			t.Fatal("positive order differs")
+		}
+	}
+}
+
+func TestIMDbExpandedSchema(t *testing.T) {
+	s := IMDbJMDBSchema()
+	// Table 6 fidelity: eleven link/entity pairs + actor + movie + facts.
+	if s.NumRelations() < 40 {
+		t.Errorf("JMDB relations = %d, want ≥ 40", s.NumRelations())
+	}
+	for _, e := range []string{"writer", "editor", "composer", "cinematgr", "costdes", "proddes", "misc"} {
+		if _, ok := s.Relation("movies2" + e); !ok {
+			t.Errorf("missing movies2%s", e)
+		}
+		if _, ok := s.Relation(e); !ok {
+			t.Errorf("missing %s", e)
+		}
+	}
+	// Equality INDs: 5 (stanford links→movie) + 12 (links→entities) + actor.
+	if got := len(s.EqualityINDs()); got != 18 {
+		t.Errorf("equality INDs = %d, want 18", got)
+	}
+	if s.HasCyclicINDs() {
+		t.Error("JMDB INDs must be acyclic")
+	}
+}
+
+func TestIMDbDenormalizedComposesElevenPairs(t *testing.T) {
+	cfg := DefaultIMDb()
+	cfg.Movies, cfg.Directors, cfg.Actors = 60, 15, 30
+	d, err := GenerateIMDb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	de, _ := d.Variant("Denormalized")
+	for _, e := range append(append([]string(nil), stanfordEntities...), crewEntities...) {
+		rel, ok := de.Schema.Relation("movies2" + e)
+		if !ok {
+			t.Fatalf("Denormalized missing movies2%s", e)
+		}
+		if rel.Arity() != 3 {
+			t.Errorf("movies2%s arity = %d, want 3 (id, %sid, %sname)", e, rel.Arity(), e, e)
+		}
+		if _, still := de.Schema.Relation(e); still {
+			t.Errorf("Denormalized still has entity %s", e)
+		}
+	}
+	// Actor link keeps its character payload: id, actorid, character + name, sex.
+	if rel, _ := de.Schema.Relation("movies2actor"); rel.Arity() != 5 {
+		t.Errorf("movies2actor = %v", rel)
+	}
+}
+
+func TestIMDbStanfordMovieShape(t *testing.T) {
+	cfg := DefaultIMDb()
+	cfg.Movies, cfg.Directors, cfg.Actors = 60, 15, 30
+	d, err := GenerateIMDb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Variant("Stanford")
+	rel, ok := st.Schema.Relation("movie")
+	if !ok || rel.Arity() != 8 {
+		t.Fatalf("Stanford movie = %v", rel)
+	}
+	// Crew links survive uncomposed under Stanford.
+	if _, ok := st.Schema.Relation("movies2writer"); !ok {
+		t.Error("Stanford lost movies2writer")
+	}
+	// Every variant still validates and carries the same examples.
+	for _, v := range d.Variants {
+		if err := v.Instance.Validate(); err != nil {
+			t.Errorf("%s: %v", v.Name, err)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package foil
+
+import (
+	"testing"
+
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/testfix"
+)
+
+func TestLearnAdvisedByOriginal(t *testing.T) {
+	w := testfix.NewWorld(12)
+	prob := w.ProblemOriginal()
+	params := ilp.Defaults()
+	def, err := New().Learn(prob, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.IsEmpty() {
+		t.Fatal("FOIL learned nothing")
+	}
+	p, n := 0, 0
+	for _, e := range prob.Pos {
+		if prob.Instance.DefinitionCovers(def, e) {
+			p++
+		}
+	}
+	for _, e := range prob.Neg {
+		if prob.Instance.DefinitionCovers(def, e) {
+			n++
+		}
+	}
+	if p < len(prob.Pos)*3/4 {
+		t.Errorf("definition covers only %d/%d positives:\n%v", p, len(prob.Pos), def)
+	}
+	if ilp.Precision(p, n) < params.MinPrec {
+		t.Errorf("precision %f too low:\n%v", ilp.Precision(p, n), def)
+	}
+}
+
+func TestLearn4NF(t *testing.T) {
+	w := testfix.NewWorld(12)
+	prob := w.Problem4NF()
+	def, err := New().Learn(prob, ilp.Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.IsEmpty() {
+		t.Fatal("FOIL learned nothing over 4NF")
+	}
+	p := 0
+	for _, e := range prob.Pos {
+		if prob.Instance.DefinitionCovers(def, e) {
+			p++
+		}
+	}
+	if p < len(prob.Pos)*3/4 {
+		t.Errorf("4NF definition covers only %d/%d positives:\n%v", p, len(prob.Pos), def)
+	}
+}
+
+func TestClauseLengthBound(t *testing.T) {
+	w := testfix.NewWorld(12)
+	prob := w.ProblemOriginal()
+	params := ilp.Defaults()
+	params.ClauseLength = 3
+	def, err := New().Learn(prob, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range def.Clauses {
+		if c.Len() > 3 {
+			t.Errorf("clause exceeds length bound: %v", c)
+		}
+	}
+}
+
+func TestLearnValidatesProblem(t *testing.T) {
+	w := testfix.NewWorld(8)
+	prob := w.ProblemOriginal()
+	prob.Pos = append(prob.Pos, logic.GroundAtom("other", "x", "y"))
+	if _, err := New().Learn(prob, ilp.Defaults()); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "FOIL" {
+		t.Error("Name changed")
+	}
+}
+
+func TestLiteralGeneratorConnectivity(t *testing.T) {
+	w := testfix.NewWorld(8)
+	prob := w.ProblemOriginal()
+	gen := newLiteralGenerator(prob)
+	domains := map[string]string{"V0": "stud", "V1": "prof"}
+	cands := gen.candidates(domains, 2)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	for _, cand := range cands {
+		usesOld := false
+		for _, a := range cand.atom.Args {
+			if a == logic.Var("V0") || a == logic.Var("V1") {
+				usesOld = true
+			}
+		}
+		if !usesOld {
+			t.Errorf("disconnected candidate %v", cand.atom)
+		}
+	}
+}
+
+func TestLiteralGeneratorDomains(t *testing.T) {
+	w := testfix.NewWorld(8)
+	prob := w.ProblemOriginal()
+	gen := newLiteralGenerator(prob)
+	// Only a title-domain variable available: publication(V9, fresh) is the
+	// sole family of candidates; student(V9) must not be proposed.
+	domains := map[string]string{"V9": "title"}
+	cands := gen.candidates(domains, 10)
+	for _, cand := range cands {
+		if cand.atom.Pred == "student" {
+			t.Errorf("domain violation: %v", cand.atom)
+		}
+		if cand.atom.Pred == "publication" && cand.atom.Args[1] == logic.Var("V9") {
+			t.Errorf("title variable placed at person position: %v", cand.atom)
+		}
+	}
+}
+
+func TestLiteralGeneratorValueConstants(t *testing.T) {
+	w := testfix.NewWorld(8)
+	prob := w.ProblemOriginal()
+	gen := newLiteralGenerator(prob)
+	domains := map[string]string{"V0": "stud"}
+	cands := gen.candidates(domains, 1)
+	foundConst := false
+	for _, cand := range cands {
+		if cand.atom.Pred == "inPhase" && cand.atom.Args[1].IsConst() {
+			foundConst = true
+			if v := cand.atom.Args[1].Name; v != "prelim" && v != "post_generals" {
+				t.Errorf("unexpected phase constant %q", v)
+			}
+		}
+		if cand.atom.Pred == "inPhase" && cand.atom.Args[1].IsVar && cand.atom.Args[1] != logic.Var("V0") {
+			t.Errorf("value position must not get a fresh variable: %v", cand.atom)
+		}
+	}
+	if !foundConst {
+		t.Error("no phase constants proposed")
+	}
+}
+
+func TestGainMonotonicity(t *testing.T) {
+	// Purer coverage at the same positive count gives higher gain.
+	g1 := gain(10, 10, 5, 0)
+	g2 := gain(10, 10, 5, 5)
+	if g1 <= g2 {
+		t.Errorf("gain(5,0)=%f should exceed gain(5,5)=%f", g1, g2)
+	}
+	if gain(10, 10, 0, 0) != 0 {
+		t.Error("zero positives must have zero gain")
+	}
+}

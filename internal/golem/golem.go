@@ -1,0 +1,280 @@
+// Package golem implements Golem (Muggleton & Feng 1990), the bottom-up
+// learner of §6.3: clauses are learned by taking the relative least general
+// generalization (rlgg) of the saturations of pairs of positive examples
+// and greedily absorbing further examples while the score improves
+// (Algorithm 2 of the paper).
+//
+// The lgg of two clauses pairs compatible literals (same predicate) and
+// anti-unifies their arguments, mapping each distinct pair of terms to one
+// variable. The result grows as |C1|·|C2|, which is why Golem does not
+// scale (§6.3) — the implementation reduces each rlgg θ-subsumption-wise to
+// keep the tests tractable, and prunes literals that are not
+// head-connected.
+package golem
+
+import (
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/subsume"
+)
+
+// Learner is the Golem algorithm.
+type Learner struct{}
+
+// New returns a Golem learner.
+func New() *Learner { return &Learner{} }
+
+// Name implements ilp.Learner.
+func (l *Learner) Name() string { return "Golem" }
+
+// maxRlggLiterals aborts generalizations whose clause size explodes; Golem
+// cannot represent such clauses practically (§6.3).
+const maxRlggLiterals = 4096
+
+// Learn implements ilp.Learner.
+func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	tester := ilp.NewTester(prob, params)
+	rng := newRand(params.Seed)
+	learn := func(uncovered []logic.Atom) (*logic.Clause, error) {
+		return l.learnClause(prob, params, tester, rng, uncovered), nil
+	}
+	return ilp.Cover(prob, params, tester, learn)
+}
+
+// learnClause is Algorithm 2: rlggs of sampled example pairs, then greedy
+// extension.
+func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, uncovered []logic.Atom) *logic.Clause {
+	k := params.Sample
+	if k < 2 {
+		k = 2
+	}
+	sample := sampleAtoms(rng, uncovered, k+1)
+	if len(sample) < 2 {
+		return nil
+	}
+	saturate := func(e logic.Atom) *logic.Clause {
+		return ilp.Saturation(prob, e, params.Depth, params.MaxRecall)
+	}
+
+	type cand struct {
+		clause *logic.Clause
+		score  int
+	}
+	score := func(c *logic.Clause) (int, bool) {
+		p := tester.Count(c, uncovered)
+		n := tester.Count(c, prob.Neg)
+		return p - n, ilp.AcceptClause(params, p, n)
+	}
+	var best *cand
+	for i := 0; i < len(sample); i++ {
+		for j := i + 1; j < len(sample); j++ {
+			g := RLGG(saturate(sample[i]), saturate(sample[j]))
+			if g == nil {
+				continue
+			}
+			g = tidy(g)
+			if s, ok := score(g); ok && (best == nil || s > best.score) {
+				best = &cand{clause: g, score: s}
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// Greedy extension: absorb more positives while the score improves.
+	remaining := exclude(uncovered, sample)
+	for _, e := range sampleAtoms(rng, remaining, k) {
+		g := RLGG(best.clause, saturate(e))
+		if g == nil {
+			continue
+		}
+		g = tidy(g)
+		if s, ok := score(g); ok && s > best.score {
+			best = &cand{clause: g, score: s}
+		}
+	}
+	return best.clause
+}
+
+// reduceCutoff bounds the clause size on which full θ-subsumption
+// reduction is attempted; beyond it only the cheap pruning applies. Golem's
+// rlggs grow as the literal product, and reducing a thousand-literal clause
+// costs more than it saves.
+const reduceCutoff = 150
+
+// tidy prunes disconnected literals, then reduces the clause when it is
+// small enough for reduction to pay off.
+func tidy(c *logic.Clause) *logic.Clause {
+	c = logic.PruneNotHeadConnected(c)
+	if len(c.Body) > reduceCutoff {
+		return c
+	}
+	return subsume.Reduce(c)
+}
+
+// RLGG computes the relative least general generalization of two
+// saturations (ground bottom clauses): the lgg of the clauses. It returns
+// nil when the heads are incompatible or the result explodes past
+// maxRlggLiterals. Theorem 6.4: this operator is schema independent.
+func RLGG(c1, c2 *logic.Clause) *logic.Clause {
+	lt := newLggTerms()
+	head, ok := lggAtoms(c1.Head, c2.Head, lt)
+	if !ok {
+		return nil
+	}
+	out := &logic.Clause{Head: head}
+	for _, a1 := range c1.Body {
+		for _, a2 := range c2.Body {
+			if a, ok := lggAtoms(a1, a2, lt); ok {
+				out.Body = append(out.Body, a)
+				if len(out.Body) > maxRlggLiterals {
+					return nil
+				}
+			}
+		}
+	}
+	return dedupBody(out)
+}
+
+// lggTerms maps pairs of terms to their generalization: equal terms stay,
+// distinct pairs map to one variable per pair (Plotkin's lgg).
+type lggTerms struct {
+	pairs map[[2]logic.Term]logic.Term
+	next  int
+}
+
+func newLggTerms() *lggTerms {
+	return &lggTerms{pairs: make(map[[2]logic.Term]logic.Term)}
+}
+
+func (lt *lggTerms) lgg(a, b logic.Term) logic.Term {
+	if a == b {
+		return a
+	}
+	key := [2]logic.Term{a, b}
+	if v, ok := lt.pairs[key]; ok {
+		return v
+	}
+	v := logic.Var(lggVarName(lt.next))
+	lt.next++
+	lt.pairs[key] = v
+	return v
+}
+
+func lggVarName(n int) string {
+	digits := []rune{}
+	for {
+		digits = append([]rune{rune('0' + n%10)}, digits...)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	return "G" + string(digits)
+}
+
+// lggAtoms generalizes two compatible atoms.
+func lggAtoms(a, b logic.Atom, lt *lggTerms) (logic.Atom, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return logic.Atom{}, false
+	}
+	args := make([]logic.Term, len(a.Args))
+	for i := range a.Args {
+		args[i] = lt.lgg(a.Args[i], b.Args[i])
+	}
+	return logic.NewAtom(a.Pred, args...), true
+}
+
+// dedupBody removes syntactically duplicate body literals.
+func dedupBody(c *logic.Clause) *logic.Clause {
+	seen := make(map[string]bool, len(c.Body))
+	out := c.Body[:0]
+	for _, a := range c.Body {
+		k := a.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	}
+	c.Body = out
+	return c
+}
+
+// LGGDefinitionOfSet folds RLGG over a set of saturations:
+// lgg({C1,…,Cn}) computed pairwise (the operator is associative and
+// commutative up to renaming).
+func LGGDefinitionOfSet(sats []*logic.Clause) *logic.Clause {
+	if len(sats) == 0 {
+		return nil
+	}
+	cur := sats[0]
+	for _, s := range sats[1:] {
+		cur = RLGG(cur, s)
+		if cur == nil {
+			return nil
+		}
+	}
+	return cur
+}
+
+// --- tiny deterministic PRNG (xorshift) so the package does not pull in
+// math/rand and stays reproducible across Go versions. ---
+
+type rand struct{ s uint64 }
+
+func newRand(seed int64) *rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &rand{s: uint64(seed)}
+}
+
+func (r *rand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+// intn returns a value in [0,n).
+func (r *rand) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// sampleAtoms draws up to k distinct atoms.
+func sampleAtoms(r *rand, pool []logic.Atom, k int) []logic.Atom {
+	if k >= len(pool) {
+		return append([]logic.Atom(nil), pool...)
+	}
+	idx := make(map[int]bool, k)
+	out := make([]logic.Atom, 0, k)
+	for len(out) < k {
+		i := r.intn(len(pool))
+		if !idx[i] {
+			idx[i] = true
+			out = append(out, pool[i])
+		}
+	}
+	return out
+}
+
+// exclude returns pool minus the given atoms.
+func exclude(pool, drop []logic.Atom) []logic.Atom {
+	dropped := make(map[string]bool, len(drop))
+	for _, a := range drop {
+		dropped[a.Key()] = true
+	}
+	var out []logic.Atom
+	for _, a := range pool {
+		if !dropped[a.Key()] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

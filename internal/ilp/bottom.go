@@ -1,0 +1,149 @@
+package ilp
+
+import (
+	"repro/internal/logic"
+)
+
+// Classic bottom-clause construction (§6.1): starting from the example's
+// constants, iteratively pull in every tuple containing a known constant,
+// up to a depth bound on iterations and a per-relation recall bound per
+// iteration. The ground variant is the *saturation* used by Golem and by
+// subsumption-based coverage testing; the variablized variant is the
+// bottom clause ⊥e that ProGolem generalizes.
+//
+// Constants at value-attribute positions (Problem.ValueAttrs) stay
+// constants and are not chased — the role of '#' mode declarations.
+
+// Saturation builds the ground bottom clause of example e relative to the
+// problem's instance: head = e, body = all ground literals reachable within
+// depth iterations.
+func Saturation(prob *Problem, e logic.Atom, depth, maxRecall int) *logic.Clause {
+	c := &logic.Clause{Head: e.Clone()}
+	schema := prob.Instance.Schema()
+
+	known := make(map[string]bool)
+	var frontier []string // constants added in the previous iteration
+	addConst := func(v string) {
+		if !known[v] {
+			known[v] = true
+			frontier = append(frontier, v)
+		}
+	}
+	for _, t := range e.Args {
+		addConst(t.Name)
+	}
+	seenAtoms := make(map[string]bool)
+
+	for iter := 0; iter < depth && len(frontier) > 0; iter++ {
+		chase := frontier
+		frontier = nil
+		var discovered []string
+		for _, rel := range schema.Relations() {
+			table := prob.Instance.Table(rel.Name)
+			if table == nil {
+				continue
+			}
+			collected := 0
+			for _, cst := range chase {
+				if maxRecall > 0 && collected >= maxRecall {
+					break
+				}
+				for _, tp := range table.TuplesContaining(cst) {
+					if maxRecall > 0 && collected >= maxRecall {
+						break
+					}
+					atom := logic.GroundAtom(rel.Name, tp...)
+					k := atom.Key()
+					if seenAtoms[k] {
+						continue
+					}
+					seenAtoms[k] = true
+					c.Body = append(c.Body, atom)
+					collected++
+					for pos, v := range tp {
+						if prob.IsValueAttr(schema, rel.Attrs[pos]) {
+							continue
+						}
+						if !known[v] {
+							known[v] = true
+							discovered = append(discovered, v)
+						}
+					}
+				}
+			}
+		}
+		frontier = discovered
+	}
+	return c
+}
+
+// BottomClause builds the variablized bottom clause ⊥e: the saturation with
+// every constant replaced by a variable, except constants at
+// value-attribute positions. The same constant maps to the same variable
+// throughout (the inverse-entailment mapping of §6.1).
+func BottomClause(prob *Problem, e logic.Atom, depth, maxRecall int) *logic.Clause {
+	return Variablize(prob, Saturation(prob, e, depth, maxRecall))
+}
+
+// Variablize maps the constants of a ground clause to variables V0, V1, …
+// in first-occurrence order (head first), keeping constants at
+// value-attribute positions. The same constant always maps to the same
+// variable; a constant that appears both at a value position and an entity
+// position is variablized only at the entity positions.
+func Variablize(prob *Problem, ground *logic.Clause) *logic.Clause {
+	schema := prob.Instance.Schema()
+	varOf := make(map[string]logic.Term)
+	next := 0
+	mapTerm := func(v string) logic.Term {
+		t, ok := varOf[v]
+		if !ok {
+			t = logic.Var(varName(next))
+			next++
+			varOf[v] = t
+		}
+		return t
+	}
+	out := &logic.Clause{}
+	// Head: every position becomes a variable (head variables have depth 0).
+	headArgs := make([]logic.Term, len(ground.Head.Args))
+	for i, a := range ground.Head.Args {
+		headArgs[i] = mapTerm(a.Name)
+	}
+	out.Head = logic.NewAtom(ground.Head.Pred, headArgs...)
+	for _, lit := range ground.Body {
+		rel, ok := schema.Relation(lit.Pred)
+		args := make([]logic.Term, len(lit.Args))
+		for i, a := range lit.Args {
+			if ok && prob.IsValueAttr(schema, rel.Attrs[i]) {
+				args[i] = logic.Const(a.Name)
+				continue
+			}
+			args[i] = mapTerm(a.Name)
+		}
+		out.Body = append(out.Body, logic.NewAtom(lit.Pred, args...))
+	}
+	return out
+}
+
+func varName(n int) string {
+	// V0, V1, … ; small cache-free formatter to avoid fmt in a hot path.
+	buf := [12]byte{'V'}
+	i := 1
+	if n == 0 {
+		buf[1] = '0'
+		return string(buf[:2])
+	}
+	var digits [10]byte
+	d := 0
+	for n > 0 {
+		digits[d] = byte('0' + n%10)
+		n /= 10
+		d++
+	}
+	for d > 0 {
+		d--
+		buf[i] = digits[d]
+		i++
+	}
+	return string(buf[:i])
+}

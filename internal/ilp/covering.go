@@ -1,0 +1,54 @@
+package ilp
+
+import (
+	"repro/internal/logic"
+)
+
+// The generic covering loop of Algorithm 1: learn one clause at a time,
+// keep it if it meets the minimum condition, discard the positives it
+// covers, repeat until no positives remain or no acceptable clause can be
+// found.
+
+// LearnClauseFunc learns one clause from the still-uncovered positive
+// examples. Returning nil (and no error) signals that no clause could be
+// built.
+type LearnClauseFunc func(uncovered []logic.Atom) (*logic.Clause, error)
+
+// Cover runs the covering loop. The tester decides coverage; params
+// supplies the minimum condition (MinPos, MinPrec) and MaxClauses.
+func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) (*logic.Definition, error) {
+	def := logic.NewDefinition(prob.Target.Name)
+	uncovered := append([]logic.Atom(nil), prob.Pos...)
+	for len(uncovered) > 0 {
+		if params.MaxClauses > 0 && def.Len() >= params.MaxClauses {
+			break
+		}
+		c, err := learn(uncovered)
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			break
+		}
+		covered := tester.CoveredSet(c, uncovered, nil)
+		p := 0
+		for _, ok := range covered {
+			if ok {
+				p++
+			}
+		}
+		n := tester.Count(c, prob.Neg)
+		if p == 0 || !AcceptClause(params, p, n) {
+			break // the best learnable clause fails the minimum condition
+		}
+		def.Add(c)
+		rest := uncovered[:0]
+		for i, e := range uncovered {
+			if !covered[i] {
+				rest = append(rest, e)
+			}
+		}
+		uncovered = rest
+	}
+	return def, nil
+}

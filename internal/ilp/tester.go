@@ -1,0 +1,145 @@
+package ilp
+
+import (
+	"sync"
+
+	"repro/internal/logic"
+	"repro/internal/subsume"
+)
+
+// Tester decides clause coverage of examples, in one of two modes
+// (§7.5.3): direct evaluation against the indexed store, or θ-subsumption
+// against the example's ground bottom clause. It shards example sets over a
+// worker pool (Parallelism) and supports the known-covered shortcut that
+// implements the paper's coverage caching (§7.5.4).
+type Tester struct {
+	prob   *Problem
+	params Params
+
+	// SatFn overrides how ground bottom clauses are built for
+	// subsumption-mode coverage. Castor installs its IND-chasing
+	// construction here so that coverage semantics stay schema independent;
+	// when nil the classic saturation of §6.1 is used.
+	SatFn func(e logic.Atom) *logic.Clause
+
+	mu          sync.Mutex
+	saturations map[string]*logic.Clause // example key → ground bottom clause
+}
+
+// NewTester builds a tester for the problem.
+func NewTester(prob *Problem, params Params) *Tester {
+	return &Tester{prob: prob, params: params, saturations: make(map[string]*logic.Clause)}
+}
+
+// Covers reports whether the clause covers the example.
+func (t *Tester) Covers(c *logic.Clause, e logic.Atom) bool {
+	switch t.params.CoverageMode {
+	case CoverageSubsumption:
+		bc := t.saturation(e)
+		s, ok := logic.MatchAtoms(c.Head, bc.Head, logic.NewSubstitution())
+		if !ok {
+			return false
+		}
+		return subsume.SubsumesBody(c.Body, bc.Body, s)
+	default:
+		return t.prob.Instance.CoversExample(c, e)
+	}
+}
+
+// saturation returns (building and caching on demand) the ground bottom
+// clause of the example, used as the subsumption target.
+func (t *Tester) saturation(e logic.Atom) *logic.Clause {
+	k := e.Key()
+	t.mu.Lock()
+	bc, ok := t.saturations[k]
+	t.mu.Unlock()
+	if ok {
+		return bc
+	}
+	if t.SatFn != nil {
+		bc = t.SatFn(e)
+	} else {
+		bc = Saturation(t.prob, e, t.params.Depth, t.params.MaxRecall)
+	}
+	t.mu.Lock()
+	t.saturations[k] = bc
+	t.mu.Unlock()
+	return bc
+}
+
+// CoveredSet tests the clause against every example, in parallel when
+// Parallelism > 1. known, when non-nil, marks examples already known to be
+// covered (because the clause generalizes one that covered them); those
+// tests are skipped — the §7.5.4 coverage cache.
+func (t *Tester) CoveredSet(c *logic.Clause, examples []logic.Atom, known []bool) []bool {
+	out := make([]bool, len(examples))
+	workers := t.params.Parallelism
+	if workers <= 1 || len(examples) < 2 {
+		for i, e := range examples {
+			if known != nil && known[i] {
+				out[i] = true
+				continue
+			}
+			out[i] = t.Covers(c, e)
+		}
+		return out
+	}
+	if workers > len(examples) {
+		workers = len(examples)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if known != nil && known[i] {
+					out[i] = true
+					continue
+				}
+				out[i] = t.Covers(c, examples[i])
+			}
+		}()
+	}
+	for i := range examples {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Count returns how many of the examples the clause covers.
+func (t *Tester) Count(c *logic.Clause, examples []logic.Atom) int {
+	n := 0
+	for _, covered := range t.CoveredSet(c, examples, nil) {
+		if covered {
+			n++
+		}
+	}
+	return n
+}
+
+// PosNeg returns the clause's positive and negative coverage counts.
+func (t *Tester) PosNeg(c *logic.Clause, pos, neg []logic.Atom) (p, n int) {
+	return t.Count(c, pos), t.Count(c, neg)
+}
+
+// Precision returns p/(p+n), or 0 when nothing is covered.
+func Precision(p, n int) float64 {
+	if p+n == 0 {
+		return 0
+	}
+	return float64(p) / float64(p+n)
+}
+
+// AcceptClause reports whether a clause with coverage (p, n) meets the
+// minimum condition of the covering loop: at least MinPos positives and
+// precision at least MinPrec.
+func AcceptClause(params Params, p, n int) bool {
+	if p < params.MinPos {
+		return false
+	}
+	return Precision(p, n) >= params.MinPrec
+}

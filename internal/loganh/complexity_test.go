@@ -1,0 +1,99 @@
+package loganh
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+)
+
+// Query-complexity behaviour tests backing Figure 3 and Theorem 8.1 at the
+// unit level.
+
+// TestMQsGrowWithVariables: more variables per clause ⇒ bigger
+// counterexamples ⇒ more membership queries, on average.
+func TestMQsGrowWithVariables(t *testing.T) {
+	s := relstore.NewSchema()
+	s.MustAddRelation("p", "a", "b")
+	s.MustAddRelation("q", "b", "c")
+	rng := rand.New(rand.NewSource(41))
+	avgMQs := func(numVars int) float64 {
+		total, runs := 0, 0
+		for i := 0; i < 12; i++ {
+			tr, def := GenerateDefinition(rng, s, GenSpec{NumClauses: 1 + rng.Intn(2), NumVars: numVars, MaxArity: 2})
+			o, err := NewOracle(s, tr, def)
+			if err != nil {
+				continue
+			}
+			if _, stats, err := NewLearner().Learn(o, s, tr); err == nil && stats.Exact {
+				total += stats.MQs
+				runs++
+			}
+		}
+		if runs == 0 {
+			t.Fatal("no successful runs")
+		}
+		return float64(total) / float64(runs)
+	}
+	small := avgMQs(3)
+	large := avgMQs(8)
+	if large <= small {
+		t.Errorf("avg MQs should grow with #vars: %.1f (3 vars) vs %.1f (8 vars)", small, large)
+	}
+}
+
+// TestEQsTrackClauseCount: equivalence queries grow with the number of
+// target clauses (each clause needs at least one counterexample round).
+func TestEQsTrackClauseCount(t *testing.T) {
+	s := relstore.NewSchema()
+	s.MustAddRelation("p", "a", "b")
+	s.MustAddRelation("q", "b", "c")
+	rng := rand.New(rand.NewSource(43))
+	avgEQs := func(clauses int) float64 {
+		total, runs := 0, 0
+		for i := 0; i < 12; i++ {
+			tr, def := GenerateDefinition(rng, s, GenSpec{NumClauses: clauses, NumVars: 5, MaxArity: 2})
+			o, err := NewOracle(s, tr, def)
+			if err != nil {
+				continue
+			}
+			if _, stats, err := NewLearner().Learn(o, s, tr); err == nil && stats.Exact {
+				total += stats.EQs
+				runs++
+			}
+		}
+		if runs == 0 {
+			t.Fatal("no successful runs")
+		}
+		return float64(total) / float64(runs)
+	}
+	one := avgEQs(1)
+	four := avgEQs(4)
+	if four <= one {
+		t.Errorf("avg EQs should grow with clause count: %.1f (1 clause) vs %.1f (4 clauses)", one, four)
+	}
+}
+
+// TestLearnerHandlesRedundantTargets: a target with a subsumed extra
+// clause is learned as the equivalent minimal definition.
+func TestLearnerHandlesRedundantTargets(t *testing.T) {
+	s := relstore.NewSchema()
+	s.MustAddRelation("p", "a", "b")
+	tr := targetRel(1)
+	def := logic.MustParseDefinition(`
+		target(X) :- p(X,Y).
+		target(X) :- p(X,Y), p(Y,Z).
+	`)
+	o, err := NewOracle(s, tr, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, stats, err := NewLearner().Learn(o, s, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Exact {
+		t.Errorf("redundant target not learned: %v", h)
+	}
+}

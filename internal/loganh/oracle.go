@@ -1,0 +1,109 @@
+package loganh
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/subsume"
+)
+
+// Oracle answers equivalence and membership queries for a known target
+// Horn definition (LogAn-H's "automatic user mode", §9.4) and counts them.
+type Oracle struct {
+	schema    *relstore.Schema
+	targetRel *relstore.Relation
+	target    *logic.Definition
+
+	// EQs and MQs count the queries answered so far.
+	EQs, MQs int
+}
+
+// NewOracle builds an oracle for the target definition. The definition
+// must be safe and non-recursive (bodies over schema relations only).
+func NewOracle(schema *relstore.Schema, targetRel *relstore.Relation, target *logic.Definition) (*Oracle, error) {
+	if !logic.IsSafeDefinition(target) {
+		return nil, fmt.Errorf("loganh: target definition must be safe")
+	}
+	for _, c := range target.Clauses {
+		for _, a := range c.Body {
+			if a.Pred == targetRel.Name {
+				return nil, fmt.Errorf("loganh: recursive target definitions are not supported")
+			}
+			if _, ok := schema.Relation(a.Pred); !ok {
+				return nil, fmt.Errorf("loganh: body literal %v is not over the schema", a)
+			}
+		}
+	}
+	return &Oracle{schema: schema, targetRel: targetRel, target: target}, nil
+}
+
+// Membership answers an MQ: does the interpretation satisfy the target?
+func (o *Oracle) Membership(x *Interpretation) bool {
+	o.MQs++
+	ok, err := x.Satisfies(o.target)
+	if err != nil {
+		panic(fmt.Sprintf("loganh: oracle evaluation failed: %v", err))
+	}
+	return ok
+}
+
+// Counterexample is an EQ answer: an interpretation on which hypothesis
+// and target disagree. Positive reports the target's verdict on it.
+type Counterexample struct {
+	X *Interpretation
+	// Positive: X satisfies the target but not the hypothesis (the
+	// hypothesis is too strong). Otherwise X satisfies the hypothesis but
+	// not the target (too weak).
+	Positive bool
+}
+
+// Equivalence answers an EQ: nil when the hypothesis is equivalent to the
+// target, otherwise a counterexample interpretation.
+func (o *Oracle) Equivalence(h *logic.Definition) *Counterexample {
+	o.EQs++
+	// Too weak: some target clause not contained in the hypothesis. Its
+	// canonical interpretation, closed under the hypothesis, satisfies h
+	// but violates the target.
+	for _, cstar := range o.target.Clauses {
+		if subsumedByAny(h, cstar) {
+			continue
+		}
+		x := CanonicalInterpretation(o.schema, o.targetRel, cstar)
+		mustClose(x, h)
+		if sat, _ := x.Satisfies(o.target); !sat {
+			return &Counterexample{X: x, Positive: false}
+		}
+	}
+	// Too strong: some hypothesis clause not contained in the target. Its
+	// canonical interpretation, closed under the target, satisfies the
+	// target but violates h.
+	for _, c := range h.Clauses {
+		if subsumedByAny(o.target, c) {
+			continue
+		}
+		x := CanonicalInterpretation(o.schema, o.targetRel, c)
+		mustClose(x, o.target)
+		if sat, _ := x.Satisfies(h); !sat {
+			return &Counterexample{X: x, Positive: true}
+		}
+	}
+	return nil
+}
+
+// subsumedByAny reports whether some clause of d θ-subsumes c (UCQ
+// containment: d's result contains c's on every instance).
+func subsumedByAny(d *logic.Definition, c *logic.Clause) bool {
+	for _, dc := range d.Clauses {
+		if subsume.Subsumes(dc, c) {
+			return true
+		}
+	}
+	return false
+}
+
+func mustClose(x *Interpretation, def *logic.Definition) {
+	if err := x.CloseUnder(def); err != nil {
+		panic(fmt.Sprintf("loganh: closure failed: %v", err))
+	}
+}

@@ -1,0 +1,92 @@
+package logic
+
+// Variable and clause depth as defined in §6.1 of the paper: the depth of a
+// variable x is 0 if it appears in the head; otherwise it is
+// min over body literals containing x of (depth of the shallowest other
+// variable in that literal) + 1. The depth of a literal is the maximum depth
+// of its variables, and the depth of a clause is the maximum literal depth.
+//
+// Depth is the hypothesis-space bound used by classic bottom-clause
+// construction; the paper shows it is *not* invariant under
+// (de)composition, which is why Castor bounds on NumVars instead.
+
+// VarDepths computes the depth of every variable in the clause. Variables
+// whose depth is not determined (disconnected from the head) get depth -1.
+func VarDepths(c *Clause) map[string]int {
+	depth := make(map[string]int)
+	for _, v := range c.Head.Vars() {
+		depth[v] = 0
+	}
+	// Fixed-point relaxation: a body literal assigns each of its variables
+	// depth ≤ (min depth of the other variables in the literal) + 1.
+	for changed := true; changed; {
+		changed = false
+		for _, a := range c.Body {
+			vars := a.Vars()
+			for _, x := range vars {
+				best := -1
+				for _, v := range vars {
+					if v == x {
+						continue
+					}
+					d, ok := depth[v]
+					if !ok {
+						continue
+					}
+					if best == -1 || d < best {
+						best = d
+					}
+				}
+				if best == -1 {
+					continue
+				}
+				cand := best + 1
+				if cur, ok := depth[x]; !ok || cand < cur {
+					depth[x] = cand
+					changed = true
+				}
+			}
+		}
+	}
+	for _, v := range c.Vars() {
+		if _, ok := depth[v]; !ok {
+			depth[v] = -1
+		}
+	}
+	return depth
+}
+
+// LiteralDepth returns the depth of atom a given precomputed variable
+// depths: the maximum depth of its variables (0 for a ground literal). It
+// returns -1 when the atom contains a variable of undetermined depth.
+func LiteralDepth(a Atom, depths map[string]int) int {
+	max := 0
+	for _, v := range a.Vars() {
+		d, ok := depths[v]
+		if !ok || d == -1 {
+			return -1
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ClauseDepth returns the depth of the clause: the maximum literal depth
+// over the body, or 0 for a bodiless clause. It returns -1 when some body
+// literal has undetermined depth.
+func ClauseDepth(c *Clause) int {
+	depths := VarDepths(c)
+	max := 0
+	for _, a := range c.Body {
+		d := LiteralDepth(a, depths)
+		if d == -1 {
+			return -1
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,473 @@
+package logic
+
+import (
+	"testing"
+)
+
+func TestTermConstructors(t *testing.T) {
+	v := Var("X")
+	if !v.IsVar || v.Name != "X" {
+		t.Fatalf("Var: got %+v", v)
+	}
+	c := Const("abe")
+	if c.IsVar || !c.IsConst() || c.Name != "abe" {
+		t.Fatalf("Const: got %+v", c)
+	}
+	if got := Vars("X", "Y"); len(got) != 2 || !got[1].IsVar {
+		t.Fatalf("Vars: got %v", got)
+	}
+	if got := Consts("a", "b"); len(got) != 2 || got[0].IsVar {
+		t.Fatalf("Consts: got %v", got)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	tests := []struct {
+		term Term
+		want string
+	}{
+		{Var("X"), "X"},
+		{Var("Stud"), "Stud"},
+		{Const("abe"), "abe"},
+		{Const("post_generals"), "post_generals"},
+		{Const("7"), "7"},
+		{Const("Faculty"), "'Faculty'"}, // leading upper ⇒ quoted
+		{Const("_x"), "'_x'"},           // leading underscore ⇒ quoted
+		{Const("a b"), "'a b'"},         // space ⇒ quoted
+		{Const(""), "''"},               // empty ⇒ quoted
+		{Const("it's"), `'it\'s'`},      // embedded quote escaped
+		{Const("comp-12"), "'comp-12'"}, // dash ⇒ quoted
+	}
+	for _, tt := range tests {
+		if got := tt.term.String(); got != tt.want {
+			t.Errorf("String(%+v) = %q, want %q", tt.term, got, tt.want)
+		}
+	}
+}
+
+func TestTermStringRoundTrip(t *testing.T) {
+	consts := []string{"abe", "post_generals", "7", "Faculty", "_x", "a b", "", "it's", "comp-12"}
+	for _, v := range consts {
+		a := NewAtom("p", Const(v))
+		back, err := ParseAtom(a.String())
+		if err != nil {
+			t.Fatalf("round trip %q: %v", v, err)
+		}
+		if !back.Equal(a) {
+			t.Errorf("round trip %q: got %v want %v", v, back, a)
+		}
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("advisedBy", Var("X"), Var("Y"), Var("X"), Const("c"))
+	if a.Arity() != 4 {
+		t.Errorf("Arity = %d", a.Arity())
+	}
+	if a.IsGround() {
+		t.Error("IsGround should be false")
+	}
+	if vars := a.Vars(); len(vars) != 2 || vars[0] != "X" || vars[1] != "Y" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if consts := a.Constants(); len(consts) != 1 || consts[0] != "c" {
+		t.Errorf("Constants = %v", consts)
+	}
+	if !a.HasVar("Y") || a.HasVar("Z") {
+		t.Error("HasVar wrong")
+	}
+	g := GroundAtom("student", "abe")
+	if !g.IsGround() {
+		t.Error("GroundAtom not ground")
+	}
+	if g.Key() != "student\x00abe" {
+		t.Errorf("Key = %q", g.Key())
+	}
+}
+
+func TestAtomKeyPanicsOnNonGround(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAtom("p", Var("X")).Key()
+}
+
+func TestAtomSharesVar(t *testing.T) {
+	a := MustParseAtom("p(X,Y)")
+	b := MustParseAtom("q(Y,Z)")
+	c := MustParseAtom("r(W)")
+	if !a.SharesVar(b) {
+		t.Error("p(X,Y) should share with q(Y,Z)")
+	}
+	if a.SharesVar(c) {
+		t.Error("p(X,Y) should not share with r(W)")
+	}
+}
+
+func TestAtomCloneIndependent(t *testing.T) {
+	a := NewAtom("p", Var("X"))
+	b := a.Clone()
+	b.Args[0] = Const("c")
+	if !a.Args[0].IsVar {
+		t.Error("Clone shares argument storage")
+	}
+}
+
+func TestSubstitutionResolveAndApply(t *testing.T) {
+	s := NewSubstitution().Bind("X", Var("Y")).Bind("Y", Const("abe"))
+	if got := s.Resolve(Var("X")); got != Const("abe") {
+		t.Errorf("Resolve chain: got %v", got)
+	}
+	if got := s.Resolve(Var("Z")); got != Var("Z") {
+		t.Errorf("Resolve unbound: got %v", got)
+	}
+	if got := s.Resolve(Const("k")); got != Const("k") {
+		t.Errorf("Resolve const: got %v", got)
+	}
+	a := MustParseAtom("p(X,Z,k)")
+	got := a.Apply(s)
+	want := MustParseAtom("p(abe,Z,k)")
+	if !got.Equal(want) {
+		t.Errorf("Apply: got %v want %v", got, want)
+	}
+}
+
+func TestSubstitutionCycleGuard(t *testing.T) {
+	s := NewSubstitution().Bind("X", Var("Y")).Bind("Y", Var("X"))
+	got := s.Resolve(Var("X")) // must terminate
+	if !got.IsVar {
+		t.Errorf("cycle resolve: got %v", got)
+	}
+}
+
+func TestSubstitutionCompose(t *testing.T) {
+	s := NewSubstitution().Bind("X", Var("Y"))
+	u := NewSubstitution().Bind("Y", Const("a")).Bind("Z", Const("b"))
+	c := s.Compose(u)
+	if c.Resolve(Var("X")) != Const("a") {
+		t.Errorf("Compose X: %v", c.Resolve(Var("X")))
+	}
+	if c.Resolve(Var("Z")) != Const("b") {
+		t.Errorf("Compose Z: %v", c.Resolve(Var("Z")))
+	}
+}
+
+func TestMatchAtoms(t *testing.T) {
+	pat := MustParseAtom("p(X,Y,X,c)")
+	tests := []struct {
+		ground string
+		ok     bool
+	}{
+		{"p(a,b,a,c)", true},
+		{"p(a,b,d,c)", false}, // X bound to a, then d
+		{"p(a,b,a,d)", false}, // constant mismatch
+		{"q(a,b,a,c)", false}, // predicate mismatch
+	}
+	for _, tt := range tests {
+		g := MustParseAtom(tt.ground)
+		s, ok := MatchAtoms(pat, g, NewSubstitution())
+		if ok != tt.ok {
+			t.Errorf("Match %s: ok=%v want %v", tt.ground, ok, tt.ok)
+		}
+		if ok && s.Resolve(Var("X")) != Const("a") {
+			t.Errorf("Match %s: X=%v", tt.ground, s.Resolve(Var("X")))
+		}
+	}
+	// Input substitution must not be modified.
+	in := NewSubstitution()
+	MatchAtoms(pat, MustParseAtom("p(a,b,a,c)"), in)
+	if len(in) != 0 {
+		t.Error("MatchAtoms modified input substitution")
+	}
+}
+
+func TestUnifyAtoms(t *testing.T) {
+	a := MustParseAtom("p(X,b,X)")
+	b := MustParseAtom("p(a,Y,Z)")
+	s, ok := UnifyAtoms(a, b)
+	if !ok {
+		t.Fatal("expected unifiable")
+	}
+	if s.Resolve(Var("X")) != Const("a") || s.Resolve(Var("Z")) != Const("a") || s.Resolve(Var("Y")) != Const("b") {
+		t.Errorf("unifier wrong: %v", s)
+	}
+	if _, ok := UnifyAtoms(MustParseAtom("p(a)"), MustParseAtom("p(b)")); ok {
+		t.Error("p(a) and p(b) must not unify")
+	}
+	if _, ok := UnifyAtoms(MustParseAtom("p(a)"), MustParseAtom("q(a)")); ok {
+		t.Error("different predicates must not unify")
+	}
+}
+
+func TestClauseBasics(t *testing.T) {
+	c := MustParseClause("advisedBy(X,Y) :- publication(P,X), publication(P,Y).")
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if c.IsGround() {
+		t.Error("not ground")
+	}
+	if vars := c.Vars(); len(vars) != 3 {
+		t.Errorf("Vars = %v", vars)
+	}
+	if c.NumVars() != 3 {
+		t.Errorf("NumVars = %d", c.NumVars())
+	}
+	if hv := c.HeadVars(); len(hv) != 2 {
+		t.Errorf("HeadVars = %v", hv)
+	}
+	want := "advisedBy(X,Y) :- publication(P,X), publication(P,Y)."
+	if c.String() != want {
+		t.Errorf("String = %q want %q", c.String(), want)
+	}
+}
+
+func TestClauseConstants(t *testing.T) {
+	c := MustParseClause("t(X) :- student(X, post_generals, 5), professor(Y, faculty).")
+	got := c.Constants()
+	want := []string{"post_generals", "5", "faculty"}
+	if len(got) != len(want) {
+		t.Fatalf("Constants = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Constants[%d] = %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClauseEqualAndClone(t *testing.T) {
+	c := MustParseClause("t(X) :- p(X,Y), q(Y).")
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Error("clone not equal")
+	}
+	d.Body[0].Args[0] = Const("a")
+	if c.Equal(d) {
+		t.Error("clone shares storage")
+	}
+	// Order matters for ordered clauses.
+	e := MustParseClause("t(X) :- q(Y), p(X,Y).")
+	if c.Equal(e) {
+		t.Error("body order must matter for Equal")
+	}
+}
+
+func TestClauseRemoveBodyAt(t *testing.T) {
+	c := MustParseClause("t(X) :- a(X), b(X), c(X).")
+	d := c.RemoveBodyAt(1)
+	want := MustParseClause("t(X) :- a(X), c(X).")
+	if !d.Equal(want) {
+		t.Errorf("RemoveBodyAt: got %v", d)
+	}
+	if len(c.Body) != 3 {
+		t.Error("RemoveBodyAt modified receiver")
+	}
+}
+
+func TestClauseStandardize(t *testing.T) {
+	c := MustParseClause("t(X,Y) :- p(X,Z).")
+	s, next := c.Standardize(0)
+	if next != 3 {
+		t.Errorf("next = %d", next)
+	}
+	want := MustParseClause("t(V0,V1) :- p(V0,V2).")
+	if !s.Equal(want) {
+		t.Errorf("Standardize: got %v", s)
+	}
+}
+
+func TestFreshVarFactory(t *testing.T) {
+	c := MustParseClause("t(V0) :- p(V0,V2).")
+	f := NewFreshVarFactory(c, nil)
+	v1 := f.Fresh()
+	v2 := f.Fresh()
+	if v1 != Var("V1") || v2 != Var("V3") {
+		t.Errorf("Fresh: got %v %v", v1, v2)
+	}
+}
+
+func TestDefinition(t *testing.T) {
+	d := MustParseDefinition(`
+		t(X) :- p(X).
+		t(X) :- q(X).
+	`)
+	if d.Target != "t" || d.Len() != 2 || d.IsEmpty() {
+		t.Fatalf("definition wrong: %v", d)
+	}
+	cl := d.Clone()
+	cl.Clauses[0].Body[0].Args[0] = Const("a")
+	if d.Clauses[0].Body[0].Args[0] != Var("X") {
+		t.Error("Clone shares storage")
+	}
+	if _, err := ParseDefinition("t(X) :- p(X). u(X) :- q(X)."); err == nil {
+		t.Error("mixed heads must fail")
+	}
+	if _, err := ParseDefinition("   "); err == nil {
+		t.Error("empty definition must fail")
+	}
+}
+
+func TestVarDepths(t *testing.T) {
+	// Example 6.1 from the paper, depth 1:
+	// taLevel(X,Y) :- ta(C,X,T), courseLevel(C,Y).
+	c := MustParseClause("taLevel(X,Y) :- ta(C,X,T), courseLevel(C,Y).")
+	d := VarDepths(c)
+	for v, want := range map[string]int{"X": 0, "Y": 0, "C": 1, "T": 1} {
+		if d[v] != want {
+			t.Errorf("depth(%s) = %d want %d", v, d[v], want)
+		}
+	}
+	if got := ClauseDepth(c); got != 1 {
+		t.Errorf("ClauseDepth = %d want 1", got)
+	}
+}
+
+func TestVarDepthsExample62(t *testing.T) {
+	// commonLevel example, depth 2.
+	c := MustParseClause("commonLevel(X,Y) :- ta(C1,X,T1), ta(C2,Y,T2), courseLevel(C1,L), courseLevel(C2,L).")
+	if got := ClauseDepth(c); got != 2 {
+		t.Errorf("ClauseDepth = %d want 2", got)
+	}
+	d := VarDepths(c)
+	if d["L"] != 2 {
+		t.Errorf("depth(L) = %d want 2", d["L"])
+	}
+}
+
+func TestVarDepthsDisconnected(t *testing.T) {
+	c := MustParseClause("t(X) :- p(X), q(A,B).")
+	d := VarDepths(c)
+	if d["A"] != -1 || d["B"] != -1 {
+		t.Errorf("disconnected depths: %v", d)
+	}
+	if ClauseDepth(c) != -1 {
+		t.Errorf("ClauseDepth should be -1, got %d", ClauseDepth(c))
+	}
+}
+
+func TestIsSafe(t *testing.T) {
+	if !MustParseClause("t(X) :- p(X,Y).").IsSafe() {
+		t.Error("safe clause judged unsafe")
+	}
+	if MustParseClause("t(X,Z) :- p(X,Y).").IsSafe() {
+		t.Error("unsafe clause judged safe")
+	}
+	if !MustParseClause("t(a) :- p(X).").IsSafe() {
+		t.Error("ground-head clause is safe")
+	}
+	d := MustParseDefinition("t(X) :- p(X). t(X) :- q(X,Y).")
+	if !IsSafeDefinition(d) {
+		t.Error("safe definition judged unsafe")
+	}
+	d.Add(MustParseClause("t(Z)."))
+	if IsSafeDefinition(d) {
+		t.Error("unsafe definition judged safe")
+	}
+}
+
+func TestHeadConnected(t *testing.T) {
+	c := MustParseClause("t(X) :- p(X,Y), q(Y,Z), r(A,B), s(c).")
+	got := HeadConnected(c)
+	want := []bool{true, true, false, true} // ground s(c) counts as connected
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("HeadConnected[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+	pruned := PruneNotHeadConnected(c)
+	if len(pruned.Body) != 3 {
+		t.Errorf("pruned body = %v", pruned.Body)
+	}
+}
+
+func TestHeadConnectedTransitive(t *testing.T) {
+	// A chain reaching the head through multiple hops.
+	c := MustParseClause("t(X) :- a(X,Y), b(Y,Z), c(Z,W).")
+	for i, ok := range HeadConnected(c) {
+		if !ok {
+			t.Errorf("literal %d should be connected", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"t(X",
+		"t(X) :- .",
+		"t(X) :- p(X)",   // missing period
+		"t(X) :- p(X,).", // empty term
+		"(X).",
+		"t(X). extra",
+	}
+	for _, src := range bad {
+		if _, err := ParseClause(src); err == nil {
+			t.Errorf("ParseClause(%q) should fail", src)
+		}
+	}
+	if _, err := ParseAtom("p(X) junk"); err == nil {
+		t.Error("trailing input after atom should fail")
+	}
+	if _, err := ParseAtom("p('unterminated"); err == nil {
+		t.Error("unterminated quote should fail")
+	}
+}
+
+func TestParseProgramWithComments(t *testing.T) {
+	prog, err := ParseProgram(`
+		% a comment
+		t(X) :- p(X). # trailing comment
+		u.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 2 {
+		t.Fatalf("got %d clauses", len(prog))
+	}
+	if prog[1].Head.Pred != "u" || prog[1].Head.Arity() != 0 {
+		t.Errorf("zero-arity clause: %v", prog[1])
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MustParseAtom":       func() { MustParseAtom("(") },
+		"MustParseClause":     func() { MustParseClause("(") },
+		"MustParseDefinition": func() { MustParseDefinition("(") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSortAtoms(t *testing.T) {
+	atoms := []Atom{MustParseAtom("z(X)"), MustParseAtom("a(X)"), MustParseAtom("m(X)")}
+	SortAtoms(atoms)
+	if atoms[0].Pred != "a" || atoms[2].Pred != "z" {
+		t.Errorf("SortAtoms: %v", atoms)
+	}
+}
+
+func TestClauseStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"advisedBy(X,Y) :- publication(P,X), publication(P,Y).",
+		"hivActive(C).",
+		"t(X) :- student(X, post_generals, 5).",
+	}
+	for _, src := range srcs {
+		c := MustParseClause(src)
+		back := MustParseClause(c.String())
+		if !c.Equal(back) {
+			t.Errorf("round trip %q → %q", src, c.String())
+		}
+	}
+}

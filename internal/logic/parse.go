@@ -1,0 +1,282 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Datalog-style parser. Grammar:
+//
+//	program  := clause*
+//	clause   := atom [ ":-" atom { "," atom } ] "."
+//	atom     := ident [ "(" term { "," term } ")" ]
+//	term     := variable | constant
+//
+// Identifiers starting with an uppercase letter or '_' are variables;
+// identifiers starting with a lowercase letter or digit are constants;
+// single-quoted strings are constants. "%" and "#" start line comments.
+
+type parser struct {
+	src []rune
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < p.pos && i < len(p.src); i++ {
+		if p.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Errorf("logic: parse error at %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		r := p.src[p.pos]
+		switch {
+		case unicode.IsSpace(r):
+			p.pos++
+		case r == '%' || r == '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) eof() bool {
+	p.skipSpace()
+	return p.pos >= len(p.src)
+}
+
+func (p *parser) peek() rune {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *parser) expect(s string) error {
+	p.skipSpace()
+	for _, r := range s {
+		if p.pos >= len(p.src) || p.src[p.pos] != r {
+			return p.errf("expected %q", s)
+		}
+		p.pos++
+	}
+	return nil
+}
+
+func (p *parser) tryConsume(s string) bool {
+	p.skipSpace()
+	save := p.pos
+	for _, r := range s {
+		if p.pos >= len(p.src) || p.src[p.pos] != r {
+			p.pos = save
+			return false
+		}
+		p.pos++
+	}
+	return true
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && isIdentRune(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return string(p.src[start:p.pos]), nil
+}
+
+func (p *parser) quoted() (string, error) {
+	if err := p.expect("'"); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for p.pos < len(p.src) {
+		r := p.src[p.pos]
+		p.pos++
+		switch r {
+		case '\\':
+			if p.pos < len(p.src) {
+				b.WriteRune(p.src[p.pos])
+				p.pos++
+			}
+		case '\'':
+			return b.String(), nil
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return "", p.errf("unterminated quoted constant")
+}
+
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	if p.peek() == '\'' {
+		s, err := p.quoted()
+		if err != nil {
+			return Term{}, err
+		}
+		return Const(s), nil
+	}
+	id, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	r := rune(id[0])
+	if r == '_' || unicode.IsUpper(r) {
+		return Var(id), nil
+	}
+	return Const(id), nil
+}
+
+func (p *parser) atom() (Atom, error) {
+	pred, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: pred}
+	if !p.tryConsume("(") {
+		return a, nil
+	}
+	for {
+		t, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, t)
+		if p.tryConsume(")") {
+			return a, nil
+		}
+		if err := p.expect(","); err != nil {
+			return Atom{}, err
+		}
+	}
+}
+
+func (p *parser) clause() (*Clause, error) {
+	head, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	c := &Clause{Head: head}
+	if p.tryConsume(":-") {
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return nil, err
+			}
+			c.Body = append(c.Body, a)
+			if !p.tryConsume(",") {
+				break
+			}
+		}
+	}
+	if err := p.expect("."); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ParseAtom parses a single atom, e.g. "advisedBy(X, Y)".
+func ParseAtom(src string) (Atom, error) {
+	p := &parser{src: []rune(src)}
+	a, err := p.atom()
+	if err != nil {
+		return Atom{}, err
+	}
+	if !p.eof() {
+		return Atom{}, p.errf("trailing input after atom")
+	}
+	return a, nil
+}
+
+// MustParseAtom is ParseAtom that panics on error; intended for tests and
+// literals in example programs.
+func MustParseAtom(src string) Atom {
+	a, err := ParseAtom(src)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseClause parses a single clause terminated by a period.
+func ParseClause(src string) (*Clause, error) {
+	p := &parser{src: []rune(src)}
+	c, err := p.clause()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errf("trailing input after clause")
+	}
+	return c, nil
+}
+
+// MustParseClause is ParseClause that panics on error.
+func MustParseClause(src string) *Clause {
+	c, err := ParseClause(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseProgram parses a sequence of clauses.
+func ParseProgram(src string) ([]*Clause, error) {
+	p := &parser{src: []rune(src)}
+	var out []*Clause
+	for !p.eof() {
+		c, err := p.clause()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ParseDefinition parses a program and checks that every clause shares one
+// head predicate, returning it as a Definition.
+func ParseDefinition(src string) (*Definition, error) {
+	clauses, err := ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(clauses) == 0 {
+		return nil, fmt.Errorf("logic: empty definition")
+	}
+	target := clauses[0].Head.Pred
+	for _, c := range clauses {
+		if c.Head.Pred != target {
+			return nil, fmt.Errorf("logic: definition mixes head predicates %q and %q", target, c.Head.Pred)
+		}
+	}
+	return &Definition{Target: target, Clauses: clauses}, nil
+}
+
+// MustParseDefinition is ParseDefinition that panics on error.
+func MustParseDefinition(src string) *Definition {
+	d, err := ParseDefinition(src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

@@ -1,0 +1,210 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Random generators for property tests. Clauses mix plain and
+// quote-needing constants so the printer/parser round trip is exercised on
+// the ugly cases.
+
+var quickPreds = []string{"p", "q", "r", "edge", "movies2director"}
+var quickVars = []string{"X", "Y", "Z", "W", "Crs", "_v"}
+var quickConsts = []string{"a", "post_generals", "7", "A Paper", "it's", "x-1", ""}
+
+func randTerm(r *rand.Rand) Term {
+	if r.Intn(2) == 0 {
+		return Var(quickVars[r.Intn(len(quickVars))])
+	}
+	return Const(quickConsts[r.Intn(len(quickConsts))])
+}
+
+func randAtomQ(r *rand.Rand) Atom {
+	n := 1 + r.Intn(3)
+	args := make([]Term, n)
+	for i := range args {
+		args[i] = randTerm(r)
+	}
+	return NewAtom(quickPreds[r.Intn(len(quickPreds))], args...)
+}
+
+func randClauseQ(r *rand.Rand) *Clause {
+	c := &Clause{Head: randAtomQ(r)}
+	for i := 0; i < r.Intn(5); i++ {
+		c.Body = append(c.Body, randAtomQ(r))
+	}
+	return c
+}
+
+// clauseValue adapts the generator to testing/quick.
+type clauseValue struct{ c *Clause }
+
+func (clauseValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(clauseValue{c: randClauseQ(r)})
+}
+
+// TestQuickParserRoundTrip: String → Parse is the identity on random
+// clauses, including quoted constants.
+func TestQuickParserRoundTrip(t *testing.T) {
+	f := func(v clauseValue) bool {
+		back, err := ParseClause(v.c.String())
+		return err == nil && back.Equal(v.c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCloneIsDeepAndEqual: clones are Equal, and mutating the clone
+// leaves the original untouched ("mutant" is outside the constant pool).
+func TestQuickCloneIsDeepAndEqual(t *testing.T) {
+	f := func(v clauseValue) bool {
+		orig := v.c.String()
+		cl := v.c.Clone()
+		if !cl.Equal(v.c) {
+			return false
+		}
+		cl.Head.Args[0] = Const("mutant")
+		for i := range cl.Body {
+			cl.Body[i].Args[0] = Const("mutant")
+		}
+		return v.c.String() == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStandardizePreservesStructure: standardizing apart renames
+// variables bijectively — the clause shape (predicates, arities, constant
+// positions, variable-equality pattern) is preserved.
+func TestQuickStandardizePreservesStructure(t *testing.T) {
+	f := func(v clauseValue) bool {
+		s, _ := v.c.Standardize(0)
+		if s.Len() != v.c.Len() || s.NumVars() != v.c.NumVars() {
+			return false
+		}
+		// Same variable-equality pattern: positions i,j hold the same
+		// variable in the original iff they do in the standardized clause.
+		atomsO := append([]Atom{v.c.Head}, v.c.Body...)
+		atomsS := append([]Atom{s.Head}, s.Body...)
+		type pos struct{ a, i int }
+		var positions []pos
+		for a, at := range atomsO {
+			for i := range at.Args {
+				positions = append(positions, pos{a, i})
+			}
+		}
+		term := func(atoms []Atom, p pos) Term { return atoms[p.a].Args[p.i] }
+		for x := 0; x < len(positions); x++ {
+			for y := x + 1; y < len(positions); y++ {
+				to, tso := term(atomsO, positions[x]), term(atomsS, positions[x])
+				uo, uso := term(atomsO, positions[y]), term(atomsS, positions[y])
+				if to.IsVar != tso.IsVar || uo.IsVar != uso.IsVar {
+					return false
+				}
+				if to.IsVar && uo.IsVar && (to == uo) != (tso == uso) {
+					return false
+				}
+				if !to.IsVar && to != tso {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubstitutionComposeLaw: applying s then u equals applying
+// s.Compose(u), on random atoms and random *acyclic* substitutions (every
+// substitution the library builds binds variables to ground terms or to
+// fresh variables, so binding chains never cycle; Resolve's cycle guard
+// exists only to keep pathological inputs from hanging).
+func TestQuickSubstitutionComposeLaw(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	// Bind var i to a constant, or to a strictly earlier variable that the
+	// other substitution leaves unbound (acyclic, and u's range avoids s's
+	// domain — the usual idempotent-composition precondition, satisfied by
+	// every substitution pair the library composes).
+	acyclicBind := func(s, other Substitution, i int) {
+		if i > 0 && r.Intn(3) == 0 {
+			j := r.Intn(i)
+			if _, bound := other[quickVars[j]]; !bound {
+				s.Bind(quickVars[i], Var(quickVars[j]))
+				return
+			}
+		}
+		s.Bind(quickVars[i], Const(quickConsts[r.Intn(len(quickConsts))]))
+	}
+	for i := 0; i < 300; i++ {
+		a := randAtomQ(r)
+		s := NewSubstitution()
+		u := NewSubstitution()
+		for vi := range quickVars {
+			if r.Intn(2) == 0 {
+				acyclicBind(s, u, vi)
+			}
+			if r.Intn(2) == 0 {
+				acyclicBind(u, s, vi)
+			}
+		}
+		left := a.Apply(s).Apply(u)
+		right := a.Apply(s.Compose(u))
+		if !left.Equal(right) {
+			t.Fatalf("compose law violated: %v vs %v\na=%v s=%v u=%v", left, right, a, s, u)
+		}
+	}
+}
+
+// TestQuickHeadConnectedSubsetOfBody: PruneNotHeadConnected returns a
+// clause whose body is a subsequence of the original and is a fixpoint.
+func TestQuickHeadConnectedSubsetOfBody(t *testing.T) {
+	f := func(v clauseValue) bool {
+		p := PruneNotHeadConnected(v.c)
+		if len(p.Body) > len(v.c.Body) {
+			return false
+		}
+		// Subsequence check.
+		j := 0
+		for _, a := range v.c.Body {
+			if j < len(p.Body) && p.Body[j].Equal(a) {
+				j++
+			}
+		}
+		if j != len(p.Body) {
+			return false
+		}
+		// Fixpoint: pruning again changes nothing.
+		return PruneNotHeadConnected(p).Equal(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVarDepthsNonNegativeAndHeadZero.
+func TestQuickVarDepthsNonNegativeAndHeadZero(t *testing.T) {
+	f := func(v clauseValue) bool {
+		d := VarDepths(v.c)
+		for _, hv := range v.c.Head.Vars() {
+			if d[hv] != 0 {
+				return false
+			}
+		}
+		for _, depth := range d {
+			if depth < -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

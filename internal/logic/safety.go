@@ -1,0 +1,91 @@
+package logic
+
+// Clause safety and head-connectivity (§7.3 of the paper).
+
+// IsSafe reports whether the clause is safe: every head variable appears in
+// some body literal. Safe definitions return finite results over finite
+// databases; Castor only emits safe clauses.
+func (c *Clause) IsSafe() bool {
+	for _, v := range c.Head.Vars() {
+		found := false
+		for _, a := range c.Body {
+			if a.HasVar(v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSafeDefinition reports whether every clause in the definition is safe.
+func IsSafeDefinition(d *Definition) bool {
+	for _, c := range d.Clauses {
+		if !c.IsSafe() {
+			return false
+		}
+	}
+	return true
+}
+
+// HeadConnected computes which body literals are head-connected: reachable
+// from the head through chains of shared variables. Ground body literals
+// count as connected (they constrain nothing but are trivially evaluable);
+// literals sharing no variable chain with the head are not.
+// The returned slice parallels c.Body.
+func HeadConnected(c *Clause) []bool {
+	connected := make([]bool, len(c.Body))
+	reach := make(map[string]bool)
+	for _, v := range c.Head.Vars() {
+		reach[v] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, a := range c.Body {
+			if connected[i] {
+				continue
+			}
+			vars := a.Vars()
+			if len(vars) == 0 {
+				connected[i] = true
+				changed = true
+				continue
+			}
+			touches := false
+			for _, v := range vars {
+				if reach[v] {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				continue
+			}
+			connected[i] = true
+			changed = true
+			for _, v := range vars {
+				if !reach[v] {
+					reach[v] = true
+				}
+			}
+		}
+	}
+	return connected
+}
+
+// PruneNotHeadConnected returns a copy of the clause with every body literal
+// that is not head-connected removed, preserving order. ARMG applies this
+// after dropping blocking atoms.
+func PruneNotHeadConnected(c *Clause) *Clause {
+	keep := HeadConnected(c)
+	body := make([]Atom, 0, len(c.Body))
+	for i, a := range c.Body {
+		if keep[i] {
+			body = append(body, a)
+		}
+	}
+	return &Clause{Head: c.Head.Clone(), Body: body}
+}

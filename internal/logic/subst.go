@@ -1,0 +1,107 @@
+package logic
+
+// Substitution maps variable names to terms. Applying a substitution
+// replaces each bound variable with its image; unbound variables are left
+// untouched. Substitutions here are idempotent by construction: bindings
+// are resolved transitively at application time.
+type Substitution map[string]Term
+
+// NewSubstitution returns an empty substitution.
+func NewSubstitution() Substitution { return make(Substitution) }
+
+// Bind adds the binding v ↦ t and returns the substitution for chaining.
+func (s Substitution) Bind(v string, t Term) Substitution {
+	s[v] = t
+	return s
+}
+
+// Resolve follows bindings until it reaches a constant or an unbound
+// variable. A cycle guard bounds the walk by the substitution size.
+func (s Substitution) Resolve(t Term) Term {
+	for i := 0; i <= len(s); i++ {
+		if !t.IsVar {
+			return t
+		}
+		next, ok := s[t.Name]
+		if !ok || next == t {
+			return t
+		}
+		t = next
+	}
+	return t
+}
+
+// Clone returns a copy of the substitution.
+func (s Substitution) Clone() Substitution {
+	out := make(Substitution, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Compose returns the substitution equivalent to applying s first and then
+// u: (s ∘ u)(x) = u(s(x)). Chains inside s are resolved first so that
+// x ↦s y ↦s c composes to x ↦ c even when u also binds y. The law holds
+// when u's range variables avoid s's domain (the usual idempotence
+// precondition, satisfied everywhere the library composes substitutions).
+func (s Substitution) Compose(u Substitution) Substitution {
+	out := make(Substitution, len(s)+len(u))
+	for k := range s {
+		out[k] = u.Resolve(s.Resolve(Var(k)))
+	}
+	for k, v := range u {
+		if _, bound := out[k]; !bound {
+			out[k] = u.Resolve(v)
+		}
+	}
+	return out
+}
+
+// MatchAtoms extends the substitution so that pattern·s = ground, treating
+// variables only in pattern (one-way matching, not unification). It returns
+// the extended substitution and true on success, or nil and false. The input
+// substitution is not modified.
+func MatchAtoms(pattern, ground Atom, s Substitution) (Substitution, bool) {
+	if pattern.Pred != ground.Pred || len(pattern.Args) != len(ground.Args) {
+		return nil, false
+	}
+	out := s.Clone()
+	for i, pt := range pattern.Args {
+		gt := ground.Args[i]
+		pt = out.Resolve(pt)
+		if pt.IsVar {
+			out[pt.Name] = gt
+			continue
+		}
+		if pt != gt {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// UnifyAtoms computes a most general unifier of two atoms over disjoint
+// variable spaces, returning false when none exists. Both atoms may contain
+// variables; since terms are flat (no function symbols) no occurs check is
+// needed beyond variable-to-variable chains.
+func UnifyAtoms(a, b Atom) (Substitution, bool) {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return nil, false
+	}
+	s := NewSubstitution()
+	for i := range a.Args {
+		x := s.Resolve(a.Args[i])
+		y := s.Resolve(b.Args[i])
+		switch {
+		case x == y:
+		case x.IsVar:
+			s[x.Name] = y
+		case y.IsVar:
+			s[y.Name] = x
+		default: // two distinct constants
+			return nil, false
+		}
+	}
+	return s, true
+}

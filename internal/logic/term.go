@@ -1,0 +1,151 @@
+// Package logic implements the first-order logic substrate used by every
+// learner in this repository: terms, atoms, ordered Horn clauses, Horn
+// definitions, substitutions, variable depth, clause safety and
+// head-connectivity, plus a Datalog-style parser and printer.
+//
+// Conventions follow the paper "Schema Independent Relational Learning"
+// (Picado et al., 2017): a clause is written
+//
+//	head(args) :- body1(args), body2(args).
+//
+// Variables start with an uppercase letter or underscore (Prolog
+// convention); every other identifier is a constant. Constants that do not
+// look like plain identifiers are single-quoted by the printer.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is a variable or a constant. The zero value is the empty constant.
+type Term struct {
+	// Name is the variable name or the constant value.
+	Name string
+	// IsVar reports whether the term is a variable.
+	IsVar bool
+}
+
+// Var returns a variable term with the given name.
+func Var(name string) Term { return Term{Name: name, IsVar: true} }
+
+// Const returns a constant term with the given value.
+func Const(value string) Term { return Term{Name: value} }
+
+// Vars converts a list of names into variable terms.
+func Vars(names ...string) []Term {
+	ts := make([]Term, len(names))
+	for i, n := range names {
+		ts[i] = Var(n)
+	}
+	return ts
+}
+
+// Consts converts a list of values into constant terms.
+func Consts(values ...string) []Term {
+	ts := make([]Term, len(values))
+	for i, v := range values {
+		ts[i] = Const(v)
+	}
+	return ts
+}
+
+// IsConst reports whether the term is a constant.
+func (t Term) IsConst() bool { return !t.IsVar }
+
+// String renders the term using the package conventions: variables verbatim,
+// constants quoted when they could be mistaken for variables or contain
+// non-identifier characters.
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Name
+	}
+	if needsQuote(t.Name) {
+		return "'" + strings.ReplaceAll(t.Name, "'", "\\'") + "'"
+	}
+	return t.Name
+}
+
+// needsQuote reports whether a constant must be quoted so the parser will
+// not read it back as a variable or fail on it.
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+			if i == 0 {
+				return true // would parse as a variable
+			}
+		case r >= '0' && r <= '9':
+		case r == '_':
+			if i == 0 {
+				return true // would parse as a variable
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// TermsEqual reports whether two term slices are element-wise equal.
+func TermsEqual(a, b []Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// termsString renders a comma-separated term list.
+func termsString(ts []Term) string {
+	var b strings.Builder
+	for i, t := range ts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// FreshVarFactory hands out variable names that do not collide with any
+// variable in the clauses it was seeded with. Names have the form V0, V1, …
+type FreshVarFactory struct {
+	used map[string]bool
+	next int
+}
+
+// NewFreshVarFactory returns a factory that avoids every variable occurring
+// in the given clauses.
+func NewFreshVarFactory(avoid ...*Clause) *FreshVarFactory {
+	f := &FreshVarFactory{used: make(map[string]bool)}
+	for _, c := range avoid {
+		if c == nil {
+			continue
+		}
+		for _, v := range c.Vars() {
+			f.used[v] = true
+		}
+	}
+	return f
+}
+
+// Fresh returns a new variable term unused so far.
+func (f *FreshVarFactory) Fresh() Term {
+	for {
+		name := fmt.Sprintf("V%d", f.next)
+		f.next++
+		if !f.used[name] {
+			f.used[name] = true
+			return Var(name)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package progolem implements ProGolem (Muggleton, Santos &
+// Tamaddoni-Nezhad 2009), the bottom-up learner of §6.4: it saturates a
+// seed example into an ordered bottom clause and generalizes it with the
+// asymmetric relative minimal generalization (ARMG) operator — dropping
+// *blocking atoms* until a second positive example is covered — inside a
+// beam search, followed by negative reduction.
+//
+// Theorem 6.6: ProGolem is not schema independent, because both the
+// depth-bounded bottom clause (Lemma 6.3) and the literal-at-a-time ARMG
+// (Example 6.5) depend on how relations are (de)composed.
+package progolem
+
+import (
+	"repro/internal/ilp"
+	"repro/internal/logic"
+)
+
+// Learner is the ProGolem algorithm.
+type Learner struct{}
+
+// New returns a ProGolem learner.
+func New() *Learner { return &Learner{} }
+
+// Name implements ilp.Learner.
+func (l *Learner) Name() string { return "ProGolem" }
+
+// Learn implements ilp.Learner.
+func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	tester := ilp.NewTester(prob, params)
+	rng := newRand(params.Seed)
+	learn := func(uncovered []logic.Atom) (*logic.Clause, error) {
+		return l.learnClause(prob, params, tester, rng, uncovered), nil
+	}
+	return ilp.Cover(prob, params, tester, learn)
+}
+
+// learnClause runs the beam search over ARMGs of the seed's bottom clause.
+func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, uncovered []logic.Atom) *logic.Clause {
+	seed := uncovered[0]
+	bottom := ilp.BottomClause(prob, seed, params.Depth, params.MaxRecall)
+
+	score := func(c *logic.Clause) float64 {
+		p := tester.Count(c, uncovered)
+		n := tester.Count(c, prob.Neg)
+		return float64(p - n)
+	}
+	type scored struct {
+		clause *logic.Clause
+		score  float64
+	}
+	beam := []scored{{clause: bottom, score: score(bottom)}}
+	k := params.Sample
+	if k < 1 {
+		k = 1
+	}
+	width := params.BeamWidth
+	if width < 1 {
+		width = 1
+	}
+
+	for {
+		bestScore := beam[0].score
+		for _, b := range beam {
+			if b.score > bestScore {
+				bestScore = b.score
+			}
+		}
+		sample := sampleAtoms(rng, uncovered, k)
+		var newCands []scored
+		for _, b := range beam {
+			for _, e := range sample {
+				g := ARMG(tester, b.clause, e)
+				if g == nil || g.Equal(b.clause) {
+					continue
+				}
+				s := score(g)
+				if s > bestScore {
+					newCands = append(newCands, scored{clause: g, score: s})
+				}
+			}
+		}
+		if len(newCands) == 0 {
+			break
+		}
+		// Keep the N highest-scoring candidates (stable by discovery order).
+		for i := 0; i < len(newCands); i++ {
+			for j := i + 1; j < len(newCands); j++ {
+				if newCands[j].score > newCands[i].score {
+					newCands[i], newCands[j] = newCands[j], newCands[i]
+				}
+			}
+		}
+		if len(newCands) > width {
+			newCands = newCands[:width]
+		}
+		beam = newCands
+	}
+	// Highest-scoring clause in the beam, negatively reduced.
+	best := beam[0]
+	for _, b := range beam {
+		if b.score > best.score {
+			best = b
+		}
+	}
+	reduced := NegativeReduce(tester, best.clause, prob.Neg)
+	if len(reduced.Body) == 0 {
+		return nil
+	}
+	return reduced
+}
+
+// ARMG implements Algorithm 3: drop blocking atoms (and literals left
+// disconnected from the head) until the clause covers e2. The input clause
+// is not modified; nil is returned when e2 cannot be covered (wrong head
+// shape).
+func ARMG(tester *ilp.Tester, c *logic.Clause, e2 logic.Atom) *logic.Clause {
+	if _, ok := logic.MatchAtoms(c.Head, e2, logic.NewSubstitution()); !ok {
+		return nil
+	}
+	cur := c.Clone()
+	for !tester.Covers(cur, e2) {
+		i := blockingAtom(tester, cur, e2)
+		if i < 0 {
+			return nil // cannot happen when the head matches, but stay safe
+		}
+		cur = logic.PruneNotHeadConnected(cur.RemoveBodyAt(i))
+	}
+	return cur
+}
+
+// blockingAtom returns the least index i such that the prefix clause
+// T ← L1,…,L(i+1) does not cover e2 (0-based), found by binary search —
+// prefix coverage is monotone non-increasing in the prefix length.
+func blockingAtom(tester *ilp.Tester, c *logic.Clause, e2 logic.Atom) int {
+	lo, hi := 0, len(c.Body) // prefix lengths: lo covers, hi does not
+	if len(c.Body) == 0 {
+		return -1
+	}
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		prefix := &logic.Clause{Head: c.Head, Body: c.Body[:mid]}
+		if tester.Covers(prefix, e2) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	// Guard the lower end: the empty prefix must cover (head matched).
+	if lo == 0 {
+		prefix := &logic.Clause{Head: c.Head}
+		if !tester.Covers(prefix, e2) {
+			return -1
+		}
+	}
+	return hi - 1
+}
+
+// NegativeReduce removes non-essential literals: a literal is
+// non-essential when dropping it (plus any literals left disconnected)
+// does not increase the clause's negative coverage (§7.2.2 at literal
+// granularity, as in ProGolem). Scanning back to front keeps early
+// (seed-example) literals preferentially.
+func NegativeReduce(tester *ilp.Tester, c *logic.Clause, neg []logic.Atom) *logic.Clause {
+	cur := c.Clone()
+	base := tester.Count(cur, neg)
+	for i := len(cur.Body) - 1; i >= 0; i-- {
+		if len(cur.Body) == 1 {
+			break
+		}
+		cand := logic.PruneNotHeadConnected(cur.RemoveBodyAt(i))
+		if len(cand.Body) == 0 {
+			continue
+		}
+		if tester.Count(cand, neg) <= base {
+			cur = cand
+			if i > len(cur.Body) {
+				i = len(cur.Body)
+			}
+		}
+	}
+	return cur
+}
+
+// --- deterministic PRNG + sampling (as in golem) ---
+
+type rand struct{ s uint64 }
+
+func newRand(seed int64) *rand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &rand{s: uint64(seed)}
+}
+
+func (r *rand) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rand) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func sampleAtoms(r *rand, pool []logic.Atom, k int) []logic.Atom {
+	if k >= len(pool) {
+		return append([]logic.Atom(nil), pool...)
+	}
+	idx := make(map[int]bool, k)
+	out := make([]logic.Atom, 0, k)
+	for len(out) < k {
+		i := r.intn(len(pool))
+		if !idx[i] {
+			idx[i] = true
+			out = append(out, pool[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Constraint validation: checking that an instance satisfies its schema's
+// FDs and INDs, and testing whether a subset IND happens to hold as an
+// equality on a given instance (the §7.4 preprocessing step of Castor's
+// general-decomposition mode).
+
+// Violation describes one constraint violation found in an instance.
+type Violation struct {
+	Constraint string // the violated FD/IND, rendered
+	Detail     string // witness description
+}
+
+// String renders the violation.
+func (v Violation) String() string { return v.Constraint + ": " + v.Detail }
+
+// CheckFDs returns a violation for every FD of the schema that does not
+// hold in the instance.
+func (i *Instance) CheckFDs() []Violation {
+	var out []Violation
+	for _, fd := range i.schema.FDs() {
+		t := i.tables[fd.Rel]
+		if t == nil {
+			continue
+		}
+		rel := t.rel
+		fromIdx := attrPositions(rel, fd.From)
+		toIdx := attrPositions(rel, fd.To)
+		seen := make(map[string]string, t.Len())
+		for _, tp := range t.tuples {
+			k := projectKey(tp, fromIdx)
+			v := projectKey(tp, toIdx)
+			if prev, ok := seen[k]; ok && prev != v {
+				out = append(out, Violation{
+					Constraint: fd.String(),
+					Detail:     fmt.Sprintf("key %q maps to both %q and %q", k, prev, v),
+				})
+				break
+			}
+			seen[k] = v
+		}
+	}
+	return out
+}
+
+// CheckINDs returns a violation for every IND of the schema that does not
+// hold in the instance. INDs with equality are checked in both directions.
+func (i *Instance) CheckINDs() []Violation {
+	var out []Violation
+	for _, ind := range i.schema.INDs() {
+		if v, ok := i.checkInclusion(ind.Left, ind.Right); !ok {
+			out = append(out, Violation{Constraint: ind.String(), Detail: v})
+			continue
+		}
+		if ind.Equality {
+			if v, ok := i.checkInclusion(ind.Right, ind.Left); !ok {
+				out = append(out, Violation{Constraint: ind.String(), Detail: v})
+			}
+		}
+	}
+	return out
+}
+
+// checkInclusion verifies π_lattrs(left) ⊆ π_rattrs(right), returning a
+// witness description when it fails.
+func (i *Instance) checkInclusion(left, right RelAttrs) (string, bool) {
+	lt, rt := i.tables[left.Rel], i.tables[right.Rel]
+	if lt == nil || rt == nil {
+		return "relation missing from instance", false
+	}
+	lIdx := attrPositions(lt.rel, left.Attrs)
+	rIdx := attrPositions(rt.rel, right.Attrs)
+	rVals := make(map[string]bool, rt.Len())
+	for _, tp := range rt.tuples {
+		rVals[projectKey(tp, rIdx)] = true
+	}
+	for _, tp := range lt.tuples {
+		if k := projectKey(tp, lIdx); !rVals[k] {
+			return fmt.Sprintf("value %q missing from %s", k, right), false
+		}
+	}
+	return "", true
+}
+
+// INDHoldsAsEquality reports whether a subset IND holds as an equality on
+// this instance: π(left) = π(right). Castor's general-decomposition
+// preprocessing (§7.4) promotes such INDs to INDs with equality.
+func (i *Instance) INDHoldsAsEquality(ind IND) bool {
+	if _, ok := i.checkInclusion(ind.Left, ind.Right); !ok {
+		return false
+	}
+	_, ok := i.checkInclusion(ind.Right, ind.Left)
+	return ok
+}
+
+// PromoteEqualityINDs returns a copy of the schema in which every subset
+// IND that holds as an equality on the instance is promoted to an IND with
+// equality. This is Castor's §7.4 preprocessing step.
+func (i *Instance) PromoteEqualityINDs() *Schema {
+	out := i.schema.Clone()
+	for k, ind := range out.inds {
+		if !ind.Equality && i.INDHoldsAsEquality(ind) {
+			out.inds[k].Equality = true
+		}
+	}
+	return out
+}
+
+// Validate checks all constraints and returns a single error summarizing
+// the violations, or nil.
+func (i *Instance) Validate() error {
+	var all []Violation
+	all = append(all, i.CheckFDs()...)
+	all = append(all, i.CheckINDs()...)
+	if len(all) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(all))
+	for k, v := range all {
+		msgs[k] = v.String()
+	}
+	return fmt.Errorf("relstore: %d constraint violations:\n%s", len(all), strings.Join(msgs, "\n"))
+}
+
+// attrPositions maps attribute names to column positions in rel. It panics
+// on unknown attributes: schemas validate INDs/FDs at registration time, so
+// reaching this with a bad attribute is a programming error.
+func attrPositions(rel *Relation, attrs []string) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := rel.AttrIndex(a)
+		if p < 0 {
+			panic(fmt.Sprintf("relstore: attribute %q not in %s", a, rel))
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// projectKey builds a canonical key of the tuple restricted to the given
+// column positions.
+func projectKey(tp Tuple, idx []int) string {
+	parts := make([]string, len(idx))
+	for i, p := range idx {
+		parts[i] = tp[p]
+	}
+	return strings.Join(parts, "\x00")
+}

@@ -1,0 +1,166 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Semi-naive Datalog evaluation: the fixpoint of a set of (possibly
+// recursive) safe Horn clauses over an instance. Non-recursive Horn
+// definitions are handled by Instance.EvalDefinition; this evaluator
+// extends the substrate to full positive Datalog — recursive target
+// definitions like ancestor/2, and the recursive random definitions the
+// paper's §9.4 generator may emit.
+//
+// Derived (intensional) relations are the clause head predicates; body
+// literals may reference both stored (extensional) relations and derived
+// ones. Evaluation is the standard semi-naive iteration: each round only
+// joins against the tuples derived in the previous round.
+
+// Program is a set of safe Horn clauses evaluated together.
+type Program struct {
+	Clauses []*logic.Clause
+}
+
+// NewProgram builds a program, validating that every clause is safe.
+func NewProgram(clauses ...*logic.Clause) (*Program, error) {
+	for _, c := range clauses {
+		if !c.IsSafe() {
+			return nil, fmt.Errorf("relstore: program clause %v is unsafe", c)
+		}
+	}
+	return &Program{Clauses: clauses}, nil
+}
+
+// headPreds returns the derived predicate symbols.
+func (p *Program) headPreds() map[string]bool {
+	out := make(map[string]bool)
+	for _, c := range p.Clauses {
+		out[c.Head.Pred] = true
+	}
+	return out
+}
+
+// Eval computes the fixpoint of the program over the instance: all ground
+// atoms of derived predicates, keyed and deduplicated, in derivation
+// order. maxRounds bounds the iteration as a safety net (0 means
+// unbounded; the fixpoint of a safe positive program over a finite
+// database always terminates).
+func (p *Program) Eval(inst *Instance, maxRounds int) ([]logic.Atom, error) {
+	derived := p.headPreds()
+	// all: every derived atom so far; delta: those new in the last round.
+	all := make(map[string]logic.Atom)
+	var order []string
+	delta := make(map[string]logic.Atom)
+
+	// evalClause enumerates groundings of c whose body holds, where derived
+	// body literals are matched against `all`, requiring at least one match
+	// from `delta` when deltaOnly is set (the semi-naive restriction).
+	evalClause := func(c *logic.Clause, deltaOnly bool) ([]logic.Atom, error) {
+		var out []logic.Atom
+		var rec func(i int, usedDelta bool, s logic.Substitution)
+		var evalErr error
+		rec = func(i int, usedDelta bool, s logic.Substitution) {
+			if evalErr != nil {
+				return
+			}
+			if i == len(c.Body) {
+				if deltaOnly && !usedDelta {
+					return
+				}
+				out = append(out, c.Head.Apply(s))
+				return
+			}
+			lit := c.Body[i]
+			if derived[lit.Pred] {
+				for k, fact := range all {
+					next, ok := logic.MatchAtoms(lit, fact, s)
+					if !ok || fact.Pred != lit.Pred {
+						continue
+					}
+					_, inDelta := delta[k]
+					rec(i+1, usedDelta || inDelta, next)
+				}
+				return
+			}
+			t := inst.Table(lit.Pred)
+			if t == nil || t.Relation().Arity() != lit.Arity() {
+				return
+			}
+			for _, tp := range t.Tuples() {
+				ground := logic.GroundAtom(lit.Pred, tp...)
+				next, ok := logic.MatchAtoms(lit, ground, s)
+				if !ok {
+					continue
+				}
+				rec(i+1, usedDelta, next)
+			}
+		}
+		rec(0, false, logic.NewSubstitution())
+		return out, evalErr
+	}
+
+	// Round 0: derive from extensional data only.
+	for round := 0; ; round++ {
+		if maxRounds > 0 && round > maxRounds {
+			return nil, fmt.Errorf("relstore: datalog fixpoint exceeded %d rounds", maxRounds)
+		}
+		next := make(map[string]logic.Atom)
+		for _, c := range p.Clauses {
+			// In round 0 there is no delta yet; afterwards apply the
+			// semi-naive restriction unless the clause has no derived body
+			// literal (those can never fire again after round 0).
+			hasDerivedBody := false
+			for _, b := range c.Body {
+				if derived[b.Pred] {
+					hasDerivedBody = true
+					break
+				}
+			}
+			if round > 0 && !hasDerivedBody {
+				continue
+			}
+			facts, err := evalClause(c, round > 0)
+			if err != nil {
+				return nil, err
+			}
+			for _, f := range facts {
+				k := f.Key()
+				if _, seen := all[k]; !seen {
+					if _, pending := next[k]; !pending {
+						next[k] = f
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		delta = next
+		for k, f := range next {
+			all[k] = f
+			order = append(order, k)
+		}
+	}
+	out := make([]logic.Atom, len(order))
+	for i, k := range order {
+		out[i] = all[k]
+	}
+	return out, nil
+}
+
+// EvalPredicate runs Eval and filters the result to one derived predicate.
+func (p *Program) EvalPredicate(inst *Instance, pred string, maxRounds int) ([]logic.Atom, error) {
+	facts, err := p.Eval(inst, maxRounds)
+	if err != nil {
+		return nil, err
+	}
+	var out []logic.Atom
+	for _, f := range facts {
+		if f.Pred == pred {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package relstore
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func edgeInstance(t testing.TB, edges [][2]string) *Instance {
+	t.Helper()
+	s := NewSchema()
+	s.MustAddRelation("edge", "a", "b")
+	inst := NewInstance(s)
+	for _, e := range edges {
+		inst.MustInsert("edge", e[0], e[1])
+	}
+	return inst
+}
+
+func TestDatalogTransitiveClosure(t *testing.T) {
+	inst := edgeInstance(t, [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}})
+	prog, err := NewProgram(
+		logic.MustParseClause("path(X,Y) :- edge(X,Y)."),
+		logic.MustParseClause("path(X,Y) :- edge(X,Z), path(Z,Y)."),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := prog.EvalPredicate(inst, "path", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"a|b": true, "b|c": true, "c|d": true,
+		"a|c": true, "b|d": true, "a|d": true,
+	}
+	if len(facts) != len(want) {
+		t.Fatalf("path facts = %v", facts)
+	}
+	for _, f := range facts {
+		if !want[f.Args[0].Name+"|"+f.Args[1].Name] {
+			t.Errorf("unexpected fact %v", f)
+		}
+	}
+}
+
+func TestDatalogCycleTerminates(t *testing.T) {
+	inst := edgeInstance(t, [][2]string{{"a", "b"}, {"b", "a"}})
+	prog, err := NewProgram(
+		logic.MustParseClause("path(X,Y) :- edge(X,Y)."),
+		logic.MustParseClause("path(X,Y) :- path(X,Z), path(Z,Y)."),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts, err := prog.EvalPredicate(inst, "path", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a→b, b→a, a→a, b→b.
+	if len(facts) != 4 {
+		t.Errorf("facts = %v", facts)
+	}
+}
+
+func TestDatalogMutualRecursion(t *testing.T) {
+	inst := edgeInstance(t, [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"}})
+	prog, err := NewProgram(
+		logic.MustParseClause("even(X,X) :- edge(X,Y)."),
+		logic.MustParseClause("odd(X,Y) :- even(X,Z), edge(Z,Y)."),
+		logic.MustParseClause("even(X,Y) :- odd(X,Z), edge(Z,Y)."),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odd, err := prog.EvalPredicate(inst, "odd", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// odd(a,·): b (1 hop), d (3 hops) — plus the same pattern from b, c, d.
+	found := map[string]bool{}
+	for _, f := range odd {
+		found[f.Args[0].Name+"|"+f.Args[1].Name] = true
+	}
+	if !found["a|b"] || !found["a|d"] || found["a|c"] {
+		t.Errorf("odd = %v", odd)
+	}
+}
+
+func TestDatalogNonRecursiveMatchesEvalDefinition(t *testing.T) {
+	inst := smallInstance(t)
+	def := logic.MustParseDefinition("collab(X,Y) :- publication(P,X), publication(P,Y).")
+	prog, err := NewProgram(def.Clauses...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progFacts, err := prog.EvalPredicate(inst, "collab", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defFacts, err := inst.EvalDefinition(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progFacts) != len(defFacts) {
+		t.Fatalf("program %v vs definition %v", progFacts, defFacts)
+	}
+	keys := map[string]bool{}
+	for _, f := range defFacts {
+		keys[f.Key()] = true
+	}
+	for _, f := range progFacts {
+		if !keys[f.Key()] {
+			t.Errorf("extra fact %v", f)
+		}
+	}
+}
+
+func TestDatalogRejectsUnsafe(t *testing.T) {
+	if _, err := NewProgram(logic.MustParseClause("t(X,Z) :- edge(X,Y).")); err == nil {
+		t.Error("unsafe clause accepted")
+	}
+}
+
+func TestDatalogRoundLimit(t *testing.T) {
+	// A long chain needs many rounds; a tight limit must error rather than
+	// silently truncate.
+	var edges [][2]string
+	for i := 0; i < 10; i++ {
+		edges = append(edges, [2]string{"n" + itoa(i), "n" + itoa(i+1)})
+	}
+	inst := edgeInstance(t, edges)
+	prog, err := NewProgram(
+		logic.MustParseClause("path(X,Y) :- edge(X,Y)."),
+		logic.MustParseClause("path(X,Y) :- edge(X,Z), path(Z,Y)."),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Eval(inst, 2); err == nil {
+		t.Error("round limit not enforced")
+	}
+	if _, err := prog.Eval(inst, 50); err != nil {
+		t.Errorf("ample round limit errored: %v", err)
+	}
+}

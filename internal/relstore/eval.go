@@ -1,0 +1,221 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Conjunctive-query evaluation: satisfying clause bodies against an
+// instance, full clause/definition evaluation (the hR(I) of the paper), and
+// example coverage.
+//
+// Evaluation is resource-bounded: conjunctive-query matching is NP-hard in
+// the clause length, and bottom-up learners produce long clauses, so each
+// top-level call explores at most the instance's evaluation budget of
+// search nodes and then reports "no (further) match" — the same cutoff
+// discipline subsumption engines like Resumer2 apply. The default budget is
+// far beyond what any non-pathological clause needs.
+
+// DefaultEvalBudget is the default per-call search-node budget.
+const DefaultEvalBudget = 1 << 21
+
+// SetEvalBudget overrides the per-call search budget (0 restores the
+// default).
+func (i *Instance) SetEvalBudget(nodes int) {
+	if nodes <= 0 {
+		nodes = DefaultEvalBudget
+	}
+	i.evalBudget = nodes
+}
+
+func (i *Instance) budget() int {
+	if i.evalBudget <= 0 {
+		return DefaultEvalBudget
+	}
+	return i.evalBudget
+}
+
+// SatisfyBody reports whether some extension of init maps every body atom
+// onto a tuple of the instance. Atoms over relations absent from the schema
+// never match.
+func (i *Instance) SatisfyBody(body []logic.Atom, init logic.Substitution) bool {
+	if init == nil {
+		init = logic.NewSubstitution()
+	}
+	init = init.Clone() // the solver binds in place
+	found := false
+	nodes := i.budget()
+	i.forEachSolution(body, init, &nodes, func(logic.Substitution) bool {
+		found = true
+		return false // stop at the first witness
+	})
+	return found
+}
+
+// CoversExample reports whether clause c covers the ground example atom e
+// relative to the instance: some θ maps c's head onto e and c's body into
+// the instance. This is the coverage test of Definition 3.1.
+func (i *Instance) CoversExample(c *logic.Clause, e logic.Atom) bool {
+	s, ok := logic.MatchAtoms(c.Head, e, logic.NewSubstitution())
+	if !ok {
+		return false
+	}
+	return i.SatisfyBody(c.Body, s)
+}
+
+// DefinitionCovers reports whether any clause of the definition covers e.
+func (i *Instance) DefinitionCovers(d *logic.Definition, e logic.Atom) bool {
+	for _, c := range d.Clauses {
+		if i.CoversExample(c, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalClause computes the result of applying the clause to the instance:
+// the set of ground head atoms of all instantiations whose body holds. The
+// clause must be safe (otherwise the result would be infinite).
+func (i *Instance) EvalClause(c *logic.Clause) ([]logic.Atom, error) {
+	if !c.IsSafe() {
+		return nil, fmt.Errorf("relstore: EvalClause on unsafe clause %v", c)
+	}
+	var out []logic.Atom
+	seen := make(map[string]bool)
+	nodes := i.budget()
+	i.forEachSolution(c.Body, logic.NewSubstitution(), &nodes, func(s logic.Substitution) bool {
+		h := c.Head.Apply(s)
+		k := h.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, h)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// EvalDefinition computes the union of the clause results: hR(I) for a Horn
+// definition.
+func (i *Instance) EvalDefinition(d *logic.Definition) ([]logic.Atom, error) {
+	var out []logic.Atom
+	seen := make(map[string]bool)
+	for _, c := range d.Clauses {
+		atoms, err := i.EvalClause(c)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range atoms {
+			k := a.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out, nil
+}
+
+// forEachSolution enumerates extensions of s satisfying all atoms,
+// backtracking with most-constrained-literal selection. yield returning
+// false stops the enumeration; forEachSolution returns false when stopped
+// early. nodes is the remaining search budget; exhausting it also stops.
+func (i *Instance) forEachSolution(atoms []logic.Atom, s logic.Substitution, nodes *int, yield func(logic.Substitution) bool) bool {
+	*nodes--
+	if *nodes < 0 {
+		return false // budget exhausted: cut the search
+	}
+	if len(atoms) == 0 {
+		return yield(s)
+	}
+	// Pick the atom with the smallest candidate estimate.
+	bestIdx, bestCount := -1, -1
+	for k, a := range atoms {
+		n := i.candidateEstimate(a, s)
+		if bestCount == -1 || n < bestCount {
+			bestIdx, bestCount = k, n
+			if n == 0 {
+				return true // dead branch: no solutions, but not stopped
+			}
+		}
+	}
+	atom := atoms[bestIdx]
+	rest := make([]logic.Atom, 0, len(atoms)-1)
+	rest = append(rest, atoms[:bestIdx]...)
+	rest = append(rest, atoms[bestIdx+1:]...)
+
+	t := i.tables[atom.Pred]
+	if t == nil || t.rel.Arity() != atom.Arity() {
+		return true
+	}
+	// Trail-based binding: extend s in place per candidate tuple and undo
+	// on backtrack, avoiding a substitution clone per tuple.
+	for _, tp := range i.candidateTuples(atom, s, t) {
+		trail, ok := bindTuple(atom, tp, s)
+		if !ok {
+			continue
+		}
+		if !i.forEachSolution(rest, s, nodes, yield) {
+			return false
+		}
+		for _, v := range trail {
+			delete(s, v)
+		}
+	}
+	return true
+}
+
+// bindTuple extends s so the atom matches the tuple, returning the trail
+// of newly bound variables; on mismatch it restores s and reports false.
+func bindTuple(atom logic.Atom, tp Tuple, s logic.Substitution) ([]string, bool) {
+	var trail []string
+	for col, arg := range atom.Args {
+		r := s.Resolve(arg)
+		if r.IsVar {
+			s[r.Name] = logic.Const(tp[col])
+			trail = append(trail, r.Name)
+			continue
+		}
+		if r.Name != tp[col] {
+			for _, v := range trail {
+				delete(s, v)
+			}
+			return nil, false
+		}
+	}
+	return trail, true
+}
+
+// candidateEstimate returns a cheap upper bound on the number of tuples
+// matching the atom under s, used for literal selection.
+func (i *Instance) candidateEstimate(a logic.Atom, s logic.Substitution) int {
+	t := i.tables[a.Pred]
+	if t == nil || t.rel.Arity() != a.Arity() {
+		return 0
+	}
+	best := t.Len()
+	for col, arg := range a.Args {
+		r := s.Resolve(arg)
+		if r.IsVar {
+			continue
+		}
+		if n := len(t.MatchingIndexes(col, r.Name)); n < best {
+			best = n
+		}
+	}
+	return best
+}
+
+// candidateTuples returns the tuples that can match the atom given the
+// bound positions under s.
+func (i *Instance) candidateTuples(a logic.Atom, s logic.Substitution, t *Table) []Tuple {
+	req := make(map[int]string)
+	for col, arg := range a.Args {
+		r := s.Resolve(arg)
+		if !r.IsVar {
+			req[col] = r.Name
+		}
+	}
+	return t.TuplesWith(req)
+}

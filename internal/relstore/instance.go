@@ -1,0 +1,250 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is one row of a relation instance. Values are strings; the store is
+// untyped, like the Datalog fragment the learners work in.
+type Tuple []string
+
+// key returns a canonical string form for set semantics.
+func (t Tuple) key() string { return strings.Join(t, "\x00") }
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Table is the instance of one relation: a set of tuples with per-column
+// hash indexes.
+type Table struct {
+	rel     *Relation
+	tuples  []Tuple
+	seen    map[string]int     // tuple key → index in tuples
+	byCol   []map[string][]int // column → value → tuple indexes
+	indexed bool
+}
+
+func newTable(rel *Relation, indexed bool) *Table {
+	t := &Table{rel: rel, seen: make(map[string]int), indexed: indexed}
+	if indexed {
+		t.byCol = make([]map[string][]int, rel.Arity())
+		for i := range t.byCol {
+			t.byCol[i] = make(map[string][]int)
+		}
+	}
+	return t
+}
+
+// Relation returns the relation symbol of the table.
+func (t *Table) Relation() *Relation { return t.rel }
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return len(t.tuples) }
+
+// Tuples returns the backing tuple slice in insertion order. Callers must
+// not modify it.
+func (t *Table) Tuples() []Tuple { return t.tuples }
+
+// Contains reports whether the exact tuple is present.
+func (t *Table) Contains(tp Tuple) bool {
+	_, ok := t.seen[tp.key()]
+	return ok
+}
+
+func (t *Table) insert(tp Tuple) bool {
+	k := tp.key()
+	if _, dup := t.seen[k]; dup {
+		return false
+	}
+	idx := len(t.tuples)
+	t.seen[k] = idx
+	t.tuples = append(t.tuples, tp)
+	if t.indexed {
+		for col, v := range tp {
+			t.byCol[col][v] = append(t.byCol[col][v], idx)
+		}
+	}
+	return true
+}
+
+// MatchingIndexes returns the indexes of tuples whose column col holds value
+// v, using the hash index when available.
+func (t *Table) MatchingIndexes(col int, v string) []int {
+	if t.indexed {
+		return t.byCol[col][v]
+	}
+	var out []int
+	for i, tp := range t.tuples {
+		if tp[col] == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TuplesWith returns the tuples matching every (column, value) requirement.
+// With indexes it starts from the most selective bound column.
+func (t *Table) TuplesWith(req map[int]string) []Tuple {
+	if len(req) == 0 {
+		return t.tuples
+	}
+	// Pick the most selective column (deterministically: smallest candidate
+	// list, ties broken by column number).
+	bestCol, bestLen := -1, -1
+	for col := 0; col < t.rel.Arity(); col++ {
+		v, ok := req[col]
+		if !ok {
+			continue
+		}
+		n := len(t.MatchingIndexes(col, v))
+		if bestLen == -1 || n < bestLen {
+			bestCol, bestLen = col, n
+		}
+	}
+	var out []Tuple
+	for _, idx := range t.MatchingIndexes(bestCol, req[bestCol]) {
+		tp := t.tuples[idx]
+		ok := true
+		for col, v := range req {
+			if tp[col] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// TuplesContaining returns indexes of tuples holding value v in any column,
+// deduplicated, in tuple order.
+func (t *Table) TuplesContaining(v string) []Tuple {
+	seen := make(map[int]bool)
+	var idxs []int
+	for col := 0; col < t.rel.Arity(); col++ {
+		for _, i := range t.MatchingIndexes(col, v) {
+			if !seen[i] {
+				seen[i] = true
+				idxs = append(idxs, i)
+			}
+		}
+	}
+	// Restore insertion order for determinism.
+	sortInts(idxs)
+	out := make([]Tuple, len(idxs))
+	for i, idx := range idxs {
+		out[i] = t.tuples[idx]
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Instance is a database instance of a schema: one table per relation.
+type Instance struct {
+	schema     *Schema
+	tables     map[string]*Table
+	indexed    bool
+	evalBudget int // per-call search-node budget; 0 = DefaultEvalBudget
+}
+
+// NewInstance returns an empty instance with hash indexes enabled.
+func NewInstance(schema *Schema) *Instance { return newInstance(schema, true) }
+
+// NewUnindexedInstance returns an empty instance whose tables scan instead
+// of using hash indexes. It exists for the index ablation benchmarks.
+func NewUnindexedInstance(schema *Schema) *Instance { return newInstance(schema, false) }
+
+func newInstance(schema *Schema, indexed bool) *Instance {
+	inst := &Instance{schema: schema, tables: make(map[string]*Table), indexed: indexed}
+	for _, r := range schema.Relations() {
+		inst.tables[r.Name] = newTable(r, indexed)
+	}
+	return inst
+}
+
+// Schema returns the instance's schema.
+func (i *Instance) Schema() *Schema { return i.schema }
+
+// Insert adds a tuple to a relation. Duplicate tuples are ignored (set
+// semantics). It returns an error for unknown relations or arity mismatch.
+func (i *Instance) Insert(rel string, values ...string) error {
+	t, ok := i.tables[rel]
+	if !ok {
+		return fmt.Errorf("relstore: insert into unknown relation %q", rel)
+	}
+	if len(values) != t.rel.Arity() {
+		return fmt.Errorf("relstore: insert into %s with %d values", t.rel, len(values))
+	}
+	t.insert(append(Tuple(nil), values...))
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (i *Instance) MustInsert(rel string, values ...string) {
+	if err := i.Insert(rel, values...); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns the table of a relation, or nil if unknown.
+func (i *Instance) Table(rel string) *Table { return i.tables[rel] }
+
+// NumTuples returns the total number of tuples across all relations.
+func (i *Instance) NumTuples() int {
+	n := 0
+	for _, t := range i.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// Equal reports whether two instances over the same schema hold exactly the
+// same tuples.
+func (i *Instance) Equal(j *Instance) bool {
+	if len(i.tables) != len(j.tables) {
+		return false
+	}
+	for name, ti := range i.tables {
+		tj, ok := j.tables[name]
+		if !ok || ti.Len() != tj.Len() {
+			return false
+		}
+		for _, tp := range ti.tuples {
+			if !tj.Contains(tp) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the instance (onto the same schema object).
+func (i *Instance) Clone() *Instance {
+	out := newInstance(i.schema, i.indexed)
+	for name, t := range i.tables {
+		for _, tp := range t.tuples {
+			out.tables[name].insert(append(Tuple(nil), tp...))
+		}
+	}
+	return out
+}

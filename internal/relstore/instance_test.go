@@ -1,0 +1,204 @@
+package relstore
+
+import (
+	"testing"
+)
+
+// smallInstance builds a tiny UW-CSE-style instance over the Original
+// schema used throughout the store tests.
+func smallInstance(t testing.TB) *Instance {
+	t.Helper()
+	s := uwcseOriginal(t)
+	i := NewInstance(s)
+	i.MustInsert("student", "abe")
+	i.MustInsert("student", "bea")
+	i.MustInsert("inPhase", "abe", "prelim")
+	i.MustInsert("inPhase", "bea", "post_generals")
+	i.MustInsert("yearsInProgram", "abe", "2")
+	i.MustInsert("yearsInProgram", "bea", "5")
+	i.MustInsert("professor", "pat")
+	i.MustInsert("hasPosition", "pat", "faculty")
+	i.MustInsert("publication", "t1", "abe")
+	i.MustInsert("publication", "t1", "pat")
+	i.MustInsert("publication", "t2", "bea")
+	return i
+}
+
+func TestInsertValidation(t *testing.T) {
+	i := smallInstance(t)
+	if err := i.Insert("ghost", "x"); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	if err := i.Insert("student", "x", "y"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustInsert should panic")
+		}
+	}()
+	i.MustInsert("ghost", "x")
+}
+
+func TestSetSemantics(t *testing.T) {
+	i := smallInstance(t)
+	before := i.Table("student").Len()
+	i.MustInsert("student", "abe") // duplicate
+	if i.Table("student").Len() != before {
+		t.Error("duplicate tuple inserted")
+	}
+}
+
+func TestTableLookups(t *testing.T) {
+	i := smallInstance(t)
+	pub := i.Table("publication")
+	if pub.Len() != 3 {
+		t.Fatalf("publication len = %d", pub.Len())
+	}
+	if !pub.Contains(Tuple{"t1", "abe"}) || pub.Contains(Tuple{"t9", "abe"}) {
+		t.Error("Contains wrong")
+	}
+	// By one column.
+	got := pub.TuplesWith(map[int]string{0: "t1"})
+	if len(got) != 2 {
+		t.Errorf("TuplesWith(title=t1) = %v", got)
+	}
+	// By two columns.
+	got = pub.TuplesWith(map[int]string{0: "t1", 1: "pat"})
+	if len(got) != 1 || got[0][1] != "pat" {
+		t.Errorf("TuplesWith(title=t1,person=pat) = %v", got)
+	}
+	// No requirement returns everything.
+	if len(pub.TuplesWith(nil)) != 3 {
+		t.Error("TuplesWith(nil) should return all")
+	}
+	// Any-column containment.
+	cont := pub.TuplesContaining("abe")
+	if len(cont) != 1 || cont[0][0] != "t1" {
+		t.Errorf("TuplesContaining(abe) = %v", cont)
+	}
+}
+
+func TestTuplesContainingAnyColumnAndOrder(t *testing.T) {
+	s := NewSchema()
+	s.MustAddRelation("bonds", "bd", "atm1", "atm2")
+	i := NewInstance(s)
+	i.MustInsert("bonds", "b1", "a1", "a2")
+	i.MustInsert("bonds", "b2", "a2", "a3")
+	i.MustInsert("bonds", "b3", "a2", "a2") // value twice in one tuple
+	got := i.Table("bonds").TuplesContaining("a2")
+	if len(got) != 3 {
+		t.Fatalf("TuplesContaining = %v", got)
+	}
+	// Insertion order preserved, no duplicates.
+	if got[0][0] != "b1" || got[1][0] != "b2" || got[2][0] != "b3" {
+		t.Errorf("order wrong: %v", got)
+	}
+}
+
+func TestUnindexedInstanceMatchesIndexed(t *testing.T) {
+	s := uwcseOriginal(t)
+	a, b := NewInstance(s), NewUnindexedInstance(s)
+	rows := [][2]string{{"abe", "prelim"}, {"bea", "post_generals"}, {"cal", "prelim"}}
+	for _, r := range rows {
+		a.MustInsert("inPhase", r[0], r[1])
+		b.MustInsert("inPhase", r[0], r[1])
+	}
+	qa := a.Table("inPhase").TuplesWith(map[int]string{1: "prelim"})
+	qb := b.Table("inPhase").TuplesWith(map[int]string{1: "prelim"})
+	if len(qa) != 2 || len(qb) != 2 {
+		t.Errorf("indexed %v vs scan %v", qa, qb)
+	}
+	for k := range qa {
+		if !qa[k].Equal(qb[k]) {
+			t.Errorf("mismatch at %d: %v vs %v", k, qa[k], qb[k])
+		}
+	}
+}
+
+func TestInstanceEqualClone(t *testing.T) {
+	i := smallInstance(t)
+	j := i.Clone()
+	if !i.Equal(j) {
+		t.Error("clone should be equal")
+	}
+	j.MustInsert("student", "cal")
+	if i.Equal(j) {
+		t.Error("diverged clone still equal")
+	}
+	if i.Table("student").Len() != 2 {
+		t.Error("clone shares storage")
+	}
+	if i.NumTuples() != 11 {
+		t.Errorf("NumTuples = %d", i.NumTuples())
+	}
+}
+
+func TestCheckFDs(t *testing.T) {
+	i := smallInstance(t)
+	if err := i.schema.AddFD("inPhase", []string{"stud"}, []string{"phase"}); err != nil {
+		t.Fatal(err)
+	}
+	if v := i.CheckFDs(); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+	i.MustInsert("inPhase", "abe", "post_generals") // violates stud→phase
+	v := i.CheckFDs()
+	if len(v) != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Constraint != "inPhase: stud -> phase" {
+		t.Errorf("violation = %v", v[0])
+	}
+}
+
+func TestCheckINDs(t *testing.T) {
+	i := smallInstance(t)
+	if v := i.CheckINDs(); len(v) != 0 {
+		t.Errorf("unexpected violations: %v", v)
+	}
+	// Remove symmetry: a student without an inPhase row.
+	i.MustInsert("student", "cal")
+	v := i.CheckINDs()
+	if len(v) != 2 { // student=inPhase and student=yearsInProgram both break
+		t.Fatalf("violations = %v", v)
+	}
+	if err := i.Validate(); err == nil {
+		t.Error("Validate should fail")
+	}
+}
+
+func TestINDEqualityPromotion(t *testing.T) {
+	s := NewSchema()
+	s.MustAddRelation("m2d", "id", "did")
+	s.MustAddRelation("director", "did", "name")
+	s.MustAddIND("m2d", []string{"did"}, "director", []string{"did"}, false)
+	i := NewInstance(s)
+	i.MustInsert("m2d", "m1", "d1")
+	i.MustInsert("director", "d1", "kurosawa")
+	ind := s.INDs()[0]
+	if !i.INDHoldsAsEquality(ind) {
+		t.Error("balanced instance: IND should hold as equality")
+	}
+	promoted := i.PromoteEqualityINDs()
+	if !promoted.INDs()[0].Equality {
+		t.Error("promotion failed")
+	}
+	if s.INDs()[0].Equality {
+		t.Error("promotion modified original schema")
+	}
+	// Now break the equality.
+	i.MustInsert("director", "d2", "ozu")
+	if i.INDHoldsAsEquality(ind) {
+		t.Error("dangling director: equality should fail")
+	}
+	if i.PromoteEqualityINDs().INDs()[0].Equality {
+		t.Error("promotion should not fire")
+	}
+}
+
+func TestValidateCleanInstance(t *testing.T) {
+	if err := smallInstance(t).Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}

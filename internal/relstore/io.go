@@ -1,0 +1,215 @@
+package relstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Text serialization of schemas and instances, so databases can be dumped,
+// versioned and reloaded. The format is line-based and human-editable:
+//
+//	# schema file
+//	rel student(stud, phase, years)
+//	fd  student: stud -> phase, years
+//	ind student[stud] = inPhase[stud]
+//	ind ta[stud] <= student[stud]
+//	domain stud person
+//
+//	# instance file: one Datalog fact per line
+//	student(abe, prelim, 2).
+//	publication('A Hard Paper', abe).
+//
+// Facts use the logic package's syntax, so constants needing quotes are
+// quoted and the files can be read back verbatim.
+
+// WriteSchema serializes the schema.
+func WriteSchema(w io.Writer, s *Schema) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range s.Relations() {
+		fmt.Fprintf(bw, "rel %s(%s)\n", r.Name, strings.Join(r.Attrs, ", "))
+	}
+	for _, fd := range s.FDs() {
+		fmt.Fprintf(bw, "fd  %s: %s -> %s\n", fd.Rel, strings.Join(fd.From, ", "), strings.Join(fd.To, ", "))
+	}
+	for _, ind := range s.INDs() {
+		op := "<="
+		if ind.Equality {
+			op = "="
+		}
+		fmt.Fprintf(bw, "ind %s[%s] %s %s[%s]\n",
+			ind.Left.Rel, strings.Join(ind.Left.Attrs, ", "), op,
+			ind.Right.Rel, strings.Join(ind.Right.Attrs, ", "))
+	}
+	for _, r := range s.Relations() {
+		for _, a := range r.Attrs {
+			if d := s.Domain(a); d != a {
+				fmt.Fprintf(bw, "domain %s %s\n", a, d)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSchema parses a schema file.
+func ReadSchema(r io.Reader) (*Schema, error) {
+	s := NewSchema()
+	sc := bufio.NewScanner(r)
+	written := make(map[string]bool) // dedup domain lines per attribute
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kind, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("relstore: schema line %d: missing payload", lineNo)
+		}
+		rest = strings.TrimSpace(rest)
+		var err error
+		switch kind {
+		case "rel":
+			err = parseRelLine(s, rest)
+		case "fd":
+			err = parseFDLine(s, rest)
+		case "ind":
+			err = parseINDLine(s, rest)
+		case "domain":
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				err = fmt.Errorf("want 'domain <attr> <domain>'")
+			} else if !written[fields[0]] {
+				s.SetDomain(fields[0], fields[1])
+				written[fields[0]] = true
+			}
+		default:
+			err = fmt.Errorf("unknown directive %q", kind)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relstore: schema line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseRelLine(s *Schema, rest string) error {
+	name, args, ok := strings.Cut(rest, "(")
+	if !ok || !strings.HasSuffix(args, ")") {
+		return fmt.Errorf("want 'rel name(attr, …)'")
+	}
+	attrs := splitList(strings.TrimSuffix(args, ")"))
+	_, err := s.AddRelation(strings.TrimSpace(name), attrs...)
+	return err
+}
+
+func parseFDLine(s *Schema, rest string) error {
+	relPart, depPart, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("want 'fd rel: a, b -> c'")
+	}
+	from, to, ok := strings.Cut(depPart, "->")
+	if !ok {
+		return fmt.Errorf("want 'fd rel: a, b -> c'")
+	}
+	return s.AddFD(strings.TrimSpace(relPart), splitList(from), splitList(to))
+}
+
+func parseINDLine(s *Schema, rest string) error {
+	equality := true
+	left, right, ok := strings.Cut(rest, "=")
+	if ok && strings.HasSuffix(strings.TrimSpace(left), "<") {
+		// "<=" was split at '='; repair.
+		equality = false
+		left = strings.TrimSuffix(strings.TrimSpace(left), "<")
+	}
+	if !ok {
+		return fmt.Errorf("want 'ind rel[a] = rel[b]' or 'ind rel[a] <= rel[b]'")
+	}
+	lrel, lattrs, err := parseSide(left)
+	if err != nil {
+		return err
+	}
+	rrel, rattrs, err := parseSide(right)
+	if err != nil {
+		return err
+	}
+	return s.AddIND(lrel, lattrs, rrel, rattrs, equality)
+}
+
+func parseSide(side string) (string, []string, error) {
+	side = strings.TrimSpace(side)
+	name, args, ok := strings.Cut(side, "[")
+	if !ok || !strings.HasSuffix(args, "]") {
+		return "", nil, fmt.Errorf("want 'rel[attr, …]', got %q", side)
+	}
+	return strings.TrimSpace(name), splitList(strings.TrimSuffix(args, "]")), nil
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// WriteInstance serializes the instance as Datalog facts, relation by
+// relation in schema order, tuples in insertion order.
+func WriteInstance(w io.Writer, inst *Instance) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range inst.Schema().Relations() {
+		t := inst.Table(r.Name)
+		if t == nil {
+			continue
+		}
+		for _, tp := range t.Tuples() {
+			atom := logic.GroundAtom(r.Name, tp...)
+			if _, err := fmt.Fprintln(bw, atom.String()+"."); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadInstance parses Datalog facts into an instance of the schema. Lines
+// may hold multiple facts; '%' and '#' start comments. Facts over unknown
+// relations or with wrong arity are errors.
+func ReadInstance(r io.Reader, schema *Schema) (*Instance, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	clauses, err := logic.ParseProgram(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("relstore: reading instance: %w", err)
+	}
+	inst := NewInstance(schema)
+	for _, c := range clauses {
+		if len(c.Body) != 0 {
+			return nil, fmt.Errorf("relstore: instance files hold facts only, got rule %v", c)
+		}
+		if !c.Head.IsGround() {
+			return nil, fmt.Errorf("relstore: non-ground fact %v", c.Head)
+		}
+		vals := make([]string, c.Head.Arity())
+		for i, t := range c.Head.Args {
+			vals[i] = t.Name
+		}
+		if err := inst.Insert(c.Head.Pred, vals...); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}

@@ -1,0 +1,138 @@
+package relstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSchemaRoundTrip(t *testing.T) {
+	s := uwcseOriginal(t)
+	if err := s.AddFD("inPhase", []string{"stud"}, []string{"phase"}); err != nil {
+		t.Fatal(err)
+	}
+	s.MustAddIND("ta", []string{"stud"}, "student", []string{"stud"}, false)
+	s.SetDomain("stud", "person")
+	s.SetDomain("prof", "person")
+
+	var buf bytes.Buffer
+	if err := WriteSchema(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSchema(&buf)
+	if err != nil {
+		t.Fatalf("ReadSchema: %v\n", err)
+	}
+	if back.NumRelations() != s.NumRelations() {
+		t.Fatalf("relations: %d vs %d", back.NumRelations(), s.NumRelations())
+	}
+	for _, r := range s.Relations() {
+		br, ok := back.Relation(r.Name)
+		if !ok || br.String() != r.String() {
+			t.Errorf("relation %s lost or changed: %v", r.Name, br)
+		}
+	}
+	if len(back.FDs()) != len(s.FDs()) {
+		t.Errorf("FDs: %v vs %v", back.FDs(), s.FDs())
+	}
+	if len(back.INDs()) != len(s.INDs()) {
+		t.Errorf("INDs: %d vs %d", len(back.INDs()), len(s.INDs()))
+	}
+	for i, ind := range s.INDs() {
+		if back.INDs()[i].String() != ind.String() {
+			t.Errorf("IND %d: %v vs %v", i, back.INDs()[i], ind)
+		}
+	}
+	if back.Domain("stud") != "person" || back.Domain("prof") != "person" {
+		t.Error("domains lost")
+	}
+	if back.Domain("crs") != "crs" {
+		t.Error("default domain changed")
+	}
+}
+
+func TestReadSchemaErrors(t *testing.T) {
+	bad := []string{
+		"rel",                               // missing payload
+		"rel student",                       // no parens
+		"fd student stud -> phase",          // missing colon
+		"fd student: stud phase",            // missing arrow
+		"ind student[stud] inPhase[x]",      // missing operator
+		"ind student(stud) = inPhase[stud]", // wrong brackets
+		"domain onlyone",                    // missing domain value
+		"wat is this",                       // unknown directive
+		"rel r(a)\nrel r(b)",                // duplicate relation
+		"ind ghost[x] = ghost2[x]",          // unknown relations
+	}
+	for _, src := range bad {
+		if _, err := ReadSchema(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadSchema(%q) should fail", src)
+		}
+	}
+}
+
+func TestReadSchemaCommentsAndBlankLines(t *testing.T) {
+	src := `
+# a schema
+rel student(stud)
+
+rel inPhase(stud, phase)
+ind student[stud] = inPhase[stud]
+`
+	s, err := ReadSchema(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRelations() != 2 || len(s.EqualityINDs()) != 1 {
+		t.Errorf("parsed schema wrong: %v", s)
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	i := smallInstance(t)
+	// Include values that need quoting.
+	i.MustInsert("publication", "A Hard Paper", "abe")
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, i); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(bytes.NewReader(buf.Bytes()), i.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i.Equal(back) {
+		t.Errorf("round trip lost tuples:\n%s", buf.String())
+	}
+}
+
+func TestReadInstanceErrors(t *testing.T) {
+	s := uwcseOriginal(t)
+	bad := []string{
+		"student(abe) :- professor(abe).", // rule, not fact
+		"student(X).",                     // non-ground
+		"ghost(a).",                       // unknown relation
+		"student(a, b).",                  // arity mismatch
+		"student(a",                       // syntax error
+	}
+	for _, src := range bad {
+		if _, err := ReadInstance(strings.NewReader(src), s); err == nil {
+			t.Errorf("ReadInstance(%q) should fail", src)
+		}
+	}
+}
+
+func TestInstanceRoundTripPreservesIndexes(t *testing.T) {
+	i := smallInstance(t)
+	var buf bytes.Buffer
+	if err := WriteInstance(&buf, i); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadInstance(&buf, i.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Table("publication").TuplesWith(map[int]string{0: "t1"})
+	if len(got) != 2 {
+		t.Errorf("indexes not rebuilt: %v", got)
+	}
+}

@@ -1,0 +1,176 @@
+package relstore
+
+import (
+	"testing"
+)
+
+func TestNaturalJoinBasic(t *testing.T) {
+	i := smallInstance(t)
+	// student ⋈ inPhase ⋈ yearsInProgram — the 4NF composition.
+	res, err := i.JoinRelations("student", "inPhase", "yearsInProgram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attrs) != 3 || res.Attrs[0] != "stud" || res.Attrs[1] != "phase" || res.Attrs[2] != "years" {
+		t.Fatalf("attrs = %v", res.Attrs)
+	}
+	if len(res.Tuples) != 2 {
+		t.Fatalf("tuples = %v", res.Tuples)
+	}
+	want := map[string]bool{"abe\x00prelim\x002": true, "bea\x00post_generals\x005": true}
+	for _, tp := range res.Tuples {
+		if !want[tp.key()] {
+			t.Errorf("unexpected tuple %v", tp)
+		}
+	}
+}
+
+func TestNaturalJoinRejectsCartesian(t *testing.T) {
+	i := smallInstance(t)
+	if _, err := i.JoinRelations("student", "professor"); err == nil {
+		t.Error("join without shared attributes must fail")
+	}
+	if _, err := i.JoinRelations(); err == nil {
+		t.Error("empty join must fail")
+	}
+	if _, err := i.JoinRelations("ghost"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if _, err := i.JoinRelations("student", "ghost"); err == nil {
+		t.Error("unknown second relation must fail")
+	}
+}
+
+func TestNaturalJoinDangling(t *testing.T) {
+	s := NewSchema()
+	s.MustAddRelation("r", "a", "b")
+	s.MustAddRelation("s", "b", "c")
+	i := NewInstance(s)
+	i.MustInsert("r", "1", "x")
+	i.MustInsert("r", "2", "y") // dangling: no s row with b=y
+	i.MustInsert("s", "x", "k")
+	res, err := i.JoinRelations("r", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 || res.Tuples[0].key() != "1\x00x\x00k" {
+		t.Errorf("join = %v", res.Tuples)
+	}
+}
+
+func TestNaturalJoinMultiMatch(t *testing.T) {
+	s := NewSchema()
+	s.MustAddRelation("r", "a", "b")
+	s.MustAddRelation("s", "b", "c")
+	i := NewInstance(s)
+	i.MustInsert("r", "1", "x")
+	i.MustInsert("s", "x", "k1")
+	i.MustInsert("s", "x", "k2")
+	res, err := i.JoinRelations("r", "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2 {
+		t.Errorf("join = %v", res.Tuples)
+	}
+}
+
+func TestProject(t *testing.T) {
+	i := smallInstance(t)
+	res, err := i.JoinRelations("student", "inPhase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := Project(res, []string{"phase"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj.Tuples) != 2 { // prelim, post_generals
+		t.Errorf("projection = %v", proj.Tuples)
+	}
+	// Projection deduplicates.
+	i.MustInsert("student", "cal")
+	i.MustInsert("inPhase", "cal", "prelim")
+	res, _ = i.JoinRelations("student", "inPhase")
+	proj, _ = Project(res, []string{"phase"})
+	if len(proj.Tuples) != 2 {
+		t.Errorf("dedup failed: %v", proj.Tuples)
+	}
+	if _, err := Project(res, []string{"ghost"}); err == nil {
+		t.Error("unknown attribute must fail")
+	}
+}
+
+func TestProjectReorders(t *testing.T) {
+	i := smallInstance(t)
+	res, _ := i.JoinRelations("student", "inPhase")
+	proj, err := Project(res, []string{"phase", "stud"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Attrs[0] != "phase" || proj.Attrs[1] != "stud" {
+		t.Errorf("attrs = %v", proj.Attrs)
+	}
+	for _, tp := range proj.Tuples {
+		if tp[0] != "prelim" && tp[0] != "post_generals" {
+			t.Errorf("column order wrong: %v", tp)
+		}
+	}
+}
+
+func TestLosslessJoinRoundTrip(t *testing.T) {
+	// Decompose student(stud,phase,years) into three relations and join
+	// back: the identity on consistent instances (Definition 4.1).
+	s := NewSchema()
+	s.MustAddRelation("student4nf", "stud", "phase", "years")
+	i := NewInstance(s)
+	i.MustInsert("student4nf", "abe", "prelim", "2")
+	i.MustInsert("student4nf", "bea", "post_generals", "5")
+
+	full := TableResult(i.Table("student4nf"))
+	p1, _ := Project(full, []string{"stud"})
+	p2, _ := Project(full, []string{"stud", "phase"})
+	p3, _ := Project(full, []string{"stud", "years"})
+	j, err := NaturalJoin(p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err = NaturalJoin(j, p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Project(j, []string{"stud", "phase", "years"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tuples) != 2 {
+		t.Fatalf("round trip = %v", back.Tuples)
+	}
+	for _, tp := range back.Tuples {
+		if !i.Table("student4nf").Contains(tp) {
+			t.Errorf("tuple %v lost or invented", tp)
+		}
+	}
+}
+
+func TestPairwiseConsistent(t *testing.T) {
+	i := smallInstance(t)
+	ok, err := i.PairwiseConsistent("student", "inPhase", "yearsInProgram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("balanced instance should be pairwise consistent")
+	}
+	i.MustInsert("student", "cal") // dangling
+	ok, err = i.PairwiseConsistent("student", "inPhase", "yearsInProgram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("dangling tuple should break pairwise consistency")
+	}
+	if _, err := i.PairwiseConsistent("student", "ghost"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+}

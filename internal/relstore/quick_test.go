@@ -1,0 +1,181 @@
+package relstore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// randInstance fills a fixed two-relation schema with random tuples over a
+// small constant pool, so joins and queries hit plenty of collisions.
+func randTwoRelInstance(r *rand.Rand, indexed bool) *Instance {
+	s := NewSchema()
+	s.MustAddRelation("p", "a", "b")
+	s.MustAddRelation("q", "b", "c")
+	inst := newInstance(s, indexed)
+	vals := []string{"v0", "v1", "v2", "v3"}
+	for i := 0; i < 4+r.Intn(12); i++ {
+		inst.MustInsert("p", vals[r.Intn(len(vals))], vals[r.Intn(len(vals))])
+	}
+	for i := 0; i < 4+r.Intn(12); i++ {
+		inst.MustInsert("q", vals[r.Intn(len(vals))], vals[r.Intn(len(vals))])
+	}
+	return inst
+}
+
+// TestQuickIndexedMatchesScan: every query primitive returns identical
+// results with and without hash indexes.
+func TestQuickIndexedMatchesScan(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	vals := []string{"v0", "v1", "v2", "v9"}
+	for trial := 0; trial < 150; trial++ {
+		seed := r.Int63()
+		ri := rand.New(rand.NewSource(seed))
+		a := randTwoRelInstance(ri, true)
+		ri = rand.New(rand.NewSource(seed))
+		b := randTwoRelInstance(ri, false)
+		for _, rel := range []string{"p", "q"} {
+			for col := 0; col < 2; col++ {
+				for _, v := range vals {
+					x := a.Table(rel).TuplesWith(map[int]string{col: v})
+					y := b.Table(rel).TuplesWith(map[int]string{col: v})
+					if len(x) != len(y) {
+						t.Fatalf("TuplesWith mismatch: %v vs %v", x, y)
+					}
+				}
+			}
+			for _, v := range vals {
+				x := a.Table(rel).TuplesContaining(v)
+				y := b.Table(rel).TuplesContaining(v)
+				if len(x) != len(y) {
+					t.Fatalf("TuplesContaining mismatch: %v vs %v", x, y)
+				}
+				for i := range x {
+					if !x[i].Equal(y[i]) {
+						t.Fatalf("order mismatch: %v vs %v", x, y)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuickJoinAgainstNaive: the hash join equals the nested-loop
+// definition of natural join on random instances.
+func TestQuickJoinAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 150; trial++ {
+		inst := randTwoRelInstance(r, true)
+		got, err := inst.JoinRelations("p", "q")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make(map[string]bool)
+		for _, pt := range inst.Table("p").Tuples() {
+			for _, qt := range inst.Table("q").Tuples() {
+				if pt[1] == qt[0] {
+					want[pt[0]+"|"+pt[1]+"|"+qt[1]] = true
+				}
+			}
+		}
+		if len(got.Tuples) != len(want) {
+			t.Fatalf("join size %d want %d", len(got.Tuples), len(want))
+		}
+		for _, tp := range got.Tuples {
+			if !want[tp[0]+"|"+tp[1]+"|"+tp[2]] {
+				t.Fatalf("unexpected joined tuple %v", tp)
+			}
+		}
+	}
+}
+
+// TestQuickProjectionLaws: projection is idempotent and never grows.
+func TestQuickProjectionLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 150; trial++ {
+		inst := randTwoRelInstance(r, true)
+		full := TableResult(inst.Table("p"))
+		p1, err := Project(full, []string{"a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p1.Tuples) > len(full.Tuples) {
+			t.Fatal("projection grew")
+		}
+		p2, err := Project(p1, []string{"a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p2.Tuples) != len(p1.Tuples) {
+			t.Fatal("projection not idempotent")
+		}
+	}
+}
+
+// TestQuickEvalAgainstSubsumptionStyleNaive: SatisfyBody agrees with a
+// brute-force grounding check on random small bodies.
+func TestQuickEvalAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	varsPool := []logic.Term{logic.Var("X"), logic.Var("Y"), logic.Var("Z")}
+	valPool := []string{"v0", "v1", "v2", "v3"}
+	randBody := func() []logic.Atom {
+		n := 1 + r.Intn(3)
+		out := make([]logic.Atom, n)
+		for i := range out {
+			pred := "p"
+			if r.Intn(2) == 0 {
+				pred = "q"
+			}
+			args := make([]logic.Term, 2)
+			for j := range args {
+				if r.Intn(3) == 0 {
+					args[j] = logic.Const(valPool[r.Intn(len(valPool))])
+				} else {
+					args[j] = varsPool[r.Intn(len(varsPool))]
+				}
+			}
+			out[i] = logic.NewAtom(pred, args...)
+		}
+		return out
+	}
+	naive := func(inst *Instance, body []logic.Atom) bool {
+		// Enumerate all assignments of X,Y,Z over the value pool.
+		for _, x := range valPool {
+			for _, y := range valPool {
+				for _, z := range valPool {
+					s := logic.NewSubstitution()
+					s.Bind("X", logic.Const(x))
+					s.Bind("Y", logic.Const(y))
+					s.Bind("Z", logic.Const(z))
+					ok := true
+					for _, a := range body {
+						g := a.Apply(s)
+						vals := make([]string, g.Arity())
+						for i, t := range g.Args {
+							vals[i] = t.Name
+						}
+						if !inst.Table(g.Pred).Contains(vals) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	for trial := 0; trial < 200; trial++ {
+		inst := randTwoRelInstance(r, true)
+		body := randBody()
+		got := inst.SatisfyBody(body, nil)
+		want := naive(inst, body)
+		if got != want {
+			t.Fatalf("SatisfyBody=%v naive=%v for body %v over %d/%d tuples",
+				got, want, body, inst.Table("p").Len(), inst.Table("q").Len())
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package relstore is the in-memory relational store every learner in this
+// repository runs on. It plays the role VoltDB plays in the paper: an
+// indexed main-memory RDBMS that also exposes schema constraints (functional
+// and inclusion dependencies) to the learning algorithms.
+//
+// The store provides:
+//   - schemas: relation symbols with ordered attribute sorts, functional
+//     dependencies (FDs) and inclusion dependencies (INDs);
+//   - instances: sets of tuples per relation with per-column hash indexes
+//     and a "find tuples containing constant c" query, the primitive that
+//     bottom-clause construction is built on;
+//   - natural join and projection (the composition/decomposition
+//     transformations are defined with these);
+//   - conjunctive-query evaluation: satisfiability and full evaluation of
+//     Horn clauses/definitions against an instance;
+//   - precompiled per-schema query plans, the stand-in for the paper's
+//     stored procedures (§7.5.2).
+//
+// All iteration orders are deterministic so that experiments are
+// reproducible bit-for-bit.
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Relation is a relation symbol together with its sort: the ordered list of
+// attribute symbols.
+type Relation struct {
+	// Name is the relation symbol.
+	Name string
+	// Attrs is the sort, in column order. Attribute names double as domain
+	// names unless a schema-level domain override is registered.
+	Attrs []string
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the column position of the attribute, or -1.
+func (r *Relation) AttrIndex(attr string) int {
+	for i, a := range r.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// HasAttr reports whether the relation has the attribute.
+func (r *Relation) HasAttr(attr string) bool { return r.AttrIndex(attr) >= 0 }
+
+// SharedAttrs returns the attributes common to r and s, in r's column order.
+func (r *Relation) SharedAttrs(s *Relation) []string {
+	var out []string
+	for _, a := range r.Attrs {
+		if s.HasAttr(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String renders the relation as name(attr1,…,attrN).
+func (r *Relation) String() string {
+	return r.Name + "(" + strings.Join(r.Attrs, ",") + ")"
+}
+
+// FD is a functional dependency From → To within relation Rel.
+type FD struct {
+	Rel      string
+	From, To []string
+}
+
+// String renders the FD as rel: a,b -> c.
+func (f FD) String() string {
+	return fmt.Sprintf("%s: %s -> %s", f.Rel, strings.Join(f.From, ","), strings.Join(f.To, ","))
+}
+
+// RelAttrs names an attribute list of one relation, e.g. bonds[bd].
+type RelAttrs struct {
+	Rel   string
+	Attrs []string
+}
+
+// String renders as rel[a,b].
+func (ra RelAttrs) String() string {
+	return ra.Rel + "[" + strings.Join(ra.Attrs, ",") + "]"
+}
+
+// IND is an inclusion dependency Left ⊆ Right; when Equality is set it is an
+// IND with equality, Left = Right (both inclusions hold). INDs with equality
+// are what Definition 4.1 of the paper puts between the join attributes of a
+// decomposition, and what Castor chases during bottom-clause construction.
+type IND struct {
+	Left, Right RelAttrs
+	Equality    bool
+}
+
+// String renders as left[X] = right[X] or left[X] <= right[X].
+func (i IND) String() string {
+	op := " <= "
+	if i.Equality {
+		op = " = "
+	}
+	return i.Left.String() + op + i.Right.String()
+}
+
+// Reversed returns the IND with sides swapped. Only meaningful for INDs
+// with equality, which are symmetric.
+func (i IND) Reversed() IND {
+	return IND{Left: i.Right, Right: i.Left, Equality: i.Equality}
+}
+
+// Schema is a set of relation symbols plus constraints (FDs and INDs),
+// matching the paper's R = (R, Σ).
+type Schema struct {
+	rels    map[string]*Relation
+	order   []string // deterministic relation iteration order
+	fds     []FD
+	inds    []IND
+	domains map[string]string // attribute → domain override
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{rels: make(map[string]*Relation), domains: make(map[string]string)}
+}
+
+// AddRelation registers a relation symbol with its sort. It returns an error
+// on duplicate names, empty sorts, or duplicate attributes within the sort.
+func (s *Schema) AddRelation(name string, attrs ...string) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("relstore: empty relation name")
+	}
+	if _, dup := s.rels[name]; dup {
+		return nil, fmt.Errorf("relstore: duplicate relation %q", name)
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relstore: relation %q has no attributes", name)
+	}
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relstore: relation %q has an empty attribute", name)
+		}
+		if seen[a] {
+			return nil, fmt.Errorf("relstore: relation %q repeats attribute %q", name, a)
+		}
+		seen[a] = true
+	}
+	r := &Relation{Name: name, Attrs: append([]string(nil), attrs...)}
+	s.rels[name] = r
+	s.order = append(s.order, name)
+	return r, nil
+}
+
+// MustAddRelation is AddRelation that panics on error; for schema literals.
+func (s *Schema) MustAddRelation(name string, attrs ...string) *Relation {
+	r, err := s.AddRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Relation looks up a relation symbol.
+func (s *Schema) Relation(name string) (*Relation, bool) {
+	r, ok := s.rels[name]
+	return r, ok
+}
+
+// Relations returns all relation symbols in registration order.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, len(s.order))
+	for i, n := range s.order {
+		out[i] = s.rels[n]
+	}
+	return out
+}
+
+// NumRelations returns the number of relation symbols.
+func (s *Schema) NumRelations() int { return len(s.order) }
+
+// AddFD registers a functional dependency after validating that the
+// relation and attributes exist.
+func (s *Schema) AddFD(rel string, from, to []string) error {
+	r, ok := s.rels[rel]
+	if !ok {
+		return fmt.Errorf("relstore: FD over unknown relation %q", rel)
+	}
+	for _, a := range append(append([]string(nil), from...), to...) {
+		if !r.HasAttr(a) {
+			return fmt.Errorf("relstore: FD attribute %q not in %s", a, r)
+		}
+	}
+	s.fds = append(s.fds, FD{Rel: rel, From: append([]string(nil), from...), To: append([]string(nil), to...)})
+	return nil
+}
+
+// FDs returns the registered functional dependencies.
+func (s *Schema) FDs() []FD { return s.fds }
+
+// AddIND registers an inclusion dependency left[lattrs] ⊆/= right[rattrs]
+// after validating relations, attributes and matching attribute counts.
+func (s *Schema) AddIND(left string, lattrs []string, right string, rattrs []string, equality bool) error {
+	lr, ok := s.rels[left]
+	if !ok {
+		return fmt.Errorf("relstore: IND over unknown relation %q", left)
+	}
+	rr, ok := s.rels[right]
+	if !ok {
+		return fmt.Errorf("relstore: IND over unknown relation %q", right)
+	}
+	if len(lattrs) == 0 || len(lattrs) != len(rattrs) {
+		return fmt.Errorf("relstore: IND attribute lists must be non-empty and equal length")
+	}
+	for _, a := range lattrs {
+		if !lr.HasAttr(a) {
+			return fmt.Errorf("relstore: IND attribute %q not in %s", a, lr)
+		}
+	}
+	for _, a := range rattrs {
+		if !rr.HasAttr(a) {
+			return fmt.Errorf("relstore: IND attribute %q not in %s", a, rr)
+		}
+	}
+	s.inds = append(s.inds, IND{
+		Left:     RelAttrs{Rel: left, Attrs: append([]string(nil), lattrs...)},
+		Right:    RelAttrs{Rel: right, Attrs: append([]string(nil), rattrs...)},
+		Equality: equality,
+	})
+	return nil
+}
+
+// MustAddIND is AddIND that panics on error.
+func (s *Schema) MustAddIND(left string, lattrs []string, right string, rattrs []string, equality bool) {
+	if err := s.AddIND(left, lattrs, right, rattrs, equality); err != nil {
+		panic(err)
+	}
+}
+
+// INDs returns the registered inclusion dependencies.
+func (s *Schema) INDs() []IND { return s.inds }
+
+// EqualityINDs returns only the INDs with equality.
+func (s *Schema) EqualityINDs() []IND {
+	var out []IND
+	for _, i := range s.inds {
+		if i.Equality {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SetDomain overrides the domain of an attribute. By default an attribute's
+// domain is its own name (the natural-join convention: equal names join);
+// overrides let schemas declare that differently named attributes range over
+// the same set of values (e.g. publication.person and advisedBy.stud are
+// both persons).
+func (s *Schema) SetDomain(attr, domain string) { s.domains[attr] = domain }
+
+// Domain returns the domain of an attribute.
+func (s *Schema) Domain(attr string) string {
+	if d, ok := s.domains[attr]; ok {
+		return d
+	}
+	return attr
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	out := NewSchema()
+	for _, r := range s.Relations() {
+		out.MustAddRelation(r.Name, r.Attrs...)
+	}
+	out.fds = append([]FD(nil), s.fds...)
+	out.inds = append([]IND(nil), s.inds...)
+	for k, v := range s.domains {
+		out.domains[k] = v
+	}
+	return out
+}
+
+// String renders the schema as one relation per line followed by
+// constraints.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for _, r := range s.Relations() {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range s.fds {
+		b.WriteString("fd  " + f.String() + "\n")
+	}
+	for _, i := range s.inds {
+		b.WriteString("ind " + i.String() + "\n")
+	}
+	return b.String()
+}

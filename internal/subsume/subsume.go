@@ -1,0 +1,308 @@
+// Package subsume implements θ-subsumption between Horn clauses, clause
+// reduction (removal of redundant literals), and clause/definition
+// equivalence checks.
+//
+// Clause C θ-subsumes clause D iff there is a substitution θ such that
+// Cθ ⊆ D (literal-wise, with the head of C mapping to the head of D).
+// For conjunctive queries θ-subsumption coincides with query containment:
+// C θ-subsumes D iff the result of C contains the result of D on every
+// database instance, which is what the paper's equivalence of definitions
+// (operator ≡) is built on.
+//
+// The engine substitutes for the Resumer2 system the paper uses: it is a
+// backtracking matcher with per-predicate indexing of the target clause,
+// decomposition of the source body into variable-connected components, and
+// dynamic most-constrained-literal selection with forward pruning.
+package subsume
+
+import (
+	"repro/internal/logic"
+)
+
+// Subsumes reports whether clause c θ-subsumes clause d: some substitution
+// θ (applied to c only; d's variables act as fresh constants) maps c's head
+// to d's head and every body literal of c to a body literal of d.
+func Subsumes(c, d *logic.Clause) bool {
+	d = skolemize(d)
+	s, ok := logic.MatchAtoms(c.Head, d.Head, logic.NewSubstitution())
+	if !ok {
+		return false
+	}
+	m := newMatcher(d.Body)
+	return m.matchAll(c.Body, s) // s is fresh: in-place binding is safe
+}
+
+// SubsumesBody reports whether the body of c maps into the body of d under
+// some extension of the initial substitution, ignoring heads. Variables in
+// dBody act as fresh constants; bindings in init must map onto constants or
+// terms appearing in dBody verbatim (coverage tests bind onto ground bottom
+// clauses, satisfying this).
+func SubsumesBody(cBody, dBody []logic.Atom, init logic.Substitution) bool {
+	if init == nil {
+		init = logic.NewSubstitution()
+	}
+	d := skolemize(&logic.Clause{Body: dBody})
+	m := newMatcher(d.Body)
+	return m.matchAll(cBody, init.Clone()) // the matcher binds in place
+}
+
+// skolemPrefix marks constants standing in for target-clause variables. The
+// NUL byte cannot occur in real constants, so skolems never collide.
+const skolemPrefix = "\x00sk:"
+
+// skolemize replaces every variable of the target clause with a distinct
+// reserved constant so that the matcher can never bind onto or rebind them.
+// Ground clauses are returned unchanged (no allocation).
+func skolemize(d *logic.Clause) *logic.Clause {
+	ground := d.Head.IsGround()
+	if ground {
+		for _, a := range d.Body {
+			if !a.IsGround() {
+				ground = false
+				break
+			}
+		}
+	}
+	if ground {
+		return d
+	}
+	s := logic.NewSubstitution()
+	for _, v := range d.Vars() {
+		s.Bind(v, logic.Const(skolemPrefix+v))
+	}
+	return d.Apply(s)
+}
+
+// matchBudget bounds the backtracking search per top-level call; on
+// exhaustion the matcher reports "does not subsume", the cutoff discipline
+// of engines like Resumer2. Subsumption is NP-complete, so some bound is
+// required for pathological clause pairs; the default is far beyond what
+// realistic clauses need.
+const matchBudget = 1 << 21
+
+// matcher holds the target clause body indexed by predicate symbol.
+type matcher struct {
+	byPred map[string][]logic.Atom
+	nodes  int
+}
+
+func newMatcher(target []logic.Atom) *matcher {
+	byPred := make(map[string][]logic.Atom)
+	for _, a := range target {
+		byPred[a.Pred] = append(byPred[a.Pred], a)
+	}
+	return &matcher{byPred: byPred, nodes: matchBudget}
+}
+
+// matchAll matches every source literal into the target under extensions of
+// s. The source body is first split into components connected through
+// variables unbound in s; components are independent subproblems, which
+// turns one exponential search into several much smaller ones.
+func (m *matcher) matchAll(src []logic.Atom, s logic.Substitution) bool {
+	for _, comp := range components(src, s) {
+		if !m.matchComponent(comp, s) {
+			return false
+		}
+	}
+	return true
+}
+
+// components partitions the literals into groups connected by variables
+// that are not bound in s.
+func components(src []logic.Atom, s logic.Substitution) [][]logic.Atom {
+	n := len(src)
+	if n <= 1 {
+		if n == 0 {
+			return nil
+		}
+		return [][]logic.Atom{src}
+	}
+	// Union-find over literal indexes.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	varOwner := make(map[string]int)
+	for i, a := range src {
+		for _, t := range a.Args {
+			if !t.IsVar {
+				continue
+			}
+			rt := s.Resolve(t)
+			if !rt.IsVar {
+				continue // bound variables do not connect literals
+			}
+			name := rt.Name
+			if j, ok := varOwner[name]; ok {
+				union(i, j)
+			} else {
+				varOwner[name] = i
+			}
+		}
+	}
+	groups := make(map[int][]logic.Atom)
+	var order []int
+	for i, a := range src {
+		r := find(i)
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], a)
+	}
+	out := make([][]logic.Atom, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// matchComponent backtracks over one connected component. At each step it
+// picks the remaining literal with the fewest consistent target candidates
+// (forward pruning: zero candidates fails immediately).
+func (m *matcher) matchComponent(lits []logic.Atom, s logic.Substitution) bool {
+	remaining := make([]logic.Atom, len(lits))
+	copy(remaining, lits)
+	return m.search(remaining, s)
+}
+
+func (m *matcher) search(remaining []logic.Atom, s logic.Substitution) bool {
+	m.nodes--
+	if m.nodes < 0 {
+		return false // budget exhausted: treat as non-subsuming
+	}
+	if len(remaining) == 0 {
+		return true
+	}
+	// Most-constrained literal selection (forward pruning on zero).
+	bestIdx, bestCount := -1, -1
+	for i, lit := range remaining {
+		n := m.countCandidates(lit, s)
+		if n == 0 {
+			return false
+		}
+		if bestCount == -1 || n < bestCount {
+			bestIdx, bestCount = i, n
+			if n == 1 {
+				break
+			}
+		}
+	}
+	lit := remaining[bestIdx]
+	rest := make([]logic.Atom, 0, len(remaining)-1)
+	rest = append(rest, remaining[:bestIdx]...)
+	rest = append(rest, remaining[bestIdx+1:]...)
+	// Trail-based binding: extend s in place, undo on backtrack. This
+	// avoids cloning the substitution per candidate, the dominant cost of
+	// coverage testing.
+	for _, tgt := range m.byPred[lit.Pred] {
+		trail, ok := bindInPlace(lit, tgt, s)
+		if !ok {
+			continue
+		}
+		if m.search(rest, s) {
+			return true
+		}
+		undo(s, trail)
+	}
+	return false
+}
+
+// countCandidates counts target literals compatible with lit under s,
+// using temporary in-place bindings to honor repeated variables.
+func (m *matcher) countCandidates(lit logic.Atom, s logic.Substitution) int {
+	n := 0
+	for _, tgt := range m.byPred[lit.Pred] {
+		if trail, ok := bindInPlace(lit, tgt, s); ok {
+			n++
+			undo(s, trail)
+		}
+	}
+	return n
+}
+
+// bindInPlace extends s so that pattern·s = ground, returning the trail of
+// newly bound variables; on mismatch it restores s and reports false.
+func bindInPlace(pattern, ground logic.Atom, s logic.Substitution) ([]string, bool) {
+	if len(pattern.Args) != len(ground.Args) {
+		return nil, false
+	}
+	var trail []string
+	for i, pt := range pattern.Args {
+		pt = s.Resolve(pt)
+		gt := ground.Args[i]
+		if pt.IsVar {
+			s[pt.Name] = gt
+			trail = append(trail, pt.Name)
+			continue
+		}
+		if pt != gt {
+			undo(s, trail)
+			return nil, false
+		}
+	}
+	return trail, true
+}
+
+func undo(s logic.Substitution, trail []string) {
+	for _, v := range trail {
+		delete(s, v)
+	}
+}
+
+// Reduce removes syntactically redundant body literals from the clause: a
+// literal L is redundant iff C θ-subsumes C−{L} (then the two are
+// equivalent, because C−{L} trivially subsumes C). This is the paper's
+// §7.5.5 minimization (θ-transformation). The head and relative order of
+// the surviving literals are preserved. The input clause is not modified.
+func Reduce(c *logic.Clause) *logic.Clause {
+	cur := c.Clone()
+	for i := 0; i < len(cur.Body); {
+		shorter := cur.RemoveBodyAt(i)
+		if Subsumes(cur, shorter) {
+			cur = shorter // drop the literal; do not advance
+		} else {
+			i++
+		}
+	}
+	return cur
+}
+
+// EquivalentClauses reports whether the clauses subsume each other, i.e.
+// return identical results on every database instance.
+func EquivalentClauses(c, d *logic.Clause) bool {
+	return Subsumes(c, d) && Subsumes(d, c)
+}
+
+// ContainsDefinition reports d1 ⊒ d2: every clause of d2 is θ-subsumed by
+// some clause of d1, so d1's result contains d2's result on every instance.
+func ContainsDefinition(d1, d2 *logic.Definition) bool {
+	for _, c2 := range d2.Clauses {
+		found := false
+		for _, c1 := range d1.Clauses {
+			if Subsumes(c1, c2) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentDefinitions reports whether the two Horn definitions are
+// equivalent as unions of conjunctive queries: each contains the other.
+func EquivalentDefinitions(d1, d2 *logic.Definition) bool {
+	return ContainsDefinition(d1, d2) && ContainsDefinition(d2, d1)
+}

@@ -1,0 +1,115 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+)
+
+// Instance mapping: τ applied to database instances.
+
+// Apply maps an instance of the pipeline's source schema to an instance of
+// its target schema, step by step. Decompositions project; compositions
+// natural-join. A composition over an instance that is not pairwise
+// consistent would lose tuples and make the transformation non-invertible,
+// so Apply returns an error in that case (use ApplyLossy for the §7.4
+// general-composition semantics).
+func (p *Pipeline) Apply(inst *relstore.Instance) (*relstore.Instance, error) {
+	return p.apply(inst, true)
+}
+
+// ApplyLossy is Apply without the pairwise-consistency check: dangling
+// tuples are silently dropped by the joins, matching the paper's general
+// composition over instances outside J(S).
+func (p *Pipeline) ApplyLossy(inst *relstore.Instance) (*relstore.Instance, error) {
+	return p.apply(inst, false)
+}
+
+func (p *Pipeline) apply(inst *relstore.Instance, strict bool) (*relstore.Instance, error) {
+	if inst.Schema() != p.from {
+		// Allow structurally identical schemas: match by relation names.
+		for _, r := range p.from.Relations() {
+			if inst.Table(r.Name) == nil {
+				return nil, fmt.Errorf("transform: instance lacks relation %q of the source schema", r.Name)
+			}
+		}
+	}
+	cur := inst
+	for _, st := range p.steps {
+		next, err := st.applyInstance(cur, strict)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (st *step) applyInstance(inst *relstore.Instance, strict bool) (*relstore.Instance, error) {
+	out := relstore.NewInstance(st.to)
+	switch st.kind {
+	case stepDecompose:
+		for _, r := range st.from.Relations() {
+			if r.Name == st.source {
+				continue
+			}
+			copyTable(inst, out, r.Name)
+		}
+		src := inst.Table(st.source)
+		full := relstore.TableResult(src)
+		for _, part := range st.parts {
+			proj, err := relstore.Project(full, part.Attrs)
+			if err != nil {
+				return nil, fmt.Errorf("transform: projecting %q: %w", part.Name, err)
+			}
+			for _, tp := range proj.Tuples {
+				if err := out.Insert(part.Name, tp...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case stepCompose:
+		if strict {
+			ok, err := inst.PairwiseConsistent(st.sources...)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, fmt.Errorf("transform: composing %v would lose tuples (instance not pairwise consistent); use ApplyLossy for general composition", st.sources)
+			}
+		}
+		isSource := make(map[string]bool)
+		for _, s := range st.sources {
+			isSource[s] = true
+		}
+		for _, r := range st.from.Relations() {
+			if !isSource[r.Name] {
+				copyTable(inst, out, r.Name)
+			}
+		}
+		joined, err := inst.JoinRelations(st.sources...)
+		if err != nil {
+			return nil, fmt.Errorf("transform: composing %q: %w", st.target, err)
+		}
+		reordered, err := relstore.Project(joined, st.targetAttr)
+		if err != nil {
+			return nil, err
+		}
+		for _, tp := range reordered.Tuples {
+			if err := out.Insert(st.target, tp...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func copyTable(from, to *relstore.Instance, rel string) {
+	t := from.Table(rel)
+	if t == nil {
+		return
+	}
+	for _, tp := range t.Tuples() {
+		to.MustInsert(rel, tp...)
+	}
+}

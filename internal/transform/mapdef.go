@@ -1,0 +1,201 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Definition mapping δτ (Proposition 3.7): rewriting Horn clauses over the
+// source schema into Horn clauses over the target schema such that both
+// return the same result on corresponding instances (hR(I) = δτ(hR)(τ(I))).
+//
+// Decomposition direction: a literal R(u) becomes one literal per part,
+// with u projected onto the part's attributes.
+//
+// Composition direction: literals over the source relations are greedily
+// grouped into join-consistent bundles; each bundle becomes one literal
+// over the composed relation, with positions no source literal constrains
+// filled by fresh variables. The fresh-variable completion is sound because
+// Definition 4.1's INDs with equality guarantee every part tuple extends to
+// a full joined tuple on corresponding instances (the дR2 construction of
+// §7 of the paper).
+
+// MapDefinition rewrites a definition over From() into one over To().
+func (p *Pipeline) MapDefinition(d *logic.Definition) (*logic.Definition, error) {
+	out := &logic.Definition{Target: d.Target}
+	for _, c := range d.Clauses {
+		mc, err := p.MapClause(c)
+		if err != nil {
+			return nil, err
+		}
+		out.Clauses = append(out.Clauses, mc)
+	}
+	return out, nil
+}
+
+// MapClause rewrites one clause over From() into a clause over To().
+func (p *Pipeline) MapClause(c *logic.Clause) (*logic.Clause, error) {
+	cur := c
+	for _, st := range p.steps {
+		next, err := st.mapClause(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (st *step) mapClause(c *logic.Clause) (*logic.Clause, error) {
+	switch st.kind {
+	case stepDecompose:
+		return st.mapClauseDecompose(c)
+	case stepCompose:
+		return st.mapClauseCompose(c)
+	}
+	return nil, fmt.Errorf("transform: unknown step kind")
+}
+
+// mapClauseDecompose replaces every body literal over the source relation
+// with the part literals carrying the projected terms.
+func (st *step) mapClauseDecompose(c *logic.Clause) (*logic.Clause, error) {
+	out := &logic.Clause{Head: c.Head.Clone()}
+	pos := make(map[string]int, st.sourceRel.Arity())
+	for i, a := range st.sourceRel.Attrs {
+		pos[a] = i
+	}
+	for _, lit := range c.Body {
+		if lit.Pred != st.source {
+			out.Body = append(out.Body, lit.Clone())
+			continue
+		}
+		if lit.Arity() != st.sourceRel.Arity() {
+			return nil, fmt.Errorf("transform: literal %v has wrong arity for %s", lit, st.sourceRel)
+		}
+		for _, part := range st.parts {
+			args := make([]logic.Term, len(part.Attrs))
+			for k, a := range part.Attrs {
+				args[k] = lit.Args[pos[a]]
+			}
+			out.Body = append(out.Body, logic.NewAtom(part.Name, args...))
+		}
+	}
+	return out, nil
+}
+
+// bundle is a partial tuple over the composed relation being assembled from
+// source literals.
+type bundle struct {
+	slots  []logic.Term // term per target attribute; meaningful iff filled
+	filled []bool
+}
+
+// mapClauseCompose groups source-relation literals into join-consistent
+// bundles and emits one composed literal per bundle. A literal joins a
+// bundle only when they overlap on at least one constrained position and
+// agree on every shared position: overlapping positions are natural-join
+// attributes, and over corresponding instances (lossless, pairwise
+// consistent, acyclic joins) agreeing overlapping literals are guaranteed
+// to stem from one joined tuple. Merging *non*-overlapping literals would
+// assert a joined tuple that need not exist, so they stay in separate
+// bundles whose unconstrained positions get fresh variables (sound by the
+// Definition 4.1 INDs with equality: every part tuple extends to a full
+// joined tuple).
+func (st *step) mapClauseCompose(c *logic.Clause) (*logic.Clause, error) {
+	isSource := make(map[string]int, len(st.sources)) // name → index
+	for i, s := range st.sources {
+		isSource[s] = i
+	}
+	targetPos := make(map[string]int, len(st.targetAttr))
+	for i, a := range st.targetAttr {
+		targetPos[a] = i
+	}
+	out := &logic.Clause{Head: c.Head.Clone()}
+	var bundles []*bundle
+
+	for _, lit := range c.Body {
+		si, ok := isSource[lit.Pred]
+		if !ok {
+			out.Body = append(out.Body, lit.Clone())
+			continue
+		}
+		rel := st.sourceRels[si]
+		if lit.Arity() != rel.Arity() {
+			return nil, fmt.Errorf("transform: literal %v has wrong arity for %s", lit, rel)
+		}
+		nb := newBundle(len(st.targetAttr))
+		for k, attr := range rel.Attrs {
+			p := targetPos[attr]
+			nb.slots[p] = lit.Args[k]
+			nb.filled[p] = true
+		}
+		bundles = append(bundles, nb)
+	}
+	bundles = mergeBundles(bundles)
+	if len(bundles) == 0 {
+		return out, nil
+	}
+	fresh := logic.NewFreshVarFactory(c)
+	for _, b := range bundles {
+		args := make([]logic.Term, len(b.slots))
+		for i := range args {
+			if b.filled[i] {
+				args[i] = b.slots[i]
+			} else {
+				args[i] = fresh.Fresh()
+			}
+		}
+		out.Body = append(out.Body, logic.NewAtom(st.target, args...))
+	}
+	return out, nil
+}
+
+func newBundle(n int) *bundle {
+	return &bundle{slots: make([]logic.Term, n), filled: make([]bool, n)}
+}
+
+// mergeBundles repeatedly merges bundles that overlap on at least one
+// filled position and agree on every shared filled position, until no merge
+// applies. The fixpoint makes the grouping independent of literal order.
+func mergeBundles(bundles []*bundle) []*bundle {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(bundles) && !changed; i++ {
+			for j := i + 1; j < len(bundles); j++ {
+				if bundles[i].canMerge(bundles[j]) {
+					bundles[i].absorb(bundles[j])
+					bundles = append(bundles[:j], bundles[j+1:]...)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return bundles
+}
+
+// canMerge reports overlap on ≥1 filled position with agreement everywhere
+// both are filled.
+func (b *bundle) canMerge(o *bundle) bool {
+	overlap := false
+	for p := range b.slots {
+		if b.filled[p] && o.filled[p] {
+			if b.slots[p] != o.slots[p] {
+				return false
+			}
+			overlap = true
+		}
+	}
+	return overlap
+}
+
+// absorb unions the other bundle's filled positions into b.
+func (b *bundle) absorb(o *bundle) {
+	for p := range b.slots {
+		if o.filled[p] && !b.filled[p] {
+			b.slots[p] = o.slots[p]
+			b.filled[p] = true
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package transform
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+)
+
+// Random-instance property tests for the transformation laws: τ round
+// trips, and δτ preserves definition results (Definition 3.5) on random
+// decomposable instances and random clauses.
+
+// randDecomposable builds a random instance of r(a,b,c,d) whose
+// decomposition into (a,b), (a,c,d) is lossless: one (c,d) pair per a
+// value (the FD a→cd), matching Definition 4.1's premises.
+func randDecomposable(r *rand.Rand) (*relstore.Schema, *relstore.Instance) {
+	s := relstore.NewSchema()
+	s.MustAddRelation("r", "a", "b", "c", "d")
+	inst := relstore.NewInstance(s)
+	as := []string{"a0", "a1", "a2", "a3"}
+	bs := []string{"b0", "b1", "b2"}
+	cd := map[string][2]string{}
+	for _, a := range as {
+		cd[a] = [2]string{"c" + itoa(r.Intn(3)), "d" + itoa(r.Intn(3))}
+	}
+	for i := 0; i < 4+r.Intn(10); i++ {
+		a := as[r.Intn(len(as))]
+		inst.MustInsert("r", a, bs[r.Intn(len(bs))], cd[a][0], cd[a][1])
+	}
+	return s, inst
+}
+
+func itoa(n int) string { return string(rune('0' + n%10)) }
+
+func decompPipeline(s *relstore.Schema) *Pipeline {
+	p := NewPipeline(s)
+	p.MustDecompose("r",
+		Part{Name: "r1", Attrs: []string{"a", "b"}},
+		Part{Name: "r2", Attrs: []string{"a", "c", "d"}},
+	)
+	return p
+}
+
+// TestQuickRoundTripIdentity: τ⁻¹(τ(I)) = I on random decomposable
+// instances.
+func TestQuickRoundTripIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 200; trial++ {
+		s, inst := randDecomposable(r)
+		p := decompPipeline(s)
+		j, err := p.Apply(inst)
+		if err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		back, err := p.Inverse().Apply(j)
+		if err != nil {
+			t.Fatalf("Inverse Apply: %v", err)
+		}
+		if !inst.Equal(back) {
+			t.Fatalf("round trip broke:\noriginal %d tuples, back %d", inst.NumTuples(), back.NumTuples())
+		}
+	}
+}
+
+// TestQuickDefinitionPreserving: hR(I) = δτ(hR)(τ(I)) for random clauses
+// over the composed schema (Definition 3.5), checked extensionally.
+func TestQuickDefinitionPreserving(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	varsPool := []logic.Term{logic.Var("X"), logic.Var("Y"), logic.Var("Z"), logic.Var("W")}
+	consts := []string{"a0", "a1", "b0", "c0", "d1"}
+	randTerm := func() logic.Term {
+		if r.Intn(4) == 0 {
+			return logic.Const(consts[r.Intn(len(consts))])
+		}
+		return varsPool[r.Intn(len(varsPool))]
+	}
+	for trial := 0; trial < 150; trial++ {
+		s, inst := randDecomposable(r)
+		p := decompPipeline(s)
+		j, err := p.Apply(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random safe clause t(head vars) ← r(...), r(...).
+		n := 1 + r.Intn(2)
+		body := make([]logic.Atom, n)
+		for i := range body {
+			args := make([]logic.Term, 4)
+			for k := range args {
+				args[k] = randTerm()
+			}
+			body[i] = logic.NewAtom("r", args...)
+		}
+		headVar := body[0].Vars()
+		if len(headVar) == 0 {
+			continue // ground body; head would be unsafe
+		}
+		c := &logic.Clause{Head: logic.NewAtom("t", logic.Var(headVar[0])), Body: body}
+		def := logic.NewDefinition("t", c)
+		mapped, err := p.MapDefinition(def)
+		if err != nil {
+			t.Fatalf("MapDefinition: %v (%v)", err, c)
+		}
+		resI, err := inst.EvalDefinition(def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resJ, err := j.EvalDefinition(mapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAtomSet(resI, resJ) {
+			t.Fatalf("definition mapping broke:\nclause %v\nmapped %v\nhR(I)=%v\nδ(hR)(τI)=%v",
+				c, mapped.Clauses[0], resI, resJ)
+		}
+	}
+}
+
+// TestQuickInstanceMappingPreservesInformation: τ is injective on random
+// decomposable instances — distinct instances map to distinct images.
+func TestQuickInstanceMappingInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	type pair struct {
+		inst *relstore.Instance
+		key  string
+	}
+	var seen []pair
+	s, _ := randDecomposable(r)
+	p := decompPipeline(s)
+	imageKey := func(i *relstore.Instance) string {
+		out := ""
+		for _, rel := range p.To().Relations() {
+			for _, tp := range i.Table(rel.Name).Tuples() {
+				out += rel.Name + "("
+				for _, v := range tp {
+					out += v + ","
+				}
+				out += ");"
+			}
+		}
+		return out
+	}
+	for trial := 0; trial < 60; trial++ {
+		_, inst := randDecomposable(r)
+		j, err := p.Apply(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := imageKey(j)
+		for _, prev := range seen {
+			if prev.key == k && !prev.inst.Equal(inst) {
+				t.Fatalf("two distinct instances share an image")
+			}
+		}
+		seen = append(seen, pair{inst, k})
+	}
+}

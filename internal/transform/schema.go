@@ -1,0 +1,183 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+)
+
+// Schema rewriting for the two step kinds: build the target schema, carry
+// constraints over where possible, and add the INDs with equality that
+// Definition 4.1 requires between decomposition parts.
+
+// decomposedSchema builds the schema after splitting source into parts.
+func decomposedSchema(from *relstore.Schema, source string, parts []Part) (*relstore.Schema, error) {
+	out := relstore.NewSchema()
+	for _, r := range from.Relations() {
+		if r.Name == source {
+			for _, part := range parts {
+				if _, err := out.AddRelation(part.Name, part.Attrs...); err != nil {
+					return nil, fmt.Errorf("transform: %w", err)
+				}
+			}
+			continue
+		}
+		if _, err := out.AddRelation(r.Name, r.Attrs...); err != nil {
+			return nil, fmt.Errorf("transform: %w", err)
+		}
+	}
+	// Definition 4.1: IND with equality between every pair of parts sharing
+	// attributes.
+	for i := 0; i < len(parts); i++ {
+		for j := i + 1; j < len(parts); j++ {
+			shared := sharedStrings(parts[i].Attrs, parts[j].Attrs)
+			if len(shared) == 0 {
+				continue
+			}
+			if err := out.AddIND(parts[i].Name, shared, parts[j].Name, shared, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Carry over FDs: unchanged relations keep theirs; FDs of the source
+	// move to any part containing all their attributes.
+	for _, fd := range from.FDs() {
+		if fd.Rel != source {
+			_ = out.AddFD(fd.Rel, fd.From, fd.To)
+			continue
+		}
+		need := append(append([]string(nil), fd.From...), fd.To...)
+		for _, part := range parts {
+			if containsAll(part.Attrs, need) {
+				_ = out.AddFD(part.Name, fd.From, fd.To)
+				break
+			}
+		}
+	}
+	// Carry over INDs: rewrite sides referencing the source to a part
+	// containing the attributes; drop INDs that cannot be rewritten.
+	for _, ind := range from.INDs() {
+		l, lok := rewriteSideDecompose(ind.Left, source, parts)
+		r, rok := rewriteSideDecompose(ind.Right, source, parts)
+		if lok && rok {
+			_ = out.AddIND(l.Rel, l.Attrs, r.Rel, r.Attrs, ind.Equality)
+		}
+	}
+	copyDomains(from, out)
+	return out, nil
+}
+
+// composedSchema builds the schema after replacing sources with their
+// natural join as relation target with the given attribute order.
+func composedSchema(from *relstore.Schema, sources []string, target string, attrs []string) (*relstore.Schema, error) {
+	isSource := make(map[string]bool, len(sources))
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	out := relstore.NewSchema()
+	placed := false
+	for _, r := range from.Relations() {
+		if isSource[r.Name] {
+			if !placed {
+				if _, err := out.AddRelation(target, attrs...); err != nil {
+					return nil, fmt.Errorf("transform: %w", err)
+				}
+				placed = true
+			}
+			continue
+		}
+		if _, err := out.AddRelation(r.Name, r.Attrs...); err != nil {
+			return nil, fmt.Errorf("transform: %w", err)
+		}
+	}
+	for _, fd := range from.FDs() {
+		if !isSource[fd.Rel] {
+			_ = out.AddFD(fd.Rel, fd.From, fd.To)
+			continue
+		}
+		_ = out.AddFD(target, fd.From, fd.To) // attrs all present in the join
+	}
+	for _, ind := range from.INDs() {
+		l, lok := rewriteSideCompose(ind.Left, isSource, target)
+		r, rok := rewriteSideCompose(ind.Right, isSource, target)
+		if !lok || !rok {
+			continue
+		}
+		if l.Rel == r.Rel && equalStrings(l.Attrs, r.Attrs) {
+			continue // both sides collapsed onto the same columns: trivial
+		}
+		_ = out.AddIND(l.Rel, l.Attrs, r.Rel, r.Attrs, ind.Equality)
+	}
+	copyDomains(from, out)
+	return out, nil
+}
+
+func rewriteSideDecompose(side relstore.RelAttrs, source string, parts []Part) (relstore.RelAttrs, bool) {
+	if side.Rel != source {
+		return side, true
+	}
+	for _, part := range parts {
+		if containsAll(part.Attrs, side.Attrs) {
+			return relstore.RelAttrs{Rel: part.Name, Attrs: side.Attrs}, true
+		}
+	}
+	return relstore.RelAttrs{}, false
+}
+
+func rewriteSideCompose(side relstore.RelAttrs, isSource map[string]bool, target string) (relstore.RelAttrs, bool) {
+	if !isSource[side.Rel] {
+		return side, true
+	}
+	return relstore.RelAttrs{Rel: target, Attrs: side.Attrs}, true
+}
+
+func copyDomains(from, to *relstore.Schema) {
+	for _, r := range to.Relations() {
+		for _, a := range r.Attrs {
+			if d := from.Domain(a); d != a {
+				to.SetDomain(a, d)
+			}
+		}
+	}
+}
+
+func sharedStrings(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func containsAll(haystack, needles []string) bool {
+	for _, n := range needles {
+		found := false
+		for _, h := range haystack {
+			if h == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

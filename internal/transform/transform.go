@@ -1,0 +1,297 @@
+// Package transform implements the vertical composition and decomposition
+// schema transformations of §4 of the paper, as invertible pipelines that
+// map schemas, database instances (τ and τ⁻¹) and Horn definitions (the
+// definition mapping δτ of Proposition 3.7).
+//
+// A decomposition replaces one relation R with projections S1…Sn whose
+// attribute sets cover sort(R) and whose join graph is connected; per
+// Definition 4.1 it adds an IND with equality Si[X] = Sj[X] for every pair
+// of parts sharing attribute set X. A composition is the inverse: it
+// replaces S1…Sn with their natural join.
+//
+// Constraint carry-over: FDs fully contained in one part move to that part
+// (decomposition) or to the join result (composition); INDs referencing a
+// transformed relation are rewritten to a part/result containing their
+// attributes. Constraints that cannot be rewritten are dropped — the
+// definition and instance mappings do not depend on them.
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/relstore"
+)
+
+// Part names one output relation of a decomposition and the source
+// attributes it keeps, in column order.
+type Part struct {
+	Name  string
+	Attrs []string
+}
+
+// step is one composition or decomposition. Exactly one of decompose /
+// compose semantics applies, selected by kind.
+type step struct {
+	kind       stepKind
+	source     string             // decompose: relation being split
+	sourceRel  *relstore.Relation // decompose: its symbol (for inversion)
+	parts      []Part             // decompose: outputs
+	sources    []string           // compose: relations being joined
+	sourceRels []*relstore.Relation
+	target     string   // compose: output relation
+	targetAttr []string // compose: output attribute order
+	from, to   *relstore.Schema
+}
+
+type stepKind int
+
+const (
+	stepDecompose stepKind = iota
+	stepCompose
+)
+
+// Pipeline is a finite sequence of (de)composition steps, the paper's
+// "decomposition/composition of a schema". It is bijective on the instances
+// of its source schema (every decomposition is bijective; compositions are
+// bijective on pairwise-consistent instances, which Apply verifies).
+type Pipeline struct {
+	from  *relstore.Schema
+	cur   *relstore.Schema
+	steps []step
+}
+
+// NewPipeline starts a pipeline at the given schema.
+func NewPipeline(from *relstore.Schema) *Pipeline {
+	return &Pipeline{from: from, cur: from}
+}
+
+// From returns the source schema.
+func (p *Pipeline) From() *relstore.Schema { return p.from }
+
+// To returns the schema after all steps.
+func (p *Pipeline) To() *relstore.Schema { return p.cur }
+
+// Steps returns the number of steps.
+func (p *Pipeline) Steps() int { return len(p.steps) }
+
+// Decompose appends a step splitting source into parts.
+func (p *Pipeline) Decompose(source string, parts ...Part) error {
+	rel, ok := p.cur.Relation(source)
+	if !ok {
+		return fmt.Errorf("transform: decompose unknown relation %q", source)
+	}
+	if len(parts) < 2 {
+		return fmt.Errorf("transform: decomposition needs at least two parts")
+	}
+	covered := make(map[string]bool)
+	for _, part := range parts {
+		if len(part.Attrs) == 0 {
+			return fmt.Errorf("transform: part %q has no attributes", part.Name)
+		}
+		for _, a := range part.Attrs {
+			if !rel.HasAttr(a) {
+				return fmt.Errorf("transform: part %q uses attribute %q not in %s", part.Name, a, rel)
+			}
+			covered[a] = true
+		}
+	}
+	if len(covered) != rel.Arity() {
+		return fmt.Errorf("transform: parts do not cover sort(%s)", source)
+	}
+	if !joinConnectedParts(parts) {
+		return fmt.Errorf("transform: parts of %q are not join-connected", source)
+	}
+	to, err := decomposedSchema(p.cur, source, parts)
+	if err != nil {
+		return err
+	}
+	p.steps = append(p.steps, step{
+		kind:      stepDecompose,
+		source:    source,
+		sourceRel: rel,
+		parts:     parts,
+		from:      p.cur,
+		to:        to,
+	})
+	p.cur = to
+	return nil
+}
+
+// Compose appends a step replacing sources with their natural join as
+// relation target. Sources must be join-connected; the target's attribute
+// order is the natural-join order (first source's attributes, then each
+// later source's new attributes).
+func (p *Pipeline) Compose(target string, sources ...string) error {
+	if len(sources) < 2 {
+		return fmt.Errorf("transform: composition needs at least two sources")
+	}
+	rels := make([]*relstore.Relation, len(sources))
+	for i, s := range sources {
+		r, ok := p.cur.Relation(s)
+		if !ok {
+			return fmt.Errorf("transform: compose unknown relation %q", s)
+		}
+		rels[i] = r
+	}
+	if !joinConnectedRels(rels) {
+		return fmt.Errorf("transform: sources of %q are not join-connected", target)
+	}
+	attrs := joinAttrOrder(rels)
+	to, err := composedSchema(p.cur, sources, target, attrs)
+	if err != nil {
+		return err
+	}
+	p.steps = append(p.steps, step{
+		kind:       stepCompose,
+		sources:    sources,
+		sourceRels: rels,
+		target:     target,
+		targetAttr: attrs,
+		from:       p.cur,
+		to:         to,
+	})
+	p.cur = to
+	return nil
+}
+
+// MustDecompose is Decompose that panics on error.
+func (p *Pipeline) MustDecompose(source string, parts ...Part) {
+	if err := p.Decompose(source, parts...); err != nil {
+		panic(err)
+	}
+}
+
+// MustCompose is Compose that panics on error.
+func (p *Pipeline) MustCompose(target string, sources ...string) {
+	if err := p.Compose(target, sources...); err != nil {
+		panic(err)
+	}
+}
+
+// Concat returns a pipeline that runs a's steps and then b's. b must start
+// at a's target schema (the same *Schema value).
+func Concat(a, b *Pipeline) (*Pipeline, error) {
+	if b.from != a.cur {
+		return nil, fmt.Errorf("transform: Concat: second pipeline does not start at the first one's target schema")
+	}
+	out := &Pipeline{from: a.from, cur: b.cur}
+	out.steps = append(append([]step(nil), a.steps...), b.steps...)
+	return out, nil
+}
+
+// Inverse returns the pipeline running the inverse steps in reverse order:
+// τ⁻¹. Its From is p.To and its To is p.From.
+func (p *Pipeline) Inverse() *Pipeline {
+	inv := NewPipeline(p.cur)
+	for i := len(p.steps) - 1; i >= 0; i-- {
+		st := p.steps[i]
+		switch st.kind {
+		case stepDecompose:
+			// Inverse: compose the parts back into the source relation,
+			// preserving the original attribute order.
+			names := make([]string, len(st.parts))
+			for k, part := range st.parts {
+				names[k] = part.Name
+			}
+			rels := make([]*relstore.Relation, len(names))
+			for k, n := range names {
+				r, _ := inv.cur.Relation(n)
+				rels[k] = r
+			}
+			to, err := composedSchema(inv.cur, names, st.source, st.sourceRel.Attrs)
+			if err != nil {
+				panic(fmt.Sprintf("transform: inverting decomposition of %q: %v", st.source, err))
+			}
+			inv.steps = append(inv.steps, step{
+				kind:       stepCompose,
+				sources:    names,
+				sourceRels: rels,
+				target:     st.source,
+				targetAttr: st.sourceRel.Attrs,
+				from:       inv.cur,
+				to:         to,
+			})
+			inv.cur = to
+		case stepCompose:
+			// Inverse: decompose the target back into the sources.
+			parts := make([]Part, len(st.sources))
+			for k, n := range st.sources {
+				parts[k] = Part{Name: n, Attrs: st.sourceRels[k].Attrs}
+			}
+			rel, _ := inv.cur.Relation(st.target)
+			to, err := decomposedSchema(inv.cur, st.target, parts)
+			if err != nil {
+				panic(fmt.Sprintf("transform: inverting composition of %q: %v", st.target, err))
+			}
+			inv.steps = append(inv.steps, step{
+				kind:      stepDecompose,
+				source:    st.target,
+				sourceRel: rel,
+				parts:     parts,
+				from:      inv.cur,
+				to:        to,
+			})
+			inv.cur = to
+		}
+	}
+	return inv
+}
+
+// joinConnectedParts reports whether the parts form a connected join graph
+// (edges between parts sharing an attribute).
+func joinConnectedParts(parts []Part) bool {
+	n := len(parts)
+	shares := func(i, j int) bool {
+		for _, a := range parts[i].Attrs {
+			for _, b := range parts[j].Attrs {
+				if a == b {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return connected(n, shares)
+}
+
+func joinConnectedRels(rels []*relstore.Relation) bool {
+	shares := func(i, j int) bool { return len(rels[i].SharedAttrs(rels[j])) > 0 }
+	return connected(len(rels), shares)
+}
+
+func connected(n int, shares func(i, j int) bool) bool {
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for j := 0; j < n; j++ {
+			if !seen[j] && shares(i, j) {
+				seen[j] = true
+				count++
+				stack = append(stack, j)
+			}
+		}
+	}
+	return count == n
+}
+
+// joinAttrOrder returns the natural-join attribute order of the relations.
+func joinAttrOrder(rels []*relstore.Relation) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, r := range rels {
+		for _, a := range r.Attrs {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,497 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/relstore"
+)
+
+// uwcseOriginal builds the Original UW-CSE schema of Table 1 with the INDs
+// needed for the student/professor compositions.
+func uwcseOriginal(t testing.TB) *relstore.Schema {
+	t.Helper()
+	s := relstore.NewSchema()
+	s.MustAddRelation("student", "stud")
+	s.MustAddRelation("inPhase", "stud", "phase")
+	s.MustAddRelation("yearsInProgram", "stud", "years")
+	s.MustAddRelation("professor", "prof")
+	s.MustAddRelation("hasPosition", "prof", "position")
+	s.MustAddRelation("publication", "title", "person")
+	s.MustAddIND("student", []string{"stud"}, "inPhase", []string{"stud"}, true)
+	s.MustAddIND("student", []string{"stud"}, "yearsInProgram", []string{"stud"}, true)
+	s.MustAddIND("professor", []string{"prof"}, "hasPosition", []string{"prof"}, true)
+	return s
+}
+
+// to4NF builds the pipeline of Example 3.6: Original → 4NF.
+func to4NF(t testing.TB, s *relstore.Schema) *Pipeline {
+	t.Helper()
+	p := NewPipeline(s)
+	p.MustCompose("student", "student", "inPhase", "yearsInProgram")
+	p.MustCompose("professor", "professor", "hasPosition")
+	return p
+}
+
+func originalInstance(t testing.TB, s *relstore.Schema) *relstore.Instance {
+	t.Helper()
+	i := relstore.NewInstance(s)
+	i.MustInsert("student", "abe")
+	i.MustInsert("student", "bea")
+	i.MustInsert("inPhase", "abe", "prelim")
+	i.MustInsert("inPhase", "bea", "post_generals")
+	i.MustInsert("yearsInProgram", "abe", "2")
+	i.MustInsert("yearsInProgram", "bea", "5")
+	i.MustInsert("professor", "pat")
+	i.MustInsert("hasPosition", "pat", "faculty")
+	i.MustInsert("publication", "t1", "abe")
+	i.MustInsert("publication", "t1", "pat")
+	return i
+}
+
+func TestComposeSchema(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	to := p.To()
+	if to.NumRelations() != 3 {
+		t.Fatalf("4NF relations = %v", to.Relations())
+	}
+	st, ok := to.Relation("student")
+	if !ok || st.Arity() != 3 || st.Attrs[0] != "stud" || st.Attrs[1] != "phase" || st.Attrs[2] != "years" {
+		t.Errorf("student = %v", st)
+	}
+	pr, _ := to.Relation("professor")
+	if pr.Arity() != 2 {
+		t.Errorf("professor = %v", pr)
+	}
+	if _, ok := to.Relation("inPhase"); ok {
+		t.Error("inPhase should be gone")
+	}
+	if p.Steps() != 2 {
+		t.Errorf("Steps = %d", p.Steps())
+	}
+	if p.From() != s {
+		t.Error("From changed")
+	}
+}
+
+func TestDecomposeSchemaAddsINDs(t *testing.T) {
+	s := relstore.NewSchema()
+	s.MustAddRelation("student", "stud", "phase", "years")
+	p := NewPipeline(s)
+	p.MustDecompose("student",
+		Part{Name: "student", Attrs: []string{"stud"}},
+		Part{Name: "inPhase", Attrs: []string{"stud", "phase"}},
+		Part{Name: "yearsInProgram", Attrs: []string{"stud", "years"}},
+	)
+	to := p.To()
+	if to.NumRelations() != 3 {
+		t.Fatalf("relations = %v", to.Relations())
+	}
+	inds := to.EqualityINDs()
+	if len(inds) != 3 { // all three pairs share stud
+		t.Fatalf("INDs = %v", inds)
+	}
+	for _, ind := range inds {
+		if len(ind.Left.Attrs) != 1 || ind.Left.Attrs[0] != "stud" {
+			t.Errorf("IND attrs wrong: %v", ind)
+		}
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	s := relstore.NewSchema()
+	s.MustAddRelation("r", "a", "b", "c")
+	cases := []struct {
+		name  string
+		parts []Part
+	}{
+		{"unknown relation", nil},
+		{"single part", []Part{{Name: "p1", Attrs: []string{"a", "b", "c"}}}},
+		{"missing coverage", []Part{{Name: "p1", Attrs: []string{"a"}}, {Name: "p2", Attrs: []string{"a", "b"}}}},
+		{"unknown attribute", []Part{{Name: "p1", Attrs: []string{"a", "z"}}, {Name: "p2", Attrs: []string{"a", "b", "c"}}}},
+		{"empty part", []Part{{Name: "p1", Attrs: nil}, {Name: "p2", Attrs: []string{"a", "b", "c"}}}},
+		{"disconnected", []Part{{Name: "p1", Attrs: []string{"a"}}, {Name: "p2", Attrs: []string{"b", "c"}}}},
+	}
+	for _, tc := range cases {
+		p := NewPipeline(s)
+		src := "r"
+		if tc.name == "unknown relation" {
+			src = "ghost"
+			tc.parts = []Part{{Name: "p1", Attrs: []string{"a"}}, {Name: "p2", Attrs: []string{"a", "b", "c"}}}
+		}
+		if err := p.Decompose(src, tc.parts...); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := NewPipeline(s)
+	if err := p.Compose("x", "student"); err == nil {
+		t.Error("single source accepted")
+	}
+	if err := p.Compose("x", "student", "ghost"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := p.Compose("x", "student", "publication"); err == nil {
+		t.Error("disconnected sources accepted")
+	}
+}
+
+func TestApplyComposition(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	i := originalInstance(t, s)
+	j, err := p.Apply(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := j.Table("student")
+	if st.Len() != 2 {
+		t.Fatalf("student tuples = %v", st.Tuples())
+	}
+	if !st.Contains(relstore.Tuple{"abe", "prelim", "2"}) || !st.Contains(relstore.Tuple{"bea", "post_generals", "5"}) {
+		t.Errorf("student = %v", st.Tuples())
+	}
+	if !j.Table("professor").Contains(relstore.Tuple{"pat", "faculty"}) {
+		t.Errorf("professor = %v", j.Table("professor").Tuples())
+	}
+	if j.Table("publication").Len() != 2 {
+		t.Error("publication should be copied unchanged")
+	}
+}
+
+func TestApplyRejectsLossy(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	i := originalInstance(t, s)
+	i.MustInsert("student", "cal") // dangling: no phase/years
+	if _, err := p.Apply(i); err == nil {
+		t.Error("lossy composition must be rejected by Apply")
+	}
+	j, err := p.ApplyLossy(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Table("student").Len() != 2 {
+		t.Errorf("lossy apply = %v", j.Table("student").Tuples())
+	}
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	inv := p.Inverse()
+	if inv.From() != p.To() || inv.To().NumRelations() != s.NumRelations() {
+		t.Fatal("Inverse endpoints wrong")
+	}
+	i := originalInstance(t, s)
+	j, err := p.Apply(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := inv.Apply(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i.Equal(back) {
+		t.Error("τ⁻¹(τ(I)) ≠ I")
+	}
+}
+
+func TestRoundTripDecomposeFirst(t *testing.T) {
+	// Start from 4NF, decompose, invert (= compose), round trip.
+	s := relstore.NewSchema()
+	s.MustAddRelation("student", "stud", "phase", "years")
+	i := relstore.NewInstance(s)
+	i.MustInsert("student", "abe", "prelim", "2")
+	i.MustInsert("student", "bea", "post_generals", "5")
+	p := NewPipeline(s)
+	p.MustDecompose("student",
+		Part{Name: "student", Attrs: []string{"stud"}},
+		Part{Name: "inPhase", Attrs: []string{"stud", "phase"}},
+		Part{Name: "yearsInProgram", Attrs: []string{"stud", "years"}},
+	)
+	j, err := p.Apply(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Table("inPhase").Len() != 2 || j.Table("student").Len() != 2 {
+		t.Fatalf("decomposed = %d/%d", j.Table("inPhase").Len(), j.Table("student").Len())
+	}
+	back, err := p.Inverse().Apply(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !i.Equal(back) {
+		t.Error("round trip failed")
+	}
+}
+
+func TestMapClauseDecompose(t *testing.T) {
+	s := relstore.NewSchema()
+	s.MustAddRelation("student", "stud", "phase", "years")
+	s.MustAddRelation("publication", "title", "person")
+	p := NewPipeline(s)
+	p.MustDecompose("student",
+		Part{Name: "student", Attrs: []string{"stud"}},
+		Part{Name: "inPhase", Attrs: []string{"stud", "phase"}},
+		Part{Name: "yearsInProgram", Attrs: []string{"stud", "years"}},
+	)
+	// Example 6.5's clause pair.
+	c := logic.MustParseClause("hardWorking(X) :- student(X, prelim, 3).")
+	got, err := p.MapClause(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := logic.MustParseClause("hardWorking(X) :- student(X), inPhase(X, prelim), yearsInProgram(X, 3).")
+	if !got.Equal(want) {
+		t.Errorf("MapClause = %v want %v", got, want)
+	}
+	// Non-source literals pass through.
+	c2 := logic.MustParseClause("t(X) :- publication(P, X).")
+	got2, _ := p.MapClause(c2)
+	if !got2.Equal(c2) {
+		t.Errorf("pass-through failed: %v", got2)
+	}
+	// Arity mismatch is an error.
+	if _, err := p.MapClause(logic.MustParseClause("t(X) :- student(X).")); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestMapClauseCompose(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	c := logic.MustParseClause("hardWorking(X) :- student(X), inPhase(X, prelim), yearsInProgram(X, 3).")
+	got, err := p.MapClause(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := logic.MustParseClause("hardWorking(X) :- student(X, prelim, 3).")
+	if !got.Equal(want) {
+		t.Errorf("MapClause = %v want %v", got, want)
+	}
+}
+
+func TestMapClauseComposePartialBundle(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	// Only inPhase present: missing positions get fresh variables.
+	c := logic.MustParseClause("t(X) :- inPhase(X, prelim).")
+	got, err := p.MapClause(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Body) != 1 || got.Body[0].Pred != "student" || got.Body[0].Arity() != 3 {
+		t.Fatalf("MapClause = %v", got)
+	}
+	if got.Body[0].Args[0] != logic.Var("X") || got.Body[0].Args[1] != logic.Const("prelim") {
+		t.Errorf("bound slots wrong: %v", got)
+	}
+	if !got.Body[0].Args[2].IsVar {
+		t.Errorf("unbound slot should be fresh var: %v", got)
+	}
+}
+
+func TestMapClauseComposeSeparateBundles(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	// Two students: literals that disagree on stud stay separate.
+	c := logic.MustParseClause("t(X,Y) :- inPhase(X, prelim), inPhase(Y, post_generals).")
+	got, err := p.MapClause(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Body) != 2 {
+		t.Fatalf("MapClause = %v", got)
+	}
+	for _, b := range got.Body {
+		if b.Pred != "student" {
+			t.Errorf("literal = %v", b)
+		}
+	}
+}
+
+// TestDefinitionPreserving checks Definition 3.5 extensionally:
+// hR(I) = δτ(hR)(τ(I)) on a concrete instance, in both directions.
+func TestDefinitionPreserving(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	i := originalInstance(t, s)
+	j, err := p.Apply(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := []string{
+		"hardWorking(X) :- student(X), inPhase(X, prelim), yearsInProgram(X, 2).",
+		"collab(X,Y) :- publication(P,X), publication(P,Y).",
+		"phaseOf(X,Ph) :- inPhase(X,Ph).",
+		"t(X) :- student(X), publication(P,X).",
+	}
+	for _, src := range defs {
+		d := logic.MustParseDefinition(src)
+		mapped, err := p.MapDefinition(d)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		resI, err := i.EvalDefinition(d)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		resJ, err := j.EvalDefinition(mapped)
+		if err != nil {
+			t.Fatalf("%s over mapped: %v", src, err)
+		}
+		if !sameAtomSet(resI, resJ) {
+			t.Errorf("%s: hR(I)=%v but δτ(hR)(τ(I))=%v\nmapped=%v", src, resI, resJ, mapped)
+		}
+	}
+}
+
+// TestDefinitionPreservingInverse checks the inverse direction over the 4NF
+// schema.
+func TestDefinitionPreservingInverse(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	inv := p.Inverse()
+	i := originalInstance(t, s)
+	j, err := p.Apply(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defs := []string{
+		"hardWorking(X) :- student(X, prelim, 2).",
+		"pos(X,Y) :- professor(X,Y).",
+		"t(X) :- student(X, P, Yr), publication(Ttl, X).",
+	}
+	for _, src := range defs {
+		d := logic.MustParseDefinition(src)
+		mapped, err := inv.MapDefinition(d)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		resJ, err := j.EvalDefinition(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resI, err := i.EvalDefinition(mapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameAtomSet(resI, resJ) {
+			t.Errorf("%s: hS(J)=%v but δ(hS)(I)=%v\nmapped=%v", src, resJ, resI, mapped)
+		}
+	}
+}
+
+func sameAtomSet(a, b []logic.Atom) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	keys := make(map[string]bool, len(a))
+	for _, x := range a {
+		keys[x.Key()] = true
+	}
+	for _, y := range b {
+		if !keys[y.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeBundlesOrderIndependence(t *testing.T) {
+	// S1(A,B), S2(B,C), S3(C,D) composed to R(A,B,C,D): the chain
+	// S1(x,y), S3(c,d), S2(y,c) must merge into one bundle regardless of
+	// literal order.
+	s := relstore.NewSchema()
+	s.MustAddRelation("s1", "a", "b")
+	s.MustAddRelation("s2", "b", "c")
+	s.MustAddRelation("s3", "c", "d")
+	p := NewPipeline(s)
+	p.MustCompose("r", "s1", "s2", "s3")
+	c := logic.MustParseClause("t(X) :- s1(X,Y), s3(C,D), s2(Y,C).")
+	got, err := p.MapClause(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Body) != 1 {
+		t.Fatalf("expected one merged literal, got %v", got)
+	}
+	want := logic.MustParseClause("t(X) :- r(X,Y,C,D).")
+	if !got.Equal(want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestMapDefinitionMultiClause(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	d := logic.MustParseDefinition(`
+		t(X) :- inPhase(X, prelim).
+		t(X) :- yearsInProgram(X, 5).
+	`)
+	got, err := p.MapDefinition(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Target != "t" {
+		t.Fatalf("MapDefinition = %v", got)
+	}
+}
+
+func TestConcatValidation(t *testing.T) {
+	s := uwcseOriginal(t)
+	s.MustAddRelation("courseLevel", "crs", "level")
+	s.MustAddRelation("taughtBy", "crs", "prof", "term")
+	s.MustAddRelation("ta", "crs", "stud", "term")
+	a := to4NF(t, s)
+	other := NewPipeline(relstore.NewSchema())
+	if _, err := Concat(a, other); err == nil {
+		t.Error("mismatched pipelines concatenated")
+	}
+	b := NewPipeline(a.To())
+	b.MustCompose("course", "courseLevel", "taughtBy")
+	c, err := Concat(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Steps() != a.Steps()+b.Steps() || c.From() != s || c.To() != b.To() {
+		t.Error("Concat endpoints wrong")
+	}
+	// The concatenated pipeline maps instances end to end.
+	i := originalInstance(t, s)
+	i.MustInsert("courseLevel", "c1", "level_400")
+	i.MustInsert("taughtBy", "c1", "pat", "autumn")
+	i.MustInsert("ta", "c1", "abe", "autumn")
+	out, err := c.Apply(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table("course").Len() != 1 {
+		t.Errorf("course = %v", out.Table("course").Tuples())
+	}
+}
+
+func TestApplyMissingRelation(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	other := relstore.NewSchema()
+	other.MustAddRelation("unrelated", "x")
+	inst := relstore.NewInstance(other)
+	if _, err := p.Apply(inst); err == nil {
+		t.Error("instance of a different schema accepted")
+	}
+}
+
+func TestMapDefinitionErrorPropagates(t *testing.T) {
+	s := uwcseOriginal(t)
+	p := to4NF(t, s)
+	d := logic.MustParseDefinition("t(X) :- inPhase(X).") // wrong arity
+	if _, err := p.MapDefinition(d); err == nil {
+		t.Error("arity error not propagated")
+	}
+}

@@ -1,0 +1,197 @@
+// Package sirl (Schema Independent Relational Learning) is the public
+// facade of this repository, which reproduces "Schema Independent
+// Relational Learning" (Picado, Termehchy, Fern, Ataei — SIGMOD 2017).
+//
+// The facade re-exports the library's stable surface:
+//
+//   - building relational schemas with constraints and in-memory database
+//     instances (relstore);
+//   - first-order clauses and Horn definitions with a Datalog-style parser
+//     (logic) and θ-subsumption utilities (subsume);
+//   - vertical composition/decomposition transformations with instance and
+//     definition mappings (transform);
+//   - the learners: Castor (the paper's contribution) and the baselines
+//     FOIL, Aleph-FOIL, Aleph-Progol, Golem and ProGolem, all behind one
+//     Learner interface (ilp);
+//   - the query-based A2 learner with its EQ/MQ oracle (loganh);
+//   - the benchmark dataset generators (datasets), evaluation helpers
+//     (eval) and the paper's experiment runners (experiments).
+//
+// Quickstart:
+//
+//	schema := sirl.NewSchema()
+//	schema.MustAddRelation("publication", "title", "person")
+//	db := sirl.NewInstance(schema)
+//	db.MustInsert("publication", "t1", "alice")
+//	db.MustInsert("publication", "t1", "bob")
+//	prob := &sirl.Problem{
+//	    Instance: db,
+//	    Target:   &sirl.Relation{Name: "collaborated", Attrs: []string{"person", "person2"}},
+//	    Pos:      []sirl.Atom{sirl.GroundAtom("collaborated", "alice", "bob")},
+//	}
+//	def, err := sirl.NewCastor().Learn(prob, sirl.DefaultParams())
+//
+// See examples/ for runnable programs and DESIGN.md for the map from the
+// paper's sections to packages.
+package sirl
+
+import (
+	"repro/internal/castor"
+	"repro/internal/datasets"
+	"repro/internal/eval"
+	"repro/internal/foil"
+	"repro/internal/golem"
+	"repro/internal/ilp"
+	"repro/internal/loganh"
+	"repro/internal/logic"
+	"repro/internal/progol"
+	"repro/internal/progolem"
+	"repro/internal/relstore"
+	"repro/internal/subsume"
+	"repro/internal/transform"
+)
+
+// Relational store types.
+type (
+	// Schema is a set of relation symbols plus FD/IND constraints.
+	Schema = relstore.Schema
+	// Relation is a relation symbol with its attribute sort.
+	Relation = relstore.Relation
+	// Instance is an in-memory database instance of a schema.
+	Instance = relstore.Instance
+	// Tuple is one database row.
+	Tuple = relstore.Tuple
+	// IND is an inclusion dependency.
+	IND = relstore.IND
+	// FD is a functional dependency.
+	FD = relstore.FD
+)
+
+// Logic types.
+type (
+	// Term is a variable or constant.
+	Term = logic.Term
+	// Atom is a predicate applied to terms.
+	Atom = logic.Atom
+	// Clause is a definite Horn clause with an ordered body.
+	Clause = logic.Clause
+	// Definition is a Horn definition: clauses sharing one head predicate.
+	Definition = logic.Definition
+)
+
+// Learning types.
+type (
+	// Problem is an ILP task: background knowledge, target, examples.
+	Problem = ilp.Problem
+	// Params is the shared learner parameter tuple.
+	Params = ilp.Params
+	// Learner is the interface implemented by every algorithm here.
+	Learner = ilp.Learner
+	// Metrics reports precision/recall/F1 of a learned definition.
+	Metrics = eval.Metrics
+	// Pipeline is a composition/decomposition transformation sequence.
+	Pipeline = transform.Pipeline
+	// Part names one output of a decomposition.
+	Part = transform.Part
+	// Dataset is a generated benchmark with all its schema variants.
+	Dataset = datasets.Dataset
+)
+
+// CoverageMode selects how clause coverage is decided.
+type CoverageMode = ilp.CoverageMode
+
+// Coverage modes: direct database evaluation, or θ-subsumption against
+// ground bottom clauses (the paper's engine for large databases, §7.5.3).
+const (
+	CoverageDB          = ilp.CoverageDB
+	CoverageSubsumption = ilp.CoverageSubsumption
+)
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return relstore.NewSchema() }
+
+// NewInstance returns an empty instance of the schema.
+func NewInstance(s *Schema) *Instance { return relstore.NewInstance(s) }
+
+// NewPipeline starts a transformation pipeline at the schema.
+func NewPipeline(s *Schema) *Pipeline { return transform.NewPipeline(s) }
+
+// DefaultParams returns the paper's §9.1.2 parameter settings.
+func DefaultParams() Params { return ilp.Defaults() }
+
+// Var returns a variable term.
+func Var(name string) Term { return logic.Var(name) }
+
+// Const returns a constant term.
+func Const(value string) Term { return logic.Const(value) }
+
+// GroundAtom builds an atom over constants.
+func GroundAtom(pred string, values ...string) Atom { return logic.GroundAtom(pred, values...) }
+
+// ParseClause parses a Datalog-style clause ("head(X) :- body(X).").
+func ParseClause(src string) (*Clause, error) { return logic.ParseClause(src) }
+
+// MustParseClause is ParseClause that panics on error.
+func MustParseClause(src string) *Clause { return logic.MustParseClause(src) }
+
+// ParseDefinition parses a set of clauses sharing one head predicate.
+func ParseDefinition(src string) (*Definition, error) { return logic.ParseDefinition(src) }
+
+// Subsumes reports whether clause c θ-subsumes clause d.
+func Subsumes(c, d *Clause) bool { return subsume.Subsumes(c, d) }
+
+// EquivalentDefinitions reports semantic equivalence of two Horn
+// definitions (mutual containment as unions of conjunctive queries).
+func EquivalentDefinitions(a, b *Definition) bool { return subsume.EquivalentDefinitions(a, b) }
+
+// Evaluate scores a definition against labeled examples.
+func Evaluate(inst *Instance, def *Definition, pos, neg []Atom) Metrics {
+	return eval.Evaluate(inst, def, pos, neg)
+}
+
+// NewCastor returns the paper's schema-independent learner (§7).
+func NewCastor() Learner { return castor.New() }
+
+// NewFOIL returns the FOIL top-down learner (§5).
+func NewFOIL() Learner { return foil.New() }
+
+// NewAlephFOIL returns the greedy Aleph configuration (§9.1.2).
+func NewAlephFOIL() Learner { return progol.NewAlephFOIL() }
+
+// NewAlephProgol returns the best-first Aleph/Progol configuration.
+func NewAlephProgol() Learner { return progol.NewAlephProgol() }
+
+// NewGolem returns the rlgg-based Golem learner (§6.3).
+func NewGolem() Learner { return golem.New() }
+
+// NewProGolem returns the ARMG-based ProGolem learner (§6.4).
+func NewProGolem() Learner { return progolem.New() }
+
+// Query-based learning (§8).
+type (
+	// Oracle answers EQ/MQ queries for a known target definition.
+	Oracle = loganh.Oracle
+	// QueryStats reports EQ/MQ counts of a query-based run.
+	QueryStats = loganh.Stats
+)
+
+// NewOracle builds an automatic oracle for a target definition.
+func NewOracle(schema *Schema, target *Relation, def *Definition) (*Oracle, error) {
+	return loganh.NewOracle(schema, target, def)
+}
+
+// LearnByQueries runs the A2-style query-based learner against the oracle.
+func LearnByQueries(o *Oracle, schema *Schema, target *Relation) (*Definition, QueryStats, error) {
+	return loganh.NewLearner().Learn(o, schema, target)
+}
+
+// Dataset generators (§9.1.1).
+
+// GenerateUWCSE builds the UW-CSE benchmark under its four schemas.
+func GenerateUWCSE() (*Dataset, error) { return datasets.GenerateUWCSE(datasets.DefaultUWCSE()) }
+
+// GenerateHIV builds the HIV benchmark under its three schemas.
+func GenerateHIV() (*Dataset, error) { return datasets.GenerateHIV(datasets.DefaultHIV2K4K()) }
+
+// GenerateIMDb builds the IMDb benchmark under its three schemas.
+func GenerateIMDb() (*Dataset, error) { return datasets.GenerateIMDb(datasets.DefaultIMDb()) }
