@@ -13,8 +13,20 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/experiments"
 	"repro/internal/ilp"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 )
+
+// reportObsMetrics attaches the per-op values of the run's key counters
+// (§7.5 machinery: coverage tests executed, cache skips, store tuples
+// scanned) to the benchmark output.
+func reportObsMetrics(b *testing.B, reg *obs.Registry) {
+	b.Helper()
+	n := float64(b.N)
+	b.ReportMetric(float64(reg.Get(obs.CCoverageTests))/n, "covtests/op")
+	b.ReportMetric(float64(reg.Get(obs.CCoverageSkipped))/n, "covskips/op")
+	b.ReportMetric(float64(reg.Get(obs.CTuplesScanned))/n, "tuples/op")
+}
 
 // benchConfig is the reduced scale used by every table/figure benchmark.
 func benchConfig() experiments.Config {
@@ -45,6 +57,8 @@ func BenchmarkTable9HIV(b *testing.B) {
 
 func BenchmarkTable10UWCSE(b *testing.B) {
 	cfg := benchConfig()
+	reg := obs.NewRegistry()
+	cfg.Obs = obs.NewRun(nil, reg)
 	for i := 0; i < b.N; i++ {
 		rows, err := experiments.Table10(cfg)
 		if err != nil {
@@ -54,6 +68,7 @@ func BenchmarkTable10UWCSE(b *testing.B) {
 			b.Fatalf("rows = %d", len(rows))
 		}
 	}
+	reportObsMetrics(b, reg)
 }
 
 func BenchmarkTable11IMDb(b *testing.B) {
@@ -167,10 +182,13 @@ func BenchmarkAblationCoverageMode(b *testing.B) {
 			prob := benchUWCSEProblem(b, true)
 			params := benchCastorParams()
 			params.CoverageMode = mode.m
+			reg := obs.NewRegistry()
+			params.Obs = obs.NewRun(nil, reg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				runCastor(b, prob, params)
 			}
+			reportObsMetrics(b, reg)
 		})
 	}
 }
@@ -185,10 +203,13 @@ func BenchmarkAblationCoverageCache(b *testing.B) {
 			prob := benchUWCSEProblem(b, true)
 			params := benchCastorParams()
 			params.DisableCoverageCache = c.disable
+			reg := obs.NewRegistry()
+			params.Obs = obs.NewRun(nil, reg)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				runCastor(b, prob, params)
 			}
+			reportObsMetrics(b, reg)
 		})
 	}
 }
@@ -204,6 +225,28 @@ func BenchmarkAblationMinimization(b *testing.B) {
 			prob := benchUWCSEProblem(b, true)
 			params := benchCastorParams()
 			params.Minimize = c.on
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runCastor(b, prob, params)
+			}
+		})
+	}
+}
+
+// BenchmarkObsOverhead compares an uninstrumented Castor run (nil Obs,
+// the nop default) with one feeding a live counter registry; the delta is
+// the cost of the instrumentation itself.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		live bool
+	}{{"nop", false}, {"registry", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			prob := benchUWCSEProblem(b, true)
+			params := benchCastorParams()
+			if c.live {
+				params.Obs = obs.NewRun(nil, obs.NewRegistry())
+			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				runCastor(b, prob, params)

@@ -13,15 +13,26 @@
 //	castor -schema db.schema -data db.facts \
 //	       -pos pos.facts -neg neg.facts -target 'advisedBy(stud, prof)'
 //
+//	# observability: human-readable events, machine-readable trace and
+//	# metrics, CPU/heap profiles
+//	castor -dataset uwcse -v
+//	castor -dataset uwcse -trace trace.jsonl -metrics metrics.json
+//	castor -dataset uwcse -cpuprofile cpu.pprof -memprofile mem.pprof
+//
 // File formats are those of internal/relstore: `rel name(attr, …)` /
 // `fd` / `ind` / `domain` lines for the schema, one ground fact per line
-// for data and examples.
+// for data and examples. The trace file is JSONL (one event object per
+// line); the metrics file is the JSON snapshot of the run's counter/timer
+// registry (see README "Observability" for both schemas).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,58 +43,121 @@ import (
 	"repro/internal/golem"
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/progol"
 	"repro/internal/progolem"
 	"repro/internal/relstore"
 )
 
+// options mirrors the command-line flags; run is driven by it so tests
+// can exercise the full pipeline without exec'ing the binary.
+type options struct {
+	dataset, variant                       string
+	schemaFile, dataFile, posFile, negFile string
+	targetDecl, valueAttrs                 string
+	learner                                string
+	coverage                               string // auto|direct|subsumption
+	sample, beam, clauseLength, par        int
+	seed                                   int64
+	subsetINDs                             bool
+
+	verbose                bool
+	traceFile, metricsFile string
+	cpuProfile, memProfile string
+}
+
 func main() {
-	dataset := flag.String("dataset", "uwcse", "dataset: uwcse|hiv|imdb")
-	variant := flag.String("variant", "", "schema variant (default: first)")
-	schemaFile := flag.String("schema", "", "schema file (user data mode)")
-	dataFile := flag.String("data", "", "Datalog fact file (user data mode)")
-	posFile := flag.String("pos", "", "positive example fact file (user data mode)")
-	negFile := flag.String("neg", "", "negative example fact file (user data mode)")
-	targetDecl := flag.String("target", "", "target declaration, e.g. 'advisedBy(stud, prof)' (user data mode)")
-	valueAttrs := flag.String("values", "", "comma-separated value attribute domains (user data mode)")
-	learnerName := flag.String("learner", "castor", "learner: castor|foil|aleph-foil|aleph-progol|progolem|golem")
-	sample := flag.Int("sample", 4, "positives sampled per generalization round")
-	beam := flag.Int("beam", 2, "beam width")
-	clauseLength := flag.Int("clauselength", 10, "max clause length for top-down learners")
-	par := flag.Int("par", 4, "coverage-test parallelism")
-	seed := flag.Int64("seed", 1, "random seed")
-	subsetINDs := flag.Bool("subset-inds", false, "Castor: chase general subset INDs (§7.4)")
+	var o options
+	flag.StringVar(&o.dataset, "dataset", "uwcse", "dataset: uwcse|hiv|imdb")
+	flag.StringVar(&o.variant, "variant", "", "schema variant (default: first)")
+	flag.StringVar(&o.schemaFile, "schema", "", "schema file (user data mode)")
+	flag.StringVar(&o.dataFile, "data", "", "Datalog fact file (user data mode)")
+	flag.StringVar(&o.posFile, "pos", "", "positive example fact file (user data mode)")
+	flag.StringVar(&o.negFile, "neg", "", "negative example fact file (user data mode)")
+	flag.StringVar(&o.targetDecl, "target", "", "target declaration, e.g. 'advisedBy(stud, prof)' (user data mode)")
+	flag.StringVar(&o.valueAttrs, "values", "", "comma-separated value attribute domains (user data mode)")
+	flag.StringVar(&o.learner, "learner", "castor", "learner: castor|foil|aleph-foil|aleph-progol|progolem|golem")
+	flag.StringVar(&o.coverage, "coverage", "auto", "coverage engine: direct|subsumption|auto (auto picks per generated dataset)")
+	flag.IntVar(&o.sample, "sample", 4, "positives sampled per generalization round")
+	flag.IntVar(&o.beam, "beam", 2, "beam width")
+	flag.IntVar(&o.clauseLength, "clauselength", 10, "max clause length for top-down learners")
+	flag.IntVar(&o.par, "par", 0, "coverage-test parallelism (0 = all CPU cores)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.BoolVar(&o.subsetINDs, "subset-inds", false, "Castor: chase general subset INDs (§7.4)")
+	flag.BoolVar(&o.verbose, "v", false, "log trace events to stderr")
+	flag.StringVar(&o.traceFile, "trace", "", "write a JSONL event trace to this file")
+	flag.StringVar(&o.metricsFile, "metrics", "", "write the JSON metrics report to this file")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "castor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(o options, out io.Writer) error {
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Instrumentation: counters always (they also feed the summary), event
+	// sinks only where asked.
+	reg := obs.NewRegistry()
+	var tracers []obs.Tracer
+	if o.verbose {
+		tracers = append(tracers, obs.NewTextSink(os.Stderr))
+	}
+	var traceSink *obs.JSONLSink
+	if o.traceFile != "" {
+		s, err := obs.CreateJSONLFile(o.traceFile)
+		if err != nil {
+			return err
+		}
+		traceSink = s
+		tracers = append(tracers, s)
+	}
+	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg)
 
 	var prob *ilp.Problem
 	var pos, neg []logic.Atom
-	datasetLabel := *dataset
-	if *schemaFile != "" {
-		p, err := loadUserProblem(*schemaFile, *dataFile, *posFile, *negFile, *targetDecl, *valueAttrs)
+	datasetLabel := o.dataset
+	userData := o.schemaFile != ""
+	if userData {
+		p, err := loadUserProblem(o.schemaFile, o.dataFile, o.posFile, o.negFile, o.targetDecl, o.valueAttrs)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		prob, pos, neg = p, p.Pos, p.Neg
-		datasetLabel = *dataFile
-		*variant = "user"
+		datasetLabel = o.dataFile
+		o.variant = "user"
 	} else {
-		ds, err := buildDataset(*dataset)
+		ds, err := buildDataset(o.dataset)
 		if err != nil {
-			fail(err)
+			return err
 		}
-		if *variant == "" {
-			*variant = ds.Variants[0].Name
+		if o.variant == "" {
+			o.variant = ds.Variants[0].Name
 		}
-		p, err := ds.Problem(*variant)
+		p, err := ds.Problem(o.variant)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		prob, pos, neg = p, ds.Pos, ds.Neg
 		datasetLabel = ds.Name
 	}
 
 	var learner ilp.Learner
-	switch *learnerName {
+	switch o.learner {
 	case "castor":
 		learner = castor.New()
 	case "foil":
@@ -97,36 +171,98 @@ func main() {
 	case "golem":
 		learner = golem.New()
 	default:
-		fail(fmt.Errorf("unknown learner %q", *learnerName))
+		return fmt.Errorf("unknown learner %q", o.learner)
 	}
 
 	params := ilp.Defaults()
-	params.Sample = *sample
-	params.BeamWidth = *beam
-	params.ClauseLength = *clauseLength
-	params.Parallelism = *par
-	params.Seed = *seed
-	params.SubsetINDs = *subsetINDs
-	if *dataset != "uwcse" {
-		params.CoverageMode = ilp.CoverageSubsumption
+	params.Sample = o.sample
+	params.BeamWidth = o.beam
+	params.ClauseLength = o.clauseLength
+	params.Parallelism = o.par
+	if params.Parallelism <= 0 {
+		params.Parallelism = runtime.NumCPU()
 	}
+	params.Seed = o.seed
+	params.SubsetINDs = o.subsetINDs
+	params.Obs = obsRun
+	mode, err := coverageMode(o.coverage, userData, o.dataset)
+	if err != nil {
+		return err
+	}
+	params.CoverageMode = mode
 
-	fmt.Printf("dataset=%s variant=%s learner=%s (%d pos, %d neg, %d tuples)\n",
-		datasetLabel, *variant, learner.Name(), len(pos), len(neg), prob.Instance.NumTuples())
+	fmt.Fprintf(out, "dataset=%s variant=%s learner=%s (%d pos, %d neg, %d tuples)\n",
+		datasetLabel, o.variant, learner.Name(), len(pos), len(neg), prob.Instance.NumTuples())
 	start := time.Now()
 	def, err := learner.Learn(prob, params)
 	if err != nil {
-		fail(err)
+		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("\nlearned definition (%d clauses, %.2fs):\n", def.Len(), elapsed.Seconds())
+	fmt.Fprintf(out, "\nlearned definition (%d clauses, %.2fs):\n", def.Len(), elapsed.Seconds())
 	if def.IsEmpty() {
-		fmt.Println("  (nothing learned)")
+		fmt.Fprintln(out, "  (nothing learned)")
 	} else {
-		fmt.Println(def)
+		fmt.Fprintln(out, def)
 	}
 	m := eval.Evaluate(prob.Instance, def, pos, neg)
-	fmt.Printf("\ntraining-set quality: %s\n", m)
+	fmt.Fprintf(out, "\ntraining-set quality: %s\n", m)
+
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			return err
+		}
+	}
+	report := reg.Snapshot()
+	if o.metricsFile != "" {
+		f, err := os.Create(o.metricsFile)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if o.verbose || o.metricsFile != "" || o.traceFile != "" {
+		fmt.Fprintf(out, "\nrun metrics:\n")
+		report.WriteSummary(out)
+	}
+	if o.memProfile != "" {
+		f, err := os.Create(o.memProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coverageMode resolves the -coverage flag. The dataset heuristic (UW-CSE
+// evaluates fastest directly, the larger HIV/IMDb databases via
+// θ-subsumption) only ever applies to the generated datasets: user data
+// defaults to direct evaluation rather than inheriting whatever the
+// unrelated -dataset flag holds.
+func coverageMode(flagVal string, userData bool, dataset string) (ilp.CoverageMode, error) {
+	switch flagVal {
+	case "direct":
+		return ilp.CoverageDB, nil
+	case "subsumption":
+		return ilp.CoverageSubsumption, nil
+	case "auto", "":
+		if !userData && dataset != "uwcse" {
+			return ilp.CoverageSubsumption, nil
+		}
+		return ilp.CoverageDB, nil
+	}
+	return 0, fmt.Errorf("unknown -coverage %q (have direct, subsumption, auto)", flagVal)
 }
 
 // loadUserProblem assembles an ILP problem from user-supplied files.
@@ -209,9 +345,4 @@ func buildDataset(name string) (*datasets.Dataset, error) {
 		return datasets.GenerateIMDb(datasets.DefaultIMDb())
 	}
 	return nil, fmt.Errorf("unknown dataset %q (have uwcse, hiv, imdb)", name)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "castor:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ilp"
+)
+
+// TestRunWritesMetricsAndTrace drives the full CLI pipeline (uwcse,
+// Castor) and checks the acceptance contract of the -metrics and -trace
+// flags: the metrics file is valid JSON with nonzero coverage-test and
+// cache-hit counters, and every trace line is a standalone JSON object.
+func TestRunWritesMetricsAndTrace(t *testing.T) {
+	dir := t.TempDir()
+	o := options{
+		dataset: "uwcse", learner: "castor", coverage: "auto",
+		sample: 4, beam: 2, clauseLength: 10, par: 2, seed: 1,
+		metricsFile: filepath.Join(dir, "metrics.json"),
+		traceFile:   filepath.Join(dir, "trace.jsonl"),
+	}
+	var out bytes.Buffer
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "learned definition") {
+		t.Errorf("run output missing the definition:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "run metrics:") {
+		t.Error("run output missing the metrics summary")
+	}
+
+	mf, err := os.ReadFile(o.metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Counters map[string]int64 `json:"counters"`
+		Phases   map[string]struct {
+			Seconds float64 `json:"seconds"`
+			Calls   int64   `json:"calls"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(mf, &report); err != nil {
+		t.Fatalf("metrics file does not parse: %v", err)
+	}
+	for _, key := range []string{"coverage_tests", "coverage_tests_skipped", "tuples_scanned", "bottom_clauses"} {
+		if report.Counters[key] == 0 {
+			t.Errorf("metrics counter %s is zero: %v", key, report.Counters)
+		}
+	}
+	if report.Phases["coverage_testing"].Calls == 0 {
+		t.Error("metrics report has no coverage_testing phase calls")
+	}
+
+	tf, err := os.Open(o.traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	lines := 0
+	sc := bufio.NewScanner(tf)
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("trace line %q does not parse: %v", sc.Text(), err)
+		}
+		if _, ok := obj["event"].(string); !ok {
+			t.Fatalf("trace line %q has no event field", sc.Text())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Error("trace file is empty")
+	}
+}
+
+func TestCoverageModeFlag(t *testing.T) {
+	cases := []struct {
+		flag     string
+		userData bool
+		dataset  string
+		want     ilp.CoverageMode
+		wantErr  bool
+	}{
+		{"direct", false, "hiv", ilp.CoverageDB, false},
+		{"subsumption", false, "uwcse", ilp.CoverageSubsumption, false},
+		{"auto", false, "uwcse", ilp.CoverageDB, false},
+		{"auto", false, "hiv", ilp.CoverageSubsumption, false},
+		{"auto", false, "imdb", ilp.CoverageSubsumption, false},
+		// User data must not inherit the -dataset heuristic (the old bug:
+		// -schema runs picked subsumption because -dataset defaulted free).
+		{"auto", true, "hiv", ilp.CoverageDB, false},
+		{"", true, "imdb", ilp.CoverageDB, false},
+		{"subsumption", true, "uwcse", ilp.CoverageSubsumption, false},
+		{"bogus", false, "uwcse", 0, true},
+	}
+	for _, c := range cases {
+		got, err := coverageMode(c.flag, c.userData, c.dataset)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("coverageMode(%q, %v, %q): want error", c.flag, c.userData, c.dataset)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("coverageMode(%q, %v, %q): %v", c.flag, c.userData, c.dataset, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("coverageMode(%q, %v, %q) = %v, want %v", c.flag, c.userData, c.dataset, got, c.want)
+		}
+	}
+}

@@ -6,17 +6,25 @@
 //	experiments -exp table10 -folds 5    # one experiment
 //	experiments -exp table9 -scale 0.5   # smaller/faster
 //
+//	# observability: aggregate counters/timers across every learner run
+//	experiments -exp table10 -v -metrics metrics.json -trace trace.jsonl
+//	experiments -exp fig2 -cpuprofile cpu.pprof
+//
 // Experiments: table2, table9, table10, table11, table12, table13, fig2,
-// fig3, all.
+// fig3, all. With -metrics/-trace, one registry and one trace stream span
+// all selected experiments (see README "Observability").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,7 +34,43 @@ func main() {
 	par := flag.Int("par", 4, "coverage-test parallelism")
 	seed := flag.Int64("seed", 1, "random seed")
 	fig3Defs := flag.Int("fig3-defs", 10, "random definitions per Figure 3 setting")
+	verbose := flag.Bool("v", false, "log trace events to stderr")
+	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
+	metricsFile := flag.String("metrics", "", "write the JSON metrics report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var reg *obs.Registry
+	var tracers []obs.Tracer
+	var traceSink *obs.JSONLSink
+	observing := *verbose || *traceFile != "" || *metricsFile != ""
+	if observing {
+		reg = obs.NewRegistry()
+		if *verbose {
+			tracers = append(tracers, obs.NewTextSink(os.Stderr))
+		}
+		if *traceFile != "" {
+			s, err := obs.CreateJSONLFile(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			traceSink = s
+			tracers = append(tracers, s)
+		}
+	}
 
 	cfg := experiments.Config{
 		Scale:       *scale,
@@ -34,6 +78,7 @@ func main() {
 		Parallelism: *par,
 		Seed:        *seed,
 		Out:         os.Stdout,
+		Obs:         obs.NewRun(obs.MultiTracer(tracers...), reg),
 	}
 
 	runners := map[string]func() error{
@@ -66,4 +111,44 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if traceSink != nil {
+		if err := traceSink.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if reg != nil {
+		report := reg.Snapshot()
+		if *metricsFile != "" {
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := report.WriteJSON(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Println("\nrun metrics (all experiments):")
+		report.WriteSummary(os.Stdout)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

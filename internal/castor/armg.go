@@ -3,6 +3,7 @@ package castor
 import (
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 )
 
@@ -17,6 +18,7 @@ import (
 // ARMG generalizes clause c to cover example e2, maintaining the INDs of
 // the plan. It returns nil when e2 cannot be covered at all.
 func ARMG(tester *ilp.Tester, plan *relstore.Plan, c *logic.Clause, e2 logic.Atom, params ilp.Params) *logic.Clause {
+	tester.Run().Inc(obs.CARMGCalls)
 	if _, ok := logic.MatchAtoms(c.Head, e2, logic.NewSubstitution()); !ok {
 		return nil
 	}

@@ -3,6 +3,7 @@ package castor
 import (
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 )
 
@@ -48,6 +49,8 @@ func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, pa
 	if !params.UseStoredProc {
 		fetch = copyTuples
 	}
+	run := params.Obs
+	var chaseHops, scanned int64 // flushed into run once, on return
 	schema := plan.Schema()
 	c := &logic.Clause{Head: e.Clone()}
 
@@ -121,11 +124,13 @@ func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, pa
 				if partner == nil {
 					continue
 				}
+				chaseHops++
 				req := make(map[int]string, len(hop.SrcPos))
 				for i, sp := range hop.SrcPos {
 					req[hop.DstPos[i]] = it.tp[sp]
 				}
 				joined := fetch(partner.TuplesWith(req))
+				scanned += int64(len(joined))
 				if len(joined) > maxINDJoin {
 					joined = joined[:maxINDJoin]
 				}
@@ -151,7 +156,9 @@ func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, pa
 				continue
 			}
 			for _, cst := range chase {
-				for _, tp := range fetch(table.TuplesContaining(cst)) {
+				tps := fetch(table.TuplesContaining(cst))
+				scanned += int64(len(tps))
+				for _, tp := range tps {
 					addWithChase(rel, tp)
 				}
 			}
@@ -164,5 +171,7 @@ func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, pa
 			break
 		}
 	}
+	run.Add(obs.CINDChaseHops, chaseHops)
+	run.Add(obs.CTuplesScanned, scanned)
 	return c
 }

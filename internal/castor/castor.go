@@ -25,8 +25,11 @@
 package castor
 
 import (
+	"sort"
+
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/subsume"
 )
@@ -57,11 +60,13 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 	if params.PromoteINDs {
 		schema = prob.Instance.PromoteEqualityINDs()
 	}
+	run := params.Obs
 	var plan *relstore.Plan
 	if params.UseStoredProc {
 		// Compiled once and reused across every bottom clause — the
 		// stored-procedure configuration (§7.5.2).
 		plan = relstore.CompilePlan(schema, params.SubsetINDs)
+		run.Inc(obs.CPlanCompiles)
 	}
 	tester := ilp.NewTester(prob, params)
 	if params.CoverageMode == ilp.CoverageSubsumption {
@@ -71,6 +76,7 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 		satPlan := plan
 		if satPlan == nil {
 			satPlan = relstore.CompilePlan(schema, params.SubsetINDs)
+			run.Inc(obs.CPlanCompiles)
 		}
 		tester.SatFn = func(e logic.Atom) *logic.Clause {
 			return GroundBottomClause(prob, satPlan, e, params)
@@ -80,7 +86,10 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 	learn := func(uncovered []logic.Atom) (*logic.Clause, error) {
 		p := plan
 		if p == nil {
+			// The no-stored-procedures configuration recompiles per clause;
+			// the plan_compiles counter makes that §7.5.2 cost visible.
 			p = relstore.CompilePlan(schema, params.SubsetINDs)
+			run.Inc(obs.CPlanCompiles)
 		}
 		return l.learnClause(prob, params, tester, rng, p, uncovered), nil
 	}
@@ -105,17 +114,26 @@ const maxSeedTries = 3
 // learnClause is Algorithm 4, retrying with the next uncovered seed when a
 // seed yields no acceptable clause.
 func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, plan *relstore.Plan, uncovered []logic.Atom) *logic.Clause {
+	run := params.Obs
 	tries := maxSeedTries
 	if tries > len(uncovered) {
 		tries = len(uncovered)
 	}
 	var fallback *logic.Clause
 	for s := 0; s < tries; s++ {
+		if run.Tracing() {
+			run.Emit("castor.seed", obs.F("seed", uncovered[s].String()), obs.F("try", s))
+		}
 		c := l.learnClauseFromSeed(prob, params, tester, rng, plan, uncovered, uncovered[s])
 		if c == nil {
 			continue
 		}
 		p, n := tester.PosNeg(c, uncovered, prob.Neg)
+		if run.Tracing() {
+			run.Emit("castor.clause",
+				obs.F("clause", c.String()), obs.F("pos", p), obs.F("neg", n),
+				obs.F("accepted", ilp.AcceptClause(params, p, n)))
+		}
 		if ilp.AcceptClause(params, p, n) {
 			return c
 		}
@@ -128,9 +146,21 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 
 // learnClauseFromSeed runs the beam search of Algorithm 4 for one seed.
 func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, plan *relstore.Plan, uncovered []logic.Atom, seed logic.Atom) *logic.Clause {
+	run := params.Obs
+	tb := run.StartPhase(obs.PBottom)
 	bottom := BottomClause(prob, plan, seed, params)
+	run.EndPhase(obs.PBottom, tb)
+	run.Inc(obs.CBottomClauses)
+	run.Add(obs.CBottomLiterals, int64(len(bottom.Body)))
 	if params.Minimize && len(bottom.Body) <= reduceCutoff {
-		bottom = subsume.Reduce(bottom)
+		tm := run.StartPhase(obs.PMinimize)
+		bottom = subsume.ReduceR(run, bottom)
+		run.EndPhase(obs.PMinimize, tm)
+	}
+	if run.Tracing() {
+		run.Emit("castor.bottom",
+			obs.F("seed", seed.String()), obs.F("literals", len(bottom.Body)),
+			obs.F("vars", bottom.NumVars()))
 	}
 
 	evaluate := func(c *logic.Clause, parent *scored) *scored {
@@ -153,7 +183,8 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 	if width < 1 {
 		width = 1
 	}
-	for {
+	tbeam := run.StartPhase(obs.PBeam)
+	for iter := 0; ; iter++ {
 		best := beam[0]
 		for _, b := range beam {
 			if b.score > best.score {
@@ -193,28 +224,32 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 		if len(next) == 0 {
 			break
 		}
-		// Keep the N best (stable selection sort for determinism).
-		for i := 0; i < len(next); i++ {
-			for j := i + 1; j < len(next); j++ {
-				if next[j].score > next[i].score {
-					next[i], next[j] = next[j], next[i]
-				}
-			}
-		}
+		// Keep the N best, ties in discovery order for determinism.
+		sort.SliceStable(next, func(i, j int) bool { return next[i].score > next[j].score })
 		if len(next) > width {
 			next = next[:width]
 		}
 		beam = next
+		if run.Tracing() {
+			run.Emit("castor.beam",
+				obs.F("iter", iter), obs.F("beam", len(beam)),
+				obs.F("best", beam[0].score), obs.F("literals", len(beam[0].clause.Body)))
+		}
 	}
+	run.EndPhase(obs.PBeam, tbeam)
 	best := beam[0]
 	for _, b := range beam {
 		if b.score > best.score {
 			best = b
 		}
 	}
+	tn := run.StartPhase(obs.PNegReduce)
 	reduced := NegativeReduce(tester, plan, best.clause, prob.Neg)
+	run.EndPhase(obs.PNegReduce, tn)
 	if params.Minimize && len(reduced.Body) <= reduceCutoff {
-		reduced = subsume.Reduce(reduced)
+		tm := run.StartPhase(obs.PMinimize)
+		reduced = subsume.ReduceR(run, reduced)
+		run.EndPhase(obs.PMinimize, tm)
 	}
 	if len(reduced.Body) == 0 {
 		return nil

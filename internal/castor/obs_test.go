@@ -1,0 +1,73 @@
+package castor
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/ilp"
+	"repro/internal/obs"
+	"repro/internal/testfix"
+)
+
+// TestObservationDoesNotChangeLearning: the nop tracer (nil Obs) and a
+// fully live run (JSONL tracer + registry) must learn the identical
+// definition — instrumentation must never influence search.
+func TestObservationDoesNotChangeLearning(t *testing.T) {
+	learn := func(run *obs.Run) string {
+		w := testfix.NewWorld(8)
+		prob := w.ProblemOriginal()
+		params := ilp.Defaults()
+		params.Obs = run
+		def, err := New().Learn(prob, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return def.String()
+	}
+
+	plain := learn(nil)
+
+	var trace bytes.Buffer
+	sink := obs.NewJSONLSink(&trace)
+	reg := obs.NewRegistry()
+	observed := learn(obs.NewRun(sink, reg))
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain != observed {
+		t.Errorf("instrumentation changed the learned definition:\nnop:  %s\nlive: %s", plain, observed)
+	}
+
+	// The live run must actually have observed the §7.5 machinery.
+	for _, c := range []obs.Counter{obs.CCoverageTests, obs.CBottomClauses, obs.CTuplesScanned, obs.CPlanCompiles} {
+		if reg.Get(c) == 0 {
+			t.Errorf("counter %s stayed zero over a full Castor run", c)
+		}
+	}
+	if reg.PhaseTime(obs.PBeam) <= 0 || reg.PhaseTime(obs.PCoverage) <= 0 {
+		t.Error("phase timers stayed zero over a full Castor run")
+	}
+
+	// And the trace must be line-parseable with the core event sequence.
+	events := map[string]int{}
+	sc := bufio.NewScanner(&trace)
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("trace line %q does not parse: %v", sc.Text(), err)
+		}
+		name, _ := obj["event"].(string)
+		if name == "" {
+			t.Fatalf("trace line %q has no event name", sc.Text())
+		}
+		events[name]++
+	}
+	for _, want := range []string{"castor.seed", "castor.bottom", "castor.beam", "castor.clause", "covering.iteration", "covering.done"} {
+		if events[want] == 0 {
+			t.Errorf("trace has no %q event (saw %v)", want, events)
+		}
+	}
+}

@@ -81,6 +81,7 @@ func Ablations(cfg Config) ([]AblationRow, error) {
 		p.Sample = 4
 		p.BeamWidth = 2
 		p.Parallelism = cfg.Parallelism
+		p.Obs = cfg.Obs
 		return p
 	}
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Config controls experiment scale so the full suite can run in seconds
@@ -37,6 +38,10 @@ type Config struct {
 	Seed int64
 	// Out receives the rendered tables; nil discards them.
 	Out io.Writer
+	// Obs is the instrumentation run every learner invocation reports
+	// into; nil observes nothing. All runs of an experiment suite share
+	// one registry, so the counters aggregate across tables.
+	Obs *obs.Run
 }
 
 // DefaultConfig runs every experiment at laptop scale in a few minutes.
@@ -93,6 +98,7 @@ func runCV(cfg Config, ds *datasets.Dataset, variant string, learner ilp.Learner
 		return row
 	}
 	params.Parallelism = cfg.Parallelism
+	params.Obs = cfg.Obs
 	fs := eval.KFold(cfg.Seed, ds.Pos, ds.Neg, folds)
 	var ms []eval.Metrics
 	start := time.Now()

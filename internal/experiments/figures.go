@@ -50,6 +50,7 @@ func Figure2(cfg Config, threads []int) ([]Figure2Row, error) {
 		for _, th := range threads {
 			params := castorParams()
 			params.Parallelism = th
+			params.Obs = cfg.Obs
 			start := time.Now()
 			if _, err := castor.New().Learn(prob, params); err != nil {
 				return nil, err

@@ -291,6 +291,7 @@ func Table13(cfg Config) ([]Table13Row, error) {
 			params := castorParams()
 			params.Parallelism = cfg.Parallelism
 			params.UseStoredProc = useProc
+			params.Obs = cfg.Obs
 			start := time.Now()
 			_, err := castor.New().Learn(prob, params)
 			return time.Since(start).Seconds(), err

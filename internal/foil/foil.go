@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 )
 
@@ -52,10 +53,13 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 
 // learnClause grows one clause greedily by gain.
 func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, gen *literalGenerator, uncovered []logic.Atom) (*logic.Clause, error) {
+	run := params.Obs
 	head := headAtom(prob.Target)
 	clause := logic.NewClause(head)
 	varDomains := headDomains(prob.Target)
 	nextVar := head.Arity()
+	tbeam := run.StartPhase(obs.PBeam)
+	defer run.EndPhase(obs.PBeam, tbeam)
 
 	p := len(uncovered) // the most general clause covers everything
 	n := len(prob.Neg)
@@ -71,6 +75,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			break
 		}
 		cands := gen.candidates(varDomains, nextVar)
+		run.Add(obs.CCandidateLiterals, int64(len(cands)))
 		var best, fallback *candidate
 		for i := range cands {
 			cand := &cands[i]
@@ -98,6 +103,11 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			zeroRun++
 		} else {
 			zeroRun = 0
+		}
+		if run.Tracing() {
+			run.Emit("foil.literal",
+				obs.F("literal", best.atom.String()), obs.F("gain", best.gain),
+				obs.F("pos", best.p), obs.F("neg", best.n))
 		}
 		clause = extend(clause, best.atom)
 		for v, d := range best.newVars {

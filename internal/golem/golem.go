@@ -15,6 +15,7 @@ package golem
 import (
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/subsume"
 )
 
@@ -47,6 +48,7 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 // learnClause is Algorithm 2: rlggs of sampled example pairs, then greedy
 // extension.
 func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, uncovered []logic.Atom) *logic.Clause {
+	run := params.Obs
 	k := params.Sample
 	if k < 2 {
 		k = 2
@@ -56,7 +58,12 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		return nil
 	}
 	saturate := func(e logic.Atom) *logic.Clause {
-		return ilp.Saturation(prob, e, params.Depth, params.MaxRecall)
+		tb := run.StartPhase(obs.PBottom)
+		sat := ilp.Saturation(prob, e, params.Depth, params.MaxRecall)
+		run.EndPhase(obs.PBottom, tb)
+		run.Inc(obs.CBottomClauses)
+		run.Add(obs.CBottomLiterals, int64(len(sat.Body)))
+		return sat
 	}
 
 	type cand struct {
@@ -69,19 +76,26 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		return p - n, ilp.AcceptClause(params, p, n)
 	}
 	var best *cand
+	tbeam := run.StartPhase(obs.PBeam)
 	for i := 0; i < len(sample); i++ {
 		for j := i + 1; j < len(sample); j++ {
 			g := RLGG(saturate(sample[i]), saturate(sample[j]))
 			if g == nil {
 				continue
 			}
-			g = tidy(g)
+			g = tidy(run, g)
 			if s, ok := score(g); ok && (best == nil || s > best.score) {
 				best = &cand{clause: g, score: s}
+			}
+			if run.Tracing() {
+				run.Emit("golem.rlgg",
+					obs.F("pair", []string{sample[i].String(), sample[j].String()}),
+					obs.F("literals", len(g.Body)))
 			}
 		}
 	}
 	if best == nil {
+		run.EndPhase(obs.PBeam, tbeam)
 		return nil
 	}
 	// Greedy extension: absorb more positives while the score improves.
@@ -91,10 +105,15 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		if g == nil {
 			continue
 		}
-		g = tidy(g)
+		g = tidy(run, g)
 		if s, ok := score(g); ok && s > best.score {
 			best = &cand{clause: g, score: s}
 		}
+	}
+	run.EndPhase(obs.PBeam, tbeam)
+	if run.Tracing() {
+		run.Emit("golem.clause",
+			obs.F("clause", best.clause.String()), obs.F("score", best.score))
 	}
 	return best.clause
 }
@@ -107,12 +126,15 @@ const reduceCutoff = 150
 
 // tidy prunes disconnected literals, then reduces the clause when it is
 // small enough for reduction to pay off.
-func tidy(c *logic.Clause) *logic.Clause {
+func tidy(run *obs.Run, c *logic.Clause) *logic.Clause {
 	c = logic.PruneNotHeadConnected(c)
 	if len(c.Body) > reduceCutoff {
 		return c
 	}
-	return subsume.Reduce(c)
+	tm := run.StartPhase(obs.PMinimize)
+	c = subsume.ReduceR(run, c)
+	run.EndPhase(obs.PMinimize, tm)
+	return c
 }
 
 // RLGG computes the relative least general generalization of two

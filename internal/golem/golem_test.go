@@ -55,7 +55,7 @@ func TestRLGGTextbook(t *testing.T) {
 	if g == nil {
 		t.Fatal("RLGG failed")
 	}
-	g = tidy(g)
+	g = tidy(nil, g)
 	want := logic.MustParseClause("daughter(X, Y) :- female(X), parent(Y, X).")
 	if !subsume.EquivalentClauses(g, want) {
 		t.Errorf("RLGG = %v, want equivalent of %v", g, want)
@@ -79,7 +79,7 @@ func TestRLGGIncompatibleHeads(t *testing.T) {
 func TestRLGGIsLeastGeneral(t *testing.T) {
 	c1 := logic.MustParseClause("t(a) :- p(a, b), q(b).")
 	c2 := logic.MustParseClause("t(c) :- p(c, d), q(d).")
-	g := tidy(RLGG(c1, c2))
+	g := tidy(nil, RLGG(c1, c2))
 	if !subsume.Subsumes(g, c1) || !subsume.Subsumes(g, c2) {
 		t.Fatal("lgg must subsume inputs")
 	}
@@ -102,7 +102,7 @@ func TestLGGDefinitionOfSet(t *testing.T) {
 	if g == nil {
 		t.Fatal("fold failed")
 	}
-	g = tidy(g)
+	g = tidy(nil, g)
 	want := logic.MustParseClause("t(X) :- p(X, Y).")
 	if !subsume.EquivalentClauses(g, want) {
 		t.Errorf("fold = %v", g)
@@ -151,10 +151,10 @@ func TestRLGGSchemaIndependentOnPair(t *testing.T) {
 	po, p4 := w.ProblemOriginal(), w.Problem4NF()
 	e1, e2 := w.Pos[0], w.Pos[1]
 	params := ilp.Defaults()
-	gO := tidy(RLGG(
+	gO := tidy(nil, RLGG(
 		ilp.Saturation(po, e1, params.Depth, 0),
 		ilp.Saturation(po, e2, params.Depth, 0)))
-	g4 := tidy(RLGG(
+	g4 := tidy(nil, RLGG(
 		ilp.Saturation(p4, e1, params.Depth, 0),
 		ilp.Saturation(p4, e2, params.Depth, 0)))
 	if gO == nil || g4 == nil {

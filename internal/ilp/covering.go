@@ -2,6 +2,7 @@ package ilp
 
 import (
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // The generic covering loop of Algorithm 1: learn one clause at a time,
@@ -17,11 +18,16 @@ type LearnClauseFunc func(uncovered []logic.Atom) (*logic.Clause, error)
 // Cover runs the covering loop. The tester decides coverage; params
 // supplies the minimum condition (MinPos, MinPrec) and MaxClauses.
 func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) (*logic.Definition, error) {
+	run := params.Obs
 	def := logic.NewDefinition(prob.Target.Name)
 	uncovered := append([]logic.Atom(nil), prob.Pos...)
 	for len(uncovered) > 0 {
 		if params.MaxClauses > 0 && def.Len() >= params.MaxClauses {
 			break
+		}
+		if run.Tracing() {
+			run.Emit("covering.iteration",
+				obs.F("clauses", def.Len()), obs.F("uncovered", len(uncovered)))
 		}
 		c, err := learn(uncovered)
 		if err != nil {
@@ -39,7 +45,19 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 		}
 		n := tester.Count(c, prob.Neg)
 		if p == 0 || !AcceptClause(params, p, n) {
-			break // the best learnable clause fails the minimum condition
+			// The best learnable clause fails the minimum condition.
+			run.Inc(obs.CClausesRejected)
+			if run.Tracing() {
+				run.Emit("covering.rejected",
+					obs.F("clause", c.String()), obs.F("pos", p), obs.F("neg", n))
+			}
+			break
+		}
+		run.Inc(obs.CClausesAccepted)
+		if run.Tracing() {
+			run.Emit("covering.accepted",
+				obs.F("clause", c.String()), obs.F("pos", p), obs.F("neg", n),
+				obs.F("literals", len(c.Body)))
 		}
 		def.Add(c)
 		rest := uncovered[:0]
@@ -49,6 +67,10 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 			}
 		}
 		uncovered = rest
+	}
+	if run.Tracing() {
+		run.Emit("covering.done",
+			obs.F("clauses", def.Len()), obs.F("uncovered", len(uncovered)))
 	}
 	return def, nil
 }

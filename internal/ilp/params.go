@@ -1,8 +1,18 @@
 package ilp
 
+import (
+	"runtime"
+
+	"repro/internal/obs"
+)
+
 // Params is the parameter tuple θ of §3.1, shared by all learners. Each
 // learner reads the fields that apply to it and ignores the rest.
 type Params struct {
+	// Obs is the instrumentation run (trace events + counters/timers) the
+	// learner reports into. Nil — the default — observes nothing and costs
+	// a pointer test; instrumentation must never change what is learned.
+	Obs *obs.Run
 	// ClauseLength bounds the number of literals per clause (head included)
 	// in top-down learners (FOIL, Progol). Theorem 5.1 is about this bound.
 	ClauseLength int
@@ -30,7 +40,9 @@ type Params struct {
 	// covering-loop safety net. 0 means unlimited.
 	MaxClauses int
 	// Parallelism is the number of goroutines used for coverage testing
-	// (§7.5.3). 0 or 1 means sequential.
+	// (§7.5.3). 0 or 1 means sequential; Defaults uses runtime.NumCPU().
+	// The tester clamps the pool to the example count, so small example
+	// sets degrade to sequential regardless.
 	Parallelism int
 	// Seed drives all randomized choices (example sampling); learners are
 	// deterministic given the seed.
@@ -70,6 +82,7 @@ const (
 
 // Defaults returns the parameter settings used throughout §9.1.2 of the
 // paper: minprec=0.67, minpos=2, sample=1, beam=1, depth=3, maxRecall=10.
+// Coverage-test parallelism defaults to the machine's core count.
 func Defaults() Params {
 	return Params{
 		ClauseLength:  10,
@@ -81,7 +94,7 @@ func Defaults() Params {
 		MinPrec:       0.67,
 		MinPos:        2,
 		MaxClauses:    20,
-		Parallelism:   1,
+		Parallelism:   runtime.NumCPU(),
 		Seed:          1,
 		UseStoredProc: true,
 		CoverageMode:  CoverageDB,

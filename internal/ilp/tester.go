@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/subsume"
 )
 
@@ -15,6 +16,7 @@ import (
 type Tester struct {
 	prob   *Problem
 	params Params
+	run    *obs.Run // from params.Obs; nil observes nothing
 
 	// SatFn overrides how ground bottom clauses are built for
 	// subsumption-mode coverage. Castor installs its IND-chasing
@@ -26,13 +28,22 @@ type Tester struct {
 	saturations map[string]*logic.Clause // example key → ground bottom clause
 }
 
-// NewTester builds a tester for the problem.
+// NewTester builds a tester for the problem. As a side effect it attaches
+// params.Obs to the problem's instance, so store-level scans during this
+// learner's run report into the same registry (every learner builds its
+// tester first).
 func NewTester(prob *Problem, params Params) *Tester {
-	return &Tester{prob: prob, params: params, saturations: make(map[string]*logic.Clause)}
+	prob.Instance.SetObs(params.Obs)
+	return &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*logic.Clause)}
 }
+
+// Run returns the tester's instrumentation run (possibly nil), for
+// learners that want to report through the same channel.
+func (t *Tester) Run() *obs.Run { return t.run }
 
 // Covers reports whether the clause covers the example.
 func (t *Tester) Covers(c *logic.Clause, e logic.Atom) bool {
+	t.run.Inc(obs.CCoverageTests)
 	switch t.params.CoverageMode {
 	case CoverageSubsumption:
 		bc := t.saturation(e)
@@ -40,7 +51,7 @@ func (t *Tester) Covers(c *logic.Clause, e logic.Atom) bool {
 		if !ok {
 			return false
 		}
-		return subsume.SubsumesBody(c.Body, bc.Body, s)
+		return subsume.SubsumesBodyR(t.run, c.Body, bc.Body, s)
 	default:
 		return t.prob.Instance.CoversExample(c, e)
 	}
@@ -54,8 +65,10 @@ func (t *Tester) saturation(e logic.Atom) *logic.Clause {
 	bc, ok := t.saturations[k]
 	t.mu.Unlock()
 	if ok {
+		t.run.Inc(obs.CSaturationHits)
 		return bc
 	}
+	t.run.Inc(obs.CSaturationMisses)
 	if t.SatFn != nil {
 		bc = t.SatFn(e)
 	} else {
@@ -72,6 +85,18 @@ func (t *Tester) saturation(e logic.Atom) *logic.Clause {
 // covered (because the clause generalizes one that covered them); those
 // tests are skipped — the §7.5.4 coverage cache.
 func (t *Tester) CoveredSet(c *logic.Clause, examples []logic.Atom, known []bool) []bool {
+	start := t.run.StartPhase(obs.PCoverage)
+	defer t.run.EndPhase(obs.PCoverage, start)
+	if known != nil && t.run != nil {
+		// §7.5.4 cache hits: tests this batch will skip outright.
+		skipped := int64(0)
+		for i := range examples {
+			if known[i] {
+				skipped++
+			}
+		}
+		t.run.Add(obs.CCoverageSkipped, skipped)
+	}
 	out := make([]bool, len(examples))
 	workers := t.params.Parallelism
 	if workers <= 1 || len(examples) < 2 {

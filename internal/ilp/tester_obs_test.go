@@ -1,0 +1,88 @@
+package ilp_test
+
+import (
+	"testing"
+
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/obs"
+	"repro/internal/testfix"
+)
+
+// TestCoveredSetParallelKnownMatchesSequential runs the §7.5.4 known
+// shortcut through the parallel worker pool and compares against the
+// sequential path; under -race this also checks the pool for data races
+// while the shared registry is being written.
+func TestCoveredSetParallelKnownMatchesSequential(t *testing.T) {
+	w := testfix.NewWorld(16)
+	prob := w.ProblemOriginal()
+	c := logic.MustParseClause("advisedBy(X,Y) :- publication(P,X), publication(P,Y).")
+	all := append(append([]logic.Atom(nil), prob.Pos...), prob.Neg...)
+	known := make([]bool, len(all))
+	for i := range known {
+		known[i] = i%3 == 0
+	}
+
+	seqParams := ilp.Defaults()
+	seqParams.Parallelism = 1
+	seq := ilp.NewTester(prob, seqParams).CoveredSet(c, all, known)
+
+	parParams := ilp.Defaults()
+	parParams.Parallelism = 8
+	parParams.Obs = obs.NewRun(nil, obs.NewRegistry())
+	par := ilp.NewTester(prob, parParams).CoveredSet(c, all, known)
+
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("parallel/sequential disagree at %d: %v vs %v", i, seq[i], par[i])
+		}
+		if known[i] && !par[i] {
+			t.Fatalf("known example %d reported uncovered", i)
+		}
+	}
+
+	reg := parParams.Obs.Registry()
+	wantSkipped := int64(0)
+	for _, k := range known {
+		if k {
+			wantSkipped++
+		}
+	}
+	if got := reg.Get(obs.CCoverageSkipped); got != wantSkipped {
+		t.Errorf("coverage_tests_skipped = %d, want %d", got, wantSkipped)
+	}
+	wantTested := int64(len(all)) - wantSkipped
+	if got := reg.Get(obs.CCoverageTests); got != wantTested {
+		t.Errorf("coverage_tests = %d, want %d", got, wantTested)
+	}
+	if reg.Snapshot().Phases[obs.PCoverage.String()].Calls != 1 {
+		t.Error("coverage phase not timed exactly once")
+	}
+}
+
+// TestSaturationCacheCounters: repeated subsumption-mode coverage of the
+// same examples must hit the saturation cache, and the counters must see
+// both the misses (first pass) and the hits (second pass).
+func TestSaturationCacheCounters(t *testing.T) {
+	w := testfix.NewWorld(8)
+	prob := w.ProblemOriginal()
+	params := ilp.Defaults()
+	params.CoverageMode = ilp.CoverageSubsumption
+	params.Obs = obs.NewRun(nil, obs.NewRegistry())
+	tester := ilp.NewTester(prob, params)
+	c := logic.MustParseClause("advisedBy(X,Y) :- publication(P,X), publication(P,Y).")
+
+	tester.CoveredSet(c, prob.Pos, nil)
+	reg := params.Obs.Registry()
+	misses := reg.Get(obs.CSaturationMisses)
+	if misses != int64(len(prob.Pos)) {
+		t.Errorf("first pass: %d misses, want %d", misses, len(prob.Pos))
+	}
+	tester.CoveredSet(c, prob.Pos, nil)
+	if hits := reg.Get(obs.CSaturationHits); hits != int64(len(prob.Pos)) {
+		t.Errorf("second pass: %d hits, want %d", hits, len(prob.Pos))
+	}
+	if reg.Get(obs.CSaturationMisses) != misses {
+		t.Error("second pass rebuilt saturations")
+	}
+}

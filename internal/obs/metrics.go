@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is the counter/timer store of one run. All operations are
+// atomic; a registry may be shared by the coverage worker pool.
+type Registry struct {
+	counters   [numCounters]atomic.Int64
+	phaseNS    [numPhases]atomic.Int64
+	phaseCalls [numPhases]atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Get returns the counter's current value.
+func (g *Registry) Get(c Counter) int64 {
+	if c < 0 || c >= numCounters {
+		return 0
+	}
+	return g.counters[c].Load()
+}
+
+// PhaseTime returns the accumulated wall time of the phase.
+func (g *Registry) PhaseTime(p Phase) time.Duration {
+	if p < 0 || p >= numPhases {
+		return 0
+	}
+	return time.Duration(g.phaseNS[p].Load())
+}
+
+// Reset zeroes every counter and timer.
+func (g *Registry) Reset() {
+	for i := range g.counters {
+		g.counters[i].Store(0)
+	}
+	for i := range g.phaseNS {
+		g.phaseNS[i].Store(0)
+		g.phaseCalls[i].Store(0)
+	}
+}
+
+// PhaseStat is the report entry of one timed phase.
+type PhaseStat struct {
+	// Seconds is accumulated wall time.
+	Seconds float64 `json:"seconds"`
+	// Calls is how many times the phase ran.
+	Calls int64 `json:"calls"`
+}
+
+// Report is a point-in-time snapshot of a registry, the JSON shape the
+// -metrics flag writes. Every known counter and phase is present, zero or
+// not, so consumers see a stable schema.
+type Report struct {
+	Counters map[string]int64     `json:"counters"`
+	Phases   map[string]PhaseStat `json:"phases"`
+}
+
+// Snapshot captures the registry's current state.
+func (g *Registry) Snapshot() Report {
+	r := Report{
+		Counters: make(map[string]int64, numCounters),
+		Phases:   make(map[string]PhaseStat, numPhases),
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		r.Counters[c.String()] = g.counters[c].Load()
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		r.Phases[p.String()] = PhaseStat{
+			Seconds: time.Duration(g.phaseNS[p].Load()).Seconds(),
+			Calls:   g.phaseCalls[p].Load(),
+		}
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteSummary renders the report as the end-of-run text table: phases
+// with their wall time and call counts, then nonzero counters. Rows are
+// sorted by name for stable output.
+func (r Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "%-28s %12s %10s\n", "phase", "seconds", "calls")
+	names := make([]string, 0, len(r.Phases))
+	for n := range r.Phases {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := r.Phases[n]
+		if s.Calls == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %12.3f %10d\n", n, s.Seconds, s.Calls)
+	}
+	fmt.Fprintf(w, "%-28s %12s\n", "counter", "value")
+	names = names[:0]
+	for n := range r.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if v := r.Counters[n]; v != 0 {
+			fmt.Fprintf(w, "%-28s %12d\n", n, v)
+		}
+	}
+}

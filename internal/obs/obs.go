@@ -1,0 +1,240 @@
+// Package obs is the instrumentation layer of the repository: structured
+// trace events, atomic counters and per-phase wall-clock timers for the
+// learning pipeline (bottom-clause construction, beam search, coverage
+// testing, negative reduction, minimization).
+//
+// The paper's performance claims (§7.5) — parallel coverage testing
+// (§7.5.3), the coverage cache (§7.5.4), stored-procedure plans (§7.5.2),
+// θ-subsumption minimization (§7.5.5) — are reproduced by the learner
+// packages; obs makes them visible: every counter below maps to one of
+// those optimizations, so a metrics report shows whether they fire.
+//
+// The central type is *Run, a pairing of an optional Tracer (event sink)
+// with an optional *Registry (counters/timers). A nil *Run is the nop
+// default: every method is nil-safe and returns immediately, so
+// uninstrumented runs pay only a pointer test on the hot paths. Learners
+// receive the run through ilp.Params.Obs.
+package obs
+
+import (
+	"time"
+)
+
+// Counter identifies one atomic counter of the registry. The fixed
+// enumeration keeps increments allocation-free and branch-predictable.
+type Counter int
+
+const (
+	// CCoverageTests counts coverage tests actually executed (§7.5.3),
+	// over both engines (direct evaluation and θ-subsumption).
+	CCoverageTests Counter = iota
+	// CCoverageSkipped counts coverage tests skipped because the example
+	// was already known covered — the §7.5.4 coverage-cache hits.
+	CCoverageSkipped
+	// CSaturationHits counts ground-bottom-clause cache hits in
+	// subsumption-mode coverage testing.
+	CSaturationHits
+	// CSaturationMisses counts ground bottom clauses built on demand for
+	// subsumption-mode coverage testing.
+	CSaturationMisses
+	// CSubsumptionCalls counts top-level θ-subsumption engine calls.
+	CSubsumptionCalls
+	// CSubsumptionNodes counts backtracking nodes explored by the
+	// θ-subsumption engine.
+	CSubsumptionNodes
+	// CINDChaseHops counts IND hops followed during Castor's bottom-clause
+	// construction (§7.1).
+	CINDChaseHops
+	// CTuplesScanned counts tuples read from the relational store, during
+	// query evaluation and bottom-clause construction.
+	CTuplesScanned
+	// CPlanCompiles counts per-schema access-plan compilations; with
+	// stored procedures on (§7.5.2) this stays at 1 per Learn call.
+	CPlanCompiles
+	// CReductionSteps counts literal-removal attempts during θ-subsumption
+	// minimization (§7.5.5).
+	CReductionSteps
+	// CReductionRemoved counts literals actually removed by minimization.
+	CReductionRemoved
+	// CBottomClauses counts bottom clauses constructed.
+	CBottomClauses
+	// CBottomLiterals accumulates the body sizes of constructed bottom
+	// clauses.
+	CBottomLiterals
+	// CARMGCalls counts ARMG generalization calls.
+	CARMGCalls
+	// CCandidateLiterals counts candidate literals scored by top-down
+	// learners (FOIL's branching factor).
+	CCandidateLiterals
+	// CClausesAccepted counts clauses accepted by the covering loop.
+	CClausesAccepted
+	// CClausesRejected counts clauses the covering loop rejected for
+	// failing the minimum condition.
+	CClausesRejected
+
+	numCounters
+)
+
+// counterNames are the stable report keys, in Counter order.
+var counterNames = [numCounters]string{
+	CCoverageTests:     "coverage_tests",
+	CCoverageSkipped:   "coverage_tests_skipped",
+	CSaturationHits:    "saturation_cache_hits",
+	CSaturationMisses:  "saturation_cache_misses",
+	CSubsumptionCalls:  "subsumption_calls",
+	CSubsumptionNodes:  "subsumption_nodes",
+	CINDChaseHops:      "ind_chase_hops",
+	CTuplesScanned:     "tuples_scanned",
+	CPlanCompiles:      "plan_compiles",
+	CReductionSteps:    "reduction_steps",
+	CReductionRemoved:  "reduction_removed",
+	CBottomClauses:     "bottom_clauses",
+	CBottomLiterals:    "bottom_literals",
+	CARMGCalls:         "armg_calls",
+	CCandidateLiterals: "candidate_literals",
+	CClausesAccepted:   "clauses_accepted",
+	CClausesRejected:   "clauses_rejected",
+}
+
+// String returns the report key of the counter.
+func (c Counter) String() string {
+	if c < 0 || c >= numCounters {
+		return "unknown"
+	}
+	return counterNames[c]
+}
+
+// Phase identifies one timed phase of the learning pipeline.
+type Phase int
+
+const (
+	// PBottom is bottom-clause construction (saturation + IND chase).
+	PBottom Phase = iota
+	// PBeam is the generalization search (beam search, rlgg generation,
+	// or FOIL's greedy literal addition).
+	PBeam
+	// PCoverage is batched coverage testing (CoveredSet calls). In
+	// parallel runs this is the wall time of the batch, not CPU time.
+	PCoverage
+	// PNegReduce is negative reduction (§7.2.2).
+	PNegReduce
+	// PMinimize is θ-subsumption minimization (§7.5.5).
+	PMinimize
+
+	numPhases
+)
+
+// phaseNames are the stable report keys, in Phase order.
+var phaseNames = [numPhases]string{
+	PBottom:    "bottom_construction",
+	PBeam:      "generalization_search",
+	PCoverage:  "coverage_testing",
+	PNegReduce: "negative_reduction",
+	PMinimize:  "minimization",
+}
+
+// String returns the report key of the phase.
+func (p Phase) String() string {
+	if p < 0 || p >= numPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// Field is one key/value pair of a trace event. Events carry ordered
+// fields (not a map) so sinks emit them deterministically.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured trace record.
+type Event struct {
+	// Time is the emission time (wall clock).
+	Time time.Time
+	// Name identifies the event, dot-namespaced by subsystem
+	// ("castor.seed", "covering.accepted", …).
+	Name string
+	// Fields are the event's payload, in emission order.
+	Fields []Field
+}
+
+// Tracer receives trace events. Implementations must be safe for
+// concurrent use: coverage workers may emit from multiple goroutines.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Run bundles the tracer and registry one learning run reports into. The
+// zero value and nil are valid and mean "observe nothing".
+type Run struct {
+	tracer Tracer
+	reg    *Registry
+}
+
+// NewRun pairs a tracer with a registry; either may be nil.
+func NewRun(t Tracer, reg *Registry) *Run {
+	if t == nil && reg == nil {
+		return nil // collapse to the nop run: hot paths test one pointer
+	}
+	return &Run{tracer: t, reg: reg}
+}
+
+// Tracing reports whether events are consumed. Hot loops should guard
+// Emit calls with it to avoid building field slices nobody reads.
+func (r *Run) Tracing() bool { return r != nil && r.tracer != nil }
+
+// Registry returns the run's registry, or nil.
+func (r *Run) Registry() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Emit sends an event to the tracer, stamping the current time. It is a
+// no-op without a tracer; the fields are not inspected in that case.
+func (r *Run) Emit(name string, fields ...Field) {
+	if r == nil || r.tracer == nil {
+		return
+	}
+	r.tracer.Emit(Event{Time: time.Now(), Name: name, Fields: fields})
+}
+
+// Inc adds 1 to the counter.
+func (r *Run) Inc(c Counter) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.reg.counters[c].Add(1)
+}
+
+// Add adds delta to the counter.
+func (r *Run) Add(c Counter, delta int64) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.reg.counters[c].Add(delta)
+}
+
+// StartPhase begins timing a phase. Without a registry it returns the
+// zero time and skips the clock read entirely; EndPhase understands that.
+func (r *Run) StartPhase(p Phase) time.Time {
+	if r == nil || r.reg == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// EndPhase accumulates the elapsed wall time of a phase started with
+// StartPhase.
+func (r *Run) EndPhase(p Phase, start time.Time) {
+	if r == nil || r.reg == nil || start.IsZero() {
+		return
+	}
+	r.reg.phaseNS[p].Add(int64(time.Since(start)))
+	r.reg.phaseCalls[p].Add(1)
+}

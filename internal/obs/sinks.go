@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"time"
+)
+
+// JSONLSink writes one JSON object per event, suitable for machine-read
+// run traces (the -trace flag). Each line has the shape
+//
+//	{"t":"2006-01-02T15:04:05.000Z","event":"castor.seed","seed":"advisedBy(s0, p0)"}
+//
+// with the event's fields flattened into the object in emission order.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer // non-nil when the sink owns the file
+}
+
+// NewJSONLSink wraps a writer. Call Close (or Flush) before reading what
+// was written: output is buffered.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: bufio.NewWriter(w)}
+}
+
+// CreateJSONLFile creates (truncating) a trace file and returns a sink
+// that owns it; Close flushes and closes the file.
+func CreateJSONLFile(path string) (*JSONLSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewJSONLSink(f)
+	s.c = f
+	return s, nil
+}
+
+// Emit implements Tracer. Marshal failures of individual field values
+// degrade to a quoted %v rendering rather than dropping the event.
+func (s *JSONLSink) Emit(e Event) {
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"t":`...)
+	buf = appendJSONValue(buf, e.Time.UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"event":`...)
+	buf = appendJSONValue(buf, e.Name)
+	for _, f := range e.Fields {
+		buf = append(buf, ',')
+		buf = appendJSONValue(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSONValue(buf, f.Value)
+	}
+	buf = append(buf, '}', '\n')
+	s.mu.Lock()
+	s.w.Write(buf)
+	s.mu.Unlock()
+}
+
+func appendJSONValue(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(stringify(v))
+	}
+	return append(buf, b...)
+}
+
+func stringify(v any) string {
+	type stringer interface{ String() string }
+	if s, ok := v.(stringer); ok {
+		return s.String()
+	}
+	return "unrepresentable"
+}
+
+// Flush forces buffered events out.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// Close flushes and, when the sink owns its file, closes it.
+func (s *JSONLSink) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}
+
+// SlogSink forwards events to a log/slog logger at Info level — the
+// human-readable -v output.
+type SlogSink struct{ l *slog.Logger }
+
+// NewSlogSink wraps a logger; nil uses slog.Default().
+func NewSlogSink(l *slog.Logger) *SlogSink {
+	if l == nil {
+		l = slog.Default()
+	}
+	return &SlogSink{l: l}
+}
+
+// NewTextSink returns a slog sink writing human-readable lines (without
+// the redundant time/level prefix noise suppressed: the event time is the
+// log time).
+func NewTextSink(w io.Writer) *SlogSink {
+	h := slog.NewTextHandler(w, &slog.HandlerOptions{Level: slog.LevelInfo})
+	return &SlogSink{l: slog.New(h)}
+}
+
+// Emit implements Tracer.
+func (s *SlogSink) Emit(e Event) {
+	attrs := make([]slog.Attr, 0, len(e.Fields))
+	for _, f := range e.Fields {
+		attrs = append(attrs, slog.Any(f.Key, f.Value))
+	}
+	s.l.LogAttrs(context.Background(), slog.LevelInfo, e.Name, attrs...)
+}
+
+// multiTracer fans one event out to several sinks.
+type multiTracer []Tracer
+
+func (m multiTracer) Emit(e Event) {
+	for _, t := range m {
+		t.Emit(e)
+	}
+}
+
+// MultiTracer combines tracers, ignoring nils. It returns nil when
+// nothing remains, so NewRun can collapse to the nop run.
+func MultiTracer(ts ...Tracer) Tracer {
+	var out multiTracer
+	for _, t := range ts {
+		if t != nil {
+			out = append(out, t)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}

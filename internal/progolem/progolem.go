@@ -11,8 +11,11 @@
 package progolem
 
 import (
+	"sort"
+
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Learner is the ProGolem algorithm.
@@ -39,8 +42,17 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 
 // learnClause runs the beam search over ARMGs of the seed's bottom clause.
 func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, uncovered []logic.Atom) *logic.Clause {
+	run := params.Obs
 	seed := uncovered[0]
+	tb := run.StartPhase(obs.PBottom)
 	bottom := ilp.BottomClause(prob, seed, params.Depth, params.MaxRecall)
+	run.EndPhase(obs.PBottom, tb)
+	run.Inc(obs.CBottomClauses)
+	run.Add(obs.CBottomLiterals, int64(len(bottom.Body)))
+	if run.Tracing() {
+		run.Emit("progolem.bottom",
+			obs.F("seed", seed.String()), obs.F("literals", len(bottom.Body)))
+	}
 
 	score := func(c *logic.Clause) float64 {
 		p := tester.Count(c, uncovered)
@@ -61,7 +73,8 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		width = 1
 	}
 
-	for {
+	tbeam := run.StartPhase(obs.PBeam)
+	for iter := 0; ; iter++ {
 		bestScore := beam[0].score
 		for _, b := range beam {
 			if b.score > bestScore {
@@ -85,19 +98,18 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		if len(newCands) == 0 {
 			break
 		}
-		// Keep the N highest-scoring candidates (stable by discovery order).
-		for i := 0; i < len(newCands); i++ {
-			for j := i + 1; j < len(newCands); j++ {
-				if newCands[j].score > newCands[i].score {
-					newCands[i], newCands[j] = newCands[j], newCands[i]
-				}
-			}
-		}
+		// Keep the N highest-scoring candidates, ties in discovery order.
+		sort.SliceStable(newCands, func(i, j int) bool { return newCands[i].score > newCands[j].score })
 		if len(newCands) > width {
 			newCands = newCands[:width]
 		}
 		beam = newCands
+		if run.Tracing() {
+			run.Emit("progolem.beam",
+				obs.F("iter", iter), obs.F("beam", len(beam)), obs.F("best", beam[0].score))
+		}
 	}
+	run.EndPhase(obs.PBeam, tbeam)
 	// Highest-scoring clause in the beam, negatively reduced.
 	best := beam[0]
 	for _, b := range beam {
@@ -105,7 +117,9 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			best = b
 		}
 	}
+	tn := run.StartPhase(obs.PNegReduce)
 	reduced := NegativeReduce(tester, best.clause, prob.Neg)
+	run.EndPhase(obs.PNegReduce, tn)
 	if len(reduced.Body) == 0 {
 		return nil
 	}
@@ -117,6 +131,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 // is not modified; nil is returned when e2 cannot be covered (wrong head
 // shape).
 func ARMG(tester *ilp.Tester, c *logic.Clause, e2 logic.Atom) *logic.Clause {
+	tester.Run().Inc(obs.CARMGCalls)
 	if _, ok := logic.MatchAtoms(c.Head, e2, logic.NewSubstitution()); !ok {
 		return nil
 	}

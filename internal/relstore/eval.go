@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Conjunctive-query evaluation: satisfying clause bodies against an
@@ -45,11 +46,12 @@ func (i *Instance) SatisfyBody(body []logic.Atom, init logic.Substitution) bool 
 	}
 	init = init.Clone() // the solver binds in place
 	found := false
-	nodes := i.budget()
-	i.forEachSolution(body, init, &nodes, func(logic.Substitution) bool {
+	ctx := evalCtx{nodes: i.budget()}
+	i.forEachSolution(body, init, &ctx, func(logic.Substitution) bool {
 		found = true
 		return false // stop at the first witness
 	})
+	ctx.flush(i.obs)
 	return found
 }
 
@@ -83,8 +85,8 @@ func (i *Instance) EvalClause(c *logic.Clause) ([]logic.Atom, error) {
 	}
 	var out []logic.Atom
 	seen := make(map[string]bool)
-	nodes := i.budget()
-	i.forEachSolution(c.Body, logic.NewSubstitution(), &nodes, func(s logic.Substitution) bool {
+	ctx := evalCtx{nodes: i.budget()}
+	i.forEachSolution(c.Body, logic.NewSubstitution(), &ctx, func(s logic.Substitution) bool {
 		h := c.Head.Apply(s)
 		k := h.Key()
 		if !seen[k] {
@@ -93,6 +95,7 @@ func (i *Instance) EvalClause(c *logic.Clause) ([]logic.Atom, error) {
 		}
 		return true
 	})
+	ctx.flush(i.obs)
 	return out, nil
 }
 
@@ -117,13 +120,29 @@ func (i *Instance) EvalDefinition(d *logic.Definition) ([]logic.Atom, error) {
 	return out, nil
 }
 
+// evalCtx is the per-top-level-call state of the solver: the remaining
+// search-node budget and the tuples scanned so far. Scans accumulate in a
+// plain int on the search path and flush into the instrumentation run
+// once per call.
+type evalCtx struct {
+	nodes   int
+	scanned int64
+}
+
+func (c *evalCtx) flush(run *obs.Run) {
+	if c.scanned > 0 {
+		run.Add(obs.CTuplesScanned, c.scanned)
+	}
+}
+
 // forEachSolution enumerates extensions of s satisfying all atoms,
 // backtracking with most-constrained-literal selection. yield returning
 // false stops the enumeration; forEachSolution returns false when stopped
-// early. nodes is the remaining search budget; exhausting it also stops.
-func (i *Instance) forEachSolution(atoms []logic.Atom, s logic.Substitution, nodes *int, yield func(logic.Substitution) bool) bool {
-	*nodes--
-	if *nodes < 0 {
+// early. ctx carries the remaining search budget (exhausting it also
+// stops) and the scan counter.
+func (i *Instance) forEachSolution(atoms []logic.Atom, s logic.Substitution, ctx *evalCtx, yield func(logic.Substitution) bool) bool {
+	ctx.nodes--
+	if ctx.nodes < 0 {
 		return false // budget exhausted: cut the search
 	}
 	if len(atoms) == 0 {
@@ -151,12 +170,14 @@ func (i *Instance) forEachSolution(atoms []logic.Atom, s logic.Substitution, nod
 	}
 	// Trail-based binding: extend s in place per candidate tuple and undo
 	// on backtrack, avoiding a substitution clone per tuple.
-	for _, tp := range i.candidateTuples(atom, s, t) {
+	cands := i.candidateTuples(atom, s, t)
+	ctx.scanned += int64(len(cands))
+	for _, tp := range cands {
 		trail, ok := bindTuple(atom, tp, s)
 		if !ok {
 			continue
 		}
-		if !i.forEachSolution(rest, s, nodes, yield) {
+		if !i.forEachSolution(rest, s, ctx, yield) {
 			return false
 		}
 		for _, v := range trail {

@@ -3,6 +3,8 @@ package relstore
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Tuple is one row of a relation instance. Values are strings; the store is
@@ -164,8 +166,14 @@ type Instance struct {
 	schema     *Schema
 	tables     map[string]*Table
 	indexed    bool
-	evalBudget int // per-call search-node budget; 0 = DefaultEvalBudget
+	evalBudget int      // per-call search-node budget; 0 = DefaultEvalBudget
+	obs        *obs.Run // instrumentation; nil observes nothing
 }
+
+// SetObs attaches an instrumentation run: query evaluation reports the
+// tuples it scans into it. Set it before learning starts (concurrent
+// coverage workers read it without synchronization); nil detaches.
+func (i *Instance) SetObs(run *obs.Run) { i.obs = run }
 
 // NewInstance returns an empty instance with hash indexes enabled.
 func NewInstance(schema *Schema) *Instance { return newInstance(schema, true) }

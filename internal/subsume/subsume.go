@@ -17,19 +17,29 @@ package subsume
 
 import (
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Subsumes reports whether clause c θ-subsumes clause d: some substitution
 // θ (applied to c only; d's variables act as fresh constants) maps c's head
 // to d's head and every body literal of c to a body literal of d.
 func Subsumes(c, d *logic.Clause) bool {
+	return SubsumesR(nil, c, d)
+}
+
+// SubsumesR is Subsumes reporting engine calls and backtracking nodes into
+// the run (nil observes nothing).
+func SubsumesR(run *obs.Run, c, d *logic.Clause) bool {
 	d = skolemize(d)
 	s, ok := logic.MatchAtoms(c.Head, d.Head, logic.NewSubstitution())
 	if !ok {
+		run.Inc(obs.CSubsumptionCalls)
 		return false
 	}
 	m := newMatcher(d.Body)
-	return m.matchAll(c.Body, s) // s is fresh: in-place binding is safe
+	ok = m.matchAll(c.Body, s) // s is fresh: in-place binding is safe
+	m.report(run)
+	return ok
 }
 
 // SubsumesBody reports whether the body of c maps into the body of d under
@@ -38,12 +48,20 @@ func Subsumes(c, d *logic.Clause) bool {
 // terms appearing in dBody verbatim (coverage tests bind onto ground bottom
 // clauses, satisfying this).
 func SubsumesBody(cBody, dBody []logic.Atom, init logic.Substitution) bool {
+	return SubsumesBodyR(nil, cBody, dBody, init)
+}
+
+// SubsumesBodyR is SubsumesBody reporting into the run (nil observes
+// nothing).
+func SubsumesBodyR(run *obs.Run, cBody, dBody []logic.Atom, init logic.Substitution) bool {
 	if init == nil {
 		init = logic.NewSubstitution()
 	}
 	d := skolemize(&logic.Clause{Body: dBody})
 	m := newMatcher(d.Body)
-	return m.matchAll(cBody, init.Clone()) // the matcher binds in place
+	ok := m.matchAll(cBody, init.Clone()) // the matcher binds in place
+	m.report(run)
+	return ok
 }
 
 // skolemPrefix marks constants standing in for target-clause variables. The
@@ -92,6 +110,14 @@ func newMatcher(target []logic.Atom) *matcher {
 		byPred[a.Pred] = append(byPred[a.Pred], a)
 	}
 	return &matcher{byPred: byPred, nodes: matchBudget}
+}
+
+// report flushes the engine-call and node counts of one finished top-level
+// match into the run: node counting stays a plain decrement on the search
+// path and costs two atomic adds per call.
+func (m *matcher) report(run *obs.Run) {
+	run.Inc(obs.CSubsumptionCalls)
+	run.Add(obs.CSubsumptionNodes, int64(matchBudget-m.nodes))
 }
 
 // matchAll matches every source literal into the target under extensions of
@@ -265,10 +291,18 @@ func undo(s logic.Substitution, trail []string) {
 // §7.5.5 minimization (θ-transformation). The head and relative order of
 // the surviving literals are preserved. The input clause is not modified.
 func Reduce(c *logic.Clause) *logic.Clause {
+	return ReduceR(nil, c)
+}
+
+// ReduceR is Reduce reporting removal attempts and removed literals into
+// the run (nil observes nothing).
+func ReduceR(run *obs.Run, c *logic.Clause) *logic.Clause {
 	cur := c.Clone()
 	for i := 0; i < len(cur.Body); {
+		run.Inc(obs.CReductionSteps)
 		shorter := cur.RemoveBodyAt(i)
-		if Subsumes(cur, shorter) {
+		if SubsumesR(run, cur, shorter) {
+			run.Inc(obs.CReductionRemoved)
 			cur = shorter // drop the literal; do not advance
 		} else {
 			i++
