@@ -7,12 +7,15 @@ package sirl_test
 // cmd/experiments binary for full laptop-scale tables.
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/castor"
+	"repro/internal/coverage"
 	"repro/internal/datasets"
 	"repro/internal/experiments"
 	"repro/internal/ilp"
+	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/relstore"
 )
@@ -25,6 +28,7 @@ func reportObsMetrics(b *testing.B, reg *obs.Registry) {
 	n := float64(b.N)
 	b.ReportMetric(float64(reg.Get(obs.CCoverageTests))/n, "covtests/op")
 	b.ReportMetric(float64(reg.Get(obs.CCoverageSkipped))/n, "covskips/op")
+	b.ReportMetric(float64(reg.Get(obs.CCoverageCacheHits))/n, "covhits/op")
 	b.ReportMetric(float64(reg.Get(obs.CTuplesScanned))/n, "tuples/op")
 }
 
@@ -169,6 +173,48 @@ func runCastor(b *testing.B, prob *ilp.Problem, params ilp.Params) {
 	if def.IsEmpty() {
 		b.Fatal("learned nothing")
 	}
+}
+
+// BenchmarkCandidateScoring isolates the batched candidate scorer: one
+// beam-sized batch of bottom-clause generalizations (leave-one-literal-out,
+// the shape ARMG produces) scored against every example, serial versus one
+// worker per core. The memo cache is off so every iteration measures raw
+// scoring; the "cached" variant leaves it on to show the steady-state cost
+// once the memo cache answers repeats.
+func BenchmarkCandidateScoring(b *testing.B) {
+	prob := benchUWCSEProblem(b, true)
+	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
+	bottom := castor.BottomClause(prob, plan, prob.Pos[0], benchCastorParams())
+	var cands []coverage.Candidate
+	for drop := range bottom.Body {
+		body := make([]logic.Atom, 0, len(bottom.Body)-1)
+		body = append(body, bottom.Body[:drop]...)
+		body = append(body, bottom.Body[drop+1:]...)
+		cands = append(cands, coverage.Candidate{Clause: &logic.Clause{Head: bottom.Head, Body: body}})
+	}
+	run := func(b *testing.B, workers int, disableCache bool) {
+		params := benchCastorParams()
+		params.CoverageMode = ilp.CoverageSubsumption
+		params.Parallelism = workers
+		params.DisableCoverageCache = disableCache
+		reg := obs.NewRegistry()
+		params.Obs = obs.NewRun(nil, reg)
+		tester := ilp.NewTester(prob, params)
+		// Warm the saturation cache so both variants time scoring, not
+		// bottom-clause construction.
+		tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scores := tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
+			if len(scores) != len(cands) {
+				b.Fatalf("scores = %d, want %d", len(scores), len(cands))
+			}
+		}
+		reportObsMetrics(b, reg)
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1, true) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.NumCPU(), true) })
+	b.Run("cached", func(b *testing.B) { run(b, runtime.NumCPU(), false) })
 }
 
 // BenchmarkAblationCoverageMode compares direct database evaluation with

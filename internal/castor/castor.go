@@ -27,6 +27,7 @@ package castor
 import (
 	"sort"
 
+	"repro/internal/coverage"
 	"repro/internal/ilp"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -100,8 +101,8 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 // shortcut: a generalization of this clause covers at least these examples.
 type scored struct {
 	clause     *logic.Clause
-	posCovered []bool // over the uncovered positives
-	negCovered []bool // over all negatives
+	posCovered *coverage.Bitset // over the uncovered positives
+	negCovered *coverage.Bitset // over all negatives
 	score      float64
 }
 
@@ -128,7 +129,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		if c == nil {
 			continue
 		}
-		p, n := tester.PosNeg(c, uncovered, prob.Neg)
+		p, n := tester.PosNeg(c, uncovered, prob.Neg, nil, nil)
 		if run.Tracing() {
 			run.Emit("castor.clause",
 				obs.F("clause", c.String()), obs.F("pos", p), obs.F("neg", n),
@@ -163,15 +164,16 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 			obs.F("vars", bottom.NumVars()))
 	}
 
+	// Full evaluation of one clause; the tester gates the §7.5.4 knowns and
+	// the memo cache on DisableCoverageCache centrally.
 	evaluate := func(c *logic.Clause, parent *scored) *scored {
-		var knownPos, knownNeg []bool
-		if parent != nil && !params.DisableCoverageCache {
+		var knownPos, knownNeg *coverage.Bitset
+		if parent != nil {
 			knownPos, knownNeg = parent.posCovered, parent.negCovered
 		}
 		pc := tester.CoveredSet(c, uncovered, knownPos)
 		nc := tester.CoveredSet(c, prob.Neg, knownNeg)
-		p, n := countTrue(pc), countTrue(nc)
-		return &scored{clause: c, posCovered: pc, negCovered: nc, score: float64(p - n)}
+		return &scored{clause: c, posCovered: pc, negCovered: nc, score: float64(pc.Count() - nc.Count())}
 	}
 
 	beam := []*scored{evaluate(bottom, nil)}
@@ -197,7 +199,7 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 		// ARMG toward an already-covered example is the identity.
 		pool := make([]logic.Atom, 0, len(uncovered))
 		for i, e := range uncovered {
-			if !best.posCovered[i] {
+			if !best.posCovered.Get(i) {
 				pool = append(pool, e)
 			}
 		}
@@ -205,7 +207,12 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 			break
 		}
 		sample := sampleAtoms(rng, pool, k)
-		var next []*scored
+		// Generate this round's ARMGs serially (each mutates toward one
+		// target example), then score the batch concurrently, with the
+		// current best score as the early-termination bound: a candidate
+		// whose negative cover already pins it at or below bestScore would
+		// not enter the beam, so its scan is abandoned.
+		var cands []coverage.Candidate
 		for _, b := range beam {
 			for _, e := range sample {
 				g := ARMG(tester, plan, b.clause, e, params)
@@ -215,10 +222,16 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 				if !g.IsSafe() {
 					continue // §7.3.2: unsafe candidates are discarded
 				}
-				cand := evaluate(g, b)
-				if cand.score > bestScore {
-					next = append(next, cand)
-				}
+				cands = append(cands, coverage.Candidate{Clause: g, KnownPos: b.posCovered, KnownNeg: b.negCovered})
+			}
+		}
+		var next []*scored
+		for _, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore)) {
+			if s.Pruned {
+				continue
+			}
+			if sc := float64(s.P - s.N); sc > bestScore {
+				next = append(next, &scored{clause: s.Clause, posCovered: s.Pos, negCovered: s.Neg, score: sc})
 			}
 		}
 		if len(next) == 0 {
@@ -244,7 +257,9 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 		}
 	}
 	tn := run.StartPhase(obs.PNegReduce)
-	reduced := NegativeReduce(tester, plan, best.clause, prob.Neg)
+	// Reduction only generalizes, so the winner's negative cover seeds the
+	// known-covered shortcut for every re-test inside.
+	reduced := NegativeReduce(tester, plan, best.clause, prob.Neg, best.negCovered)
 	run.EndPhase(obs.PNegReduce, tn)
 	if params.Minimize && len(reduced.Body) <= reduceCutoff {
 		tm := run.StartPhase(obs.PMinimize)
@@ -255,16 +270,6 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 		return nil
 	}
 	return reduced
-}
-
-func countTrue(bs []bool) int {
-	n := 0
-	for _, b := range bs {
-		if b {
-			n++
-		}
-	}
-	return n
 }
 
 // --- deterministic PRNG + sampling ---

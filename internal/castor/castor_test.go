@@ -198,11 +198,11 @@ func TestNegativeReduceAtInstanceGranularity(t *testing.T) {
 	// and faculty position are essential.
 	c := logic.MustParseClause(
 		"advisedBy(X,Y) :- student(X), inPhase(X, prelim), yearsInProgram(X, 1), publication(P,X), publication(P,Y), professor(Y), hasPosition(Y, faculty).")
-	r := NegativeReduce(tester, plan, c, prob.Neg)
-	if tester.Count(r, prob.Neg) > tester.Count(c, prob.Neg) {
+	r := NegativeReduce(tester, plan, c, prob.Neg, nil)
+	if tester.Count(r, prob.Neg, nil) > tester.Count(c, prob.Neg, nil) {
 		t.Error("negative coverage increased")
 	}
-	if tester.Count(r, prob.Pos) < tester.Count(c, prob.Pos) {
+	if tester.Count(r, prob.Pos, nil) < tester.Count(c, prob.Pos, nil) {
 		t.Error("positive coverage decreased")
 	}
 	if !r.IsSafe() {

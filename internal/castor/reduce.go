@@ -1,6 +1,7 @@
 package castor
 
 import (
+	"repro/internal/coverage"
 	"repro/internal/ilp"
 	"repro/internal/logic"
 	"repro/internal/relstore"
@@ -113,9 +114,14 @@ func closure(c *logic.Clause, plan *relstore.Plan, j int) []int {
 // clause. An instance is non-essential when dropping its literals (and any
 // literals left disconnected from the head) does not increase the number
 // of covered negatives, and the clause stays non-empty and safe.
-func NegativeReduce(tester *ilp.Tester, plan *relstore.Plan, c *logic.Clause, neg []logic.Atom) *logic.Clause {
+//
+// known optionally carries c's already-computed negative cover. Every
+// candidate only removes literals — a generalization — so the base cover
+// stays a valid §7.5.4 known-covered set for all of them.
+func NegativeReduce(tester *ilp.Tester, plan *relstore.Plan, c *logic.Clause, neg []logic.Atom, known *coverage.Bitset) *logic.Clause {
 	cur := c.Clone()
-	base := tester.Count(cur, neg)
+	baseSet := tester.CoveredSet(cur, neg, known)
+	base := baseSet.Count()
 	for {
 		instances := InclusionInstances(cur, plan)
 		if len(instances) <= 1 {
@@ -149,7 +155,7 @@ func NegativeReduce(tester *ilp.Tester, plan *relstore.Plan, c *logic.Clause, ne
 			if len(cand.Body) == 0 || !cand.IsSafe() {
 				continue
 			}
-			if tester.Count(cand, neg) <= base {
+			if tester.Count(cand, neg, baseSet) <= base {
 				cur = cand
 				removedAny = true
 				break // instance indexes shifted; recompute

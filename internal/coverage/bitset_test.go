@@ -1,0 +1,94 @@
+package coverage
+
+import "testing"
+
+func TestBitsetRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 130} {
+		bs := make([]bool, n)
+		for i := range bs {
+			bs[i] = i%3 == 0
+		}
+		b := FromBools(bs)
+		if b.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, b.Len())
+		}
+		got := b.Bools()
+		for i := range bs {
+			if got[i] != bs[i] {
+				t.Fatalf("n=%d: bit %d = %v, want %v", n, i, got[i], bs[i])
+			}
+		}
+		want := 0
+		for _, v := range bs {
+			if v {
+				want++
+			}
+		}
+		if b.Count() != want {
+			t.Fatalf("n=%d: Count = %d, want %d", n, b.Count(), want)
+		}
+	}
+}
+
+func TestBitsetGetBoundsSafe(t *testing.T) {
+	b := New(10)
+	b.Set(3)
+	if b.Get(-1) || b.Get(10) || b.Get(1000) {
+		t.Error("out-of-range Get returned true")
+	}
+	var nilSet *Bitset
+	if nilSet.Get(0) || nilSet.Count() != 0 || nilSet.Len() != 0 {
+		t.Error("nil bitset not an empty read-only set")
+	}
+}
+
+func TestBitsetSetPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set(10) on a 10-bit set did not panic")
+		}
+	}()
+	New(10).Set(10)
+}
+
+func TestBitsetAndOr(t *testing.T) {
+	a, b := New(70), New(70)
+	a.Set(0)
+	a.Set(65)
+	a.Set(33)
+	b.Set(65)
+	b.Set(12)
+	and := a.And(b)
+	if and.Count() != 1 || !and.Get(65) {
+		t.Fatalf("And = %v", and.Bools())
+	}
+	a.OrInto(b)
+	if a.Count() != 4 || !a.Get(12) || !a.Get(65) {
+		t.Fatalf("OrInto = %v", a.Bools())
+	}
+	// Length-mismatched And truncates to the shorter operand.
+	short := New(5)
+	short.Set(2)
+	if got := a.And(short); got.Len() != 5 || got.Count() != 0 {
+		t.Fatalf("mismatched And: len=%d count=%d", got.Len(), got.Count())
+	}
+}
+
+func TestBitsetCloneIndependent(t *testing.T) {
+	a := New(8)
+	a.Set(1)
+	c := a.Clone()
+	c.Set(2)
+	if a.Get(2) {
+		t.Error("Clone shares storage")
+	}
+	if !a.Equal(FromBools([]bool{false, true, false, false, false, false, false, false})) {
+		t.Error("Equal mismatch")
+	}
+	if a.Equal(c) {
+		t.Error("differing sets reported Equal")
+	}
+	if a.Equal(New(9)) {
+		t.Error("length-mismatched sets reported Equal")
+	}
+}

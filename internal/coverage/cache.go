@@ -1,0 +1,105 @@
+package coverage
+
+import (
+	"container/list"
+	"hash/fnv"
+	"strconv"
+	"sync"
+
+	"repro/internal/logic"
+)
+
+// DefaultCacheSize bounds the memo cache; each entry is one bitset (a few
+// words per example set), so thousands of entries stay well under a
+// megabyte on the paper's workloads.
+const DefaultCacheSize = 4096
+
+// Cache memoizes whole CoveredSet results, keyed by the canonical clause
+// form plus a digest of the example set (§7.5.4). The covering loop and
+// the learners' negative-reduction re-tests evaluate the same clause over
+// the same example slice repeatedly; the cache answers those without
+// touching the store or the subsumption engine. LRU-bounded and safe for
+// concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List               // front = most recently used
+	items map[string]*list.Element // key → element whose Value is *cacheEntry
+}
+
+type cacheEntry struct {
+	key string
+	set *Bitset
+}
+
+// NewCache returns a cache bounded to capacity entries; capacity <= 0
+// falls back to DefaultCacheSize.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Cache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Key builds the cache key for evaluating clause c over the example set
+// identified by setKey.
+func (ca *Cache) Key(c *logic.Clause, setKey string) string {
+	return logic.CanonicalKey(c) + "\x00" + setKey
+}
+
+// Get returns a copy of the memoized bitset for the key, if present. A
+// copy, because callers mutate coverage sets (OrInto during the covering
+// loop) and must not corrupt the cached value.
+func (ca *Cache) Get(key string) (*Bitset, bool) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	el, ok := ca.items[key]
+	if !ok {
+		return nil, false
+	}
+	ca.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).set.Clone(), true
+}
+
+// Put memoizes the bitset under the key, evicting the least recently used
+// entry when full. The cache clones the value so later caller mutations
+// cannot leak in.
+func (ca *Cache) Put(key string, set *Bitset) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if el, ok := ca.items[key]; ok {
+		el.Value.(*cacheEntry).set = set.Clone()
+		ca.order.MoveToFront(el)
+		return
+	}
+	ca.items[key] = ca.order.PushFront(&cacheEntry{key: key, set: set.Clone()})
+	if ca.order.Len() > ca.cap {
+		oldest := ca.order.Back()
+		ca.order.Remove(oldest)
+		delete(ca.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of memoized entries.
+func (ca *Cache) Len() int {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.order.Len()
+}
+
+// SetKey digests an example slice into a stable identifier for cache keys.
+// Example sets inside one Learn call are slices of the problem's Pos/Neg,
+// so hashing the ground-atom keys (plus length) identifies the set; FNV
+// collisions across *different* sets of the same learner run are the only
+// correctness risk, and the 64-bit space over at most a few thousand
+// distinct sets makes that negligible — and an uncovered-set slice that
+// shrinks each covering iteration always changes length, which is hashed
+// too.
+func SetKey(examples []logic.Atom) string {
+	h := fnv.New64a()
+	for _, e := range examples {
+		h.Write([]byte(e.Key()))
+		h.Write([]byte{0})
+	}
+	return strconv.Itoa(len(examples)) + ":" + strconv.FormatUint(h.Sum64(), 16)
+}

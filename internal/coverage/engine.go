@@ -1,0 +1,232 @@
+package coverage
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// CoverFunc decides whether one clause covers one example. ilp.Tester
+// supplies it, closing over the coverage mode (direct evaluation or
+// θ-subsumption) and its own instrumentation; implementations must be safe
+// for concurrent use.
+type CoverFunc func(c *logic.Clause, e logic.Atom) bool
+
+// NoBound disables the early-termination bound of ScoreBatch.
+const NoBound = math.MinInt
+
+// Engine evaluates clause coverage: per-example parallelism inside one
+// CoveredSet call (§7.5.3), whole-result memoization keyed by canonical
+// clause form (§7.5.4), and cross-candidate parallel scoring with an
+// early-termination bound.
+type Engine struct {
+	cover   CoverFunc
+	workers int
+	cache   *Cache // nil disables memoization
+	run     *obs.Run
+}
+
+// NewEngine builds an engine. workers < 1 is treated as sequential; a nil
+// cache disables memoization (the ablation path).
+func NewEngine(cover CoverFunc, workers int, cache *Cache, run *obs.Run) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Engine{cover: cover, workers: workers, cache: cache, run: run}
+}
+
+// CoveredSet tests the clause against every example. known, when non-nil,
+// marks examples already known covered (because the clause generalizes one
+// that covered them) and skips their tests; out-of-range known bits read
+// as unset. The result is memoized: a repeat of the same clause (up to
+// variable renaming) over the same example set is answered from cache.
+func (en *Engine) CoveredSet(c *logic.Clause, examples []logic.Atom, known *Bitset) *Bitset {
+	start := en.run.StartPhase(obs.PCoverage)
+	defer en.run.EndPhase(obs.PCoverage, start)
+	return en.coveredSet(c, examples, known, en.workers)
+}
+
+// coveredSet is CoveredSet without the phase timer, with an explicit
+// worker count so ScoreBatch can nest it inside candidate workers.
+func (en *Engine) coveredSet(c *logic.Clause, examples []logic.Atom, known *Bitset, workers int) *Bitset {
+	if en.cache == nil {
+		return en.evaluate(c, examples, known, workers)
+	}
+	key := en.cache.Key(c, SetKey(examples))
+	if hit, ok := en.cache.Get(key); ok && hit.Len() == len(examples) {
+		en.run.Inc(obs.CCoverageCacheHits)
+		return hit
+	}
+	en.run.Inc(obs.CCoverageCacheMisses)
+	out := en.evaluate(c, examples, known, workers)
+	en.cache.Put(key, out)
+	return out
+}
+
+// evaluate runs the actual per-example tests, sharded over workers.
+func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset, workers int) *Bitset {
+	if known != nil {
+		// §7.5.4 known-covered shortcut: tests this batch skips outright.
+		skipped := int64(0)
+		for i := range examples {
+			if known.Get(i) {
+				skipped++
+			}
+		}
+		en.run.Add(obs.CCoverageSkipped, skipped)
+	}
+	n := len(examples)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		out := New(n)
+		for i, e := range examples {
+			if known.Get(i) || en.cover(c, e) {
+				out.Set(i)
+			}
+		}
+		return out
+	}
+	// Workers record into a byte-per-example buffer, not the bitset:
+	// concurrent writes to neighbouring bits would race on shared words.
+	buf := make([]bool, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				buf[i] = known.Get(i) || en.cover(c, examples[i])
+			}
+		}()
+	}
+	for i := range examples {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return FromBools(buf)
+}
+
+// Candidate is one clause queued for batched scoring, with optional
+// known-covered sets inherited from the clause it generalizes.
+type Candidate struct {
+	Clause   *logic.Clause
+	KnownPos *Bitset
+	KnownNeg *Bitset
+}
+
+// Score is the evaluation of one candidate. When Pruned, the negative scan
+// was abandoned early: N is a lower bound, Neg a partial set, and the
+// candidate is guaranteed unable to beat the bound passed to ScoreBatch.
+type Score struct {
+	Clause *logic.Clause
+	Pos    *Bitset
+	Neg    *Bitset
+	P, N   int
+	Pruned bool
+}
+
+// ScoreBatch evaluates candidates concurrently over the worker pool.
+// bound, unless NoBound, is a compression score (p−n) the candidates must
+// beat: a candidate is abandoned as soon as p−n can no longer exceed
+// bound, because negative cover only grows as the scan proceeds. Complete
+// results are memoized; pruned ones are not.
+func (en *Engine) ScoreBatch(cands []Candidate, pos, neg []logic.Atom, bound int) []Score {
+	start := en.run.StartPhase(obs.PCoverage)
+	defer en.run.EndPhase(obs.PCoverage, start)
+	out := make([]Score, len(cands))
+	workers := en.workers
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	// Split the pool between candidate-level and example-level
+	// parallelism, so small batches still use every worker.
+	inner := 1
+	if len(cands) > 0 {
+		inner = en.workers / len(cands)
+		if inner < 1 {
+			inner = 1
+		}
+	}
+	if workers <= 1 {
+		for i, cand := range cands {
+			out[i] = en.scoreOne(cand, pos, neg, bound, en.workers)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = en.scoreOne(cands[i], pos, neg, bound, inner)
+			}
+		}()
+	}
+	for i := range cands {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// scoreOne evaluates a single candidate: full positive cover first (the
+// memo cache applies), then a sequential negative scan that abandons once
+// the bound is unreachable.
+func (en *Engine) scoreOne(cand Candidate, pos, neg []logic.Atom, bound, workers int) Score {
+	en.run.Inc(obs.CCandidatesScored)
+	posSet := en.coveredSet(cand.Clause, pos, cand.KnownPos, workers)
+	p := posSet.Count()
+	s := Score{Clause: cand.Clause, Pos: posSet, P: p, Neg: New(len(neg))}
+	if bound != NoBound && p <= bound {
+		// Even a clean candidate (n = 0) cannot beat the bound.
+		en.run.Inc(obs.CCandidatesPruned)
+		s.Pruned = true
+		return s
+	}
+	var negKey string
+	if en.cache != nil {
+		negKey = en.cache.Key(cand.Clause, SetKey(neg))
+		if hit, ok := en.cache.Get(negKey); ok && hit.Len() == len(neg) {
+			en.run.Inc(obs.CCoverageCacheHits)
+			s.Neg, s.N = hit, hit.Count()
+			return s
+		}
+		en.run.Inc(obs.CCoverageCacheMisses)
+	}
+	n, skipped := 0, int64(0)
+	complete := true
+	for i, e := range neg {
+		if cand.KnownNeg.Get(i) {
+			s.Neg.Set(i)
+			n++
+			skipped++
+		} else if en.cover(cand.Clause, e) {
+			s.Neg.Set(i)
+			n++
+		}
+		if bound != NoBound && p-n <= bound && i < len(neg)-1 {
+			complete = false
+			break
+		}
+	}
+	en.run.Add(obs.CCoverageSkipped, skipped)
+	s.N = n
+	if !complete {
+		en.run.Inc(obs.CCandidatesPruned)
+		s.Pruned = true
+		return s
+	}
+	if en.cache != nil {
+		en.cache.Put(negKey, s.Neg)
+	}
+	return s
+}

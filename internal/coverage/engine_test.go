@@ -1,0 +1,223 @@
+package coverage
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// fakeCover covers example i iff the clause's body length has the same
+// parity as i, and counts invocations so tests can observe cache behavior.
+type fakeCover struct{ calls atomic.Int64 }
+
+func (f *fakeCover) fn(c *logic.Clause, e logic.Atom) bool {
+	f.calls.Add(1)
+	i, _ := strconv.Atoi(e.Args[0].Name)
+	return i%2 == len(c.Body)%2
+}
+
+func exampleAtoms(n int) []logic.Atom {
+	out := make([]logic.Atom, n)
+	for i := range out {
+		out[i] = logic.GroundAtom("e", strconv.Itoa(i))
+	}
+	return out
+}
+
+func TestEngineCoveredSetParallelMatchesSequential(t *testing.T) {
+	exs := exampleAtoms(97)
+	c := logic.MustParseClause("h(X) :- p(X), q(X).")
+	var f fakeCover
+	seq := NewEngine(f.fn, 1, nil, nil).CoveredSet(c, exs, nil)
+	par := NewEngine(f.fn, 8, nil, nil).CoveredSet(c, exs, nil)
+	if !seq.Equal(par) {
+		t.Fatal("parallel and sequential CoveredSet disagree")
+	}
+	for i := range exs {
+		if seq.Get(i) != (i%2 == 0) {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+}
+
+func TestEngineMemoCache(t *testing.T) {
+	exs := exampleAtoms(40)
+	var f fakeCover
+	reg := obs.NewRegistry()
+	en := NewEngine(f.fn, 2, NewCache(0), obs.NewRun(nil, reg))
+
+	c1 := logic.MustParseClause("h(X) :- p(X).")
+	first := en.CoveredSet(c1, exs, nil)
+	if got := f.calls.Load(); got != 40 {
+		t.Fatalf("first call ran %d tests, want 40", got)
+	}
+	// An alpha-variant of the same clause must hit the cache.
+	c2 := logic.MustParseClause("h(Y) :- p(Y).")
+	second := en.CoveredSet(c2, exs, nil)
+	if got := f.calls.Load(); got != 40 {
+		t.Fatalf("alpha-variant recomputed coverage (%d tests)", got)
+	}
+	if !first.Equal(second) {
+		t.Fatal("cached result differs")
+	}
+	if reg.Get(obs.CCoverageCacheHits) != 1 || reg.Get(obs.CCoverageCacheMisses) != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1",
+			reg.Get(obs.CCoverageCacheHits), reg.Get(obs.CCoverageCacheMisses))
+	}
+	// Mutating the returned set must not corrupt the cached copy (c1 has
+	// one body literal, so it covers odd indexes only — bit 2 is clear).
+	second.Set(2)
+	third := en.CoveredSet(c1, exs, nil)
+	if third.Get(2) {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+	// A different example set must not alias the cached entry.
+	sub := exs[:10]
+	subSet := en.CoveredSet(c1, sub, nil)
+	if subSet.Len() != 10 {
+		t.Fatalf("subset result len = %d", subSet.Len())
+	}
+}
+
+func TestEngineKnownShortcut(t *testing.T) {
+	exs := exampleAtoms(30)
+	c := logic.MustParseClause("h(X) :- p(X), q(X).")
+	known := New(30)
+	for i := 0; i < 30; i += 2 {
+		known.Set(i) // evens are truly covered, so the shortcut is sound
+	}
+	var f fakeCover
+	reg := obs.NewRegistry()
+	en := NewEngine(f.fn, 1, nil, obs.NewRun(nil, reg))
+	out := en.CoveredSet(c, exs, known)
+	if f.calls.Load() != 15 {
+		t.Fatalf("ran %d tests, want 15 (skipping knowns)", f.calls.Load())
+	}
+	if reg.Get(obs.CCoverageSkipped) != 15 {
+		t.Fatalf("skipped counter = %d, want 15", reg.Get(obs.CCoverageSkipped))
+	}
+	for i := 0; i < 30; i++ {
+		if out.Get(i) != (i%2 == 0) {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+	// A known set shorter than the examples degrades to extra tests, not a
+	// panic (the seed implementation crashed in the worker goroutine here).
+	shortKnown := New(5)
+	shortKnown.Set(0)
+	if got := NewEngine(f.fn, 4, nil, nil).CoveredSet(c, exs, shortKnown); got.Len() != 30 {
+		t.Fatalf("short-known result len = %d", got.Len())
+	}
+}
+
+func TestEngineScoreBatch(t *testing.T) {
+	pos := exampleAtoms(20)
+	neg := exampleAtoms(20)
+	cands := []Candidate{
+		{Clause: logic.MustParseClause("h(X) :- p(X), q(X).")}, // covers evens: p=10 n=10
+		{Clause: logic.MustParseClause("h(X) :- p(X).")},       // covers odds: p=10 n=10
+	}
+	for _, workers := range []int{1, 8} {
+		var f fakeCover
+		scores := NewEngine(f.fn, workers, nil, nil).ScoreBatch(cands, pos, neg, NoBound)
+		if len(scores) != 2 {
+			t.Fatalf("workers=%d: %d scores", workers, len(scores))
+		}
+		for i, s := range scores {
+			if s.Pruned || s.P != 10 || s.N != 10 {
+				t.Fatalf("workers=%d cand=%d: p=%d n=%d pruned=%v", workers, i, s.P, s.N, s.Pruned)
+			}
+			if s.Pos.Count() != s.P || s.Neg.Count() != s.N {
+				t.Fatalf("workers=%d cand=%d: bitset counts disagree", workers, i)
+			}
+		}
+	}
+}
+
+func TestEngineScoreBatchPrunes(t *testing.T) {
+	pos := exampleAtoms(20)
+	neg := exampleAtoms(40)
+	var f fakeCover
+	reg := obs.NewRegistry()
+	en := NewEngine(f.fn, 1, nil, obs.NewRun(nil, reg))
+	// Both candidates score p−n = 10−20 = −10; a bound of 5 means the scan
+	// may stop as soon as p−n ≤ 5, i.e. after 5 covered negatives.
+	scores := en.ScoreBatch([]Candidate{
+		{Clause: logic.MustParseClause("h(X) :- p(X).")},
+	}, pos, neg, 5)
+	s := scores[0]
+	if !s.Pruned {
+		t.Fatal("candidate not pruned")
+	}
+	if s.P != 10 {
+		t.Fatalf("p = %d", s.P)
+	}
+	if s.N < 5 || s.N > 6 {
+		t.Fatalf("pruned after n = %d negatives, want ~5", s.N)
+	}
+	if reg.Get(obs.CCandidatesPruned) != 1 || reg.Get(obs.CCandidatesScored) != 1 {
+		t.Fatalf("pruned=%d scored=%d", reg.Get(obs.CCandidatesPruned), reg.Get(obs.CCandidatesScored))
+	}
+	// With p ≤ bound the negative scan must not run at all.
+	f.calls.Store(0)
+	scores = en.ScoreBatch([]Candidate{
+		{Clause: logic.MustParseClause("h(X) :- p(X).")},
+	}, pos, neg, 15)
+	if !scores[0].Pruned || scores[0].N != 0 {
+		t.Fatalf("pos-bound prune: pruned=%v n=%d", scores[0].Pruned, scores[0].N)
+	}
+	if f.calls.Load() != int64(len(pos)) {
+		t.Fatalf("ran %d tests, want only the %d positives", f.calls.Load(), len(pos))
+	}
+}
+
+func TestEngineScoreBatchDoesNotCachePartialNeg(t *testing.T) {
+	pos := exampleAtoms(20)
+	neg := exampleAtoms(40)
+	var f fakeCover
+	en := NewEngine(f.fn, 1, NewCache(0), nil)
+	c := logic.MustParseClause("h(X) :- p(X).")
+	pruned := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, 5)[0]
+	if !pruned.Pruned {
+		t.Fatal("setup: candidate not pruned")
+	}
+	// Re-scoring without a bound must produce the full negative cover, not
+	// the memoized partial scan.
+	full := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, NoBound)[0]
+	if full.Pruned || full.N != 20 {
+		t.Fatalf("full rescore: pruned=%v n=%d, want n=20", full.Pruned, full.N)
+	}
+	// And now the complete result is cached: a third scoring runs no tests.
+	before := f.calls.Load()
+	again := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, NoBound)[0]
+	if f.calls.Load() != before {
+		t.Fatal("complete result was not memoized")
+	}
+	if again.N != 20 || again.P != 10 {
+		t.Fatalf("cached rescore: p=%d n=%d", again.P, again.N)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	ca := NewCache(2)
+	a := New(4)
+	a.Set(0)
+	ca.Put("k1", a)
+	ca.Put("k2", a)
+	if _, ok := ca.Get("k1"); !ok { // touch k1 so k2 is the LRU victim
+		t.Fatal("k1 missing")
+	}
+	ca.Put("k3", a)
+	if _, ok := ca.Get("k2"); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := ca.Get("k1"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if ca.Len() != 2 {
+		t.Errorf("Len = %d", ca.Len())
+	}
+}

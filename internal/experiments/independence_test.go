@@ -1,0 +1,234 @@
+package experiments
+
+// Property-based regression test for Theorem 6.2 (Castor is schema
+// independent): randomized vertical (de)compositions of the UW-CSE fixture
+// and the quickstart co-authorship task must leave Castor's learned
+// definition extensionally unchanged — the same positive and negative
+// examples covered over every schema in the bisimulation class — with the
+// coverage memo cache both on and off.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/castor"
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/testfix"
+	"repro/internal/transform"
+)
+
+// coverageVector evaluates a learned definition extensionally: one bool per
+// example, in order. A nil definition covers nothing.
+func coverageVector(inst *relstore.Instance, def *logic.Definition, examples []logic.Atom) []bool {
+	out := make([]bool, len(examples))
+	for i, e := range examples {
+		out[i] = def != nil && inst.DefinitionCovers(def, e)
+	}
+	return out
+}
+
+func diffVectors(a, b []bool) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Sprintf("first divergence at example %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	return ""
+}
+
+// splitKeyed returns a random lossless vertical decomposition of a relation
+// whose first attribute is a key in the fixture instances. Arity-2
+// relations split into the key projection plus the full extent; arity-3
+// relations either split column-wise around the key (lossless because the
+// key determines the rest) or keep the full extent plus a key-pair
+// projection. Part order and the column order inside parts are shuffled so
+// the transformed schemas also permute attributes.
+func splitKeyed(r *rand.Rand, rel *relstore.Relation) []transform.Part {
+	attrs := rel.Attrs
+	var parts []transform.Part
+	switch rel.Arity() {
+	case 2:
+		parts = []transform.Part{
+			{Name: rel.Name + "Xk", Attrs: []string{attrs[0]}},
+			{Name: rel.Name + "Xf", Attrs: shuffled(r, attrs[0], attrs[1])},
+		}
+	case 3:
+		if r.Intn(2) == 0 {
+			parts = []transform.Part{
+				{Name: rel.Name + "Xa", Attrs: shuffled(r, attrs[0], attrs[1])},
+				{Name: rel.Name + "Xb", Attrs: shuffled(r, attrs[0], attrs[2])},
+			}
+		} else {
+			parts = []transform.Part{
+				{Name: rel.Name + "Xa", Attrs: shuffled(r, attrs[0], attrs[1])},
+				{Name: rel.Name + "Xf", Attrs: []string{attrs[0], attrs[1], attrs[2]}},
+			}
+		}
+	default:
+		panic("splitKeyed: unsupported arity")
+	}
+	r.Shuffle(len(parts), func(i, j int) { parts[i], parts[j] = parts[j], parts[i] })
+	return parts
+}
+
+func shuffled(r *rand.Rand, a, b string) []string {
+	if r.Intn(2) == 0 {
+		return []string{a, b}
+	}
+	return []string{b, a}
+}
+
+// randomUWCSEPipeline draws a random schema transformation over the UW-CSE
+// Original schema: possibly compose the student block (toward 4NF), then
+// vertically decompose a random nonempty subset of the key-first relations.
+// Every draw is information preserving on testfix worlds, so Theorem 6.2
+// applies to the pair (Original, transformed).
+func randomUWCSEPipeline(r *rand.Rand, schema *relstore.Schema) *transform.Pipeline {
+	pipe := transform.NewPipeline(schema)
+	composedStudent := false
+	if r.Intn(2) == 0 {
+		// The testfix INDs student=inPhase=yearsInProgram make the join
+		// pairwise consistent, so this is the bijective 4NF composition.
+		pipe.MustCompose("studentInfo", "student", "inPhase", "yearsInProgram")
+		composedStudent = true
+	}
+	candidates := []string{"hasPosition", "courseLevel", "taughtBy", "ta"}
+	if !composedStudent {
+		candidates = append(candidates, "inPhase", "yearsInProgram")
+	}
+	picked := 0
+	for _, name := range candidates {
+		if r.Intn(2) == 0 {
+			continue
+		}
+		rel, ok := pipe.To().Relation(name)
+		if !ok {
+			continue
+		}
+		pipe.MustDecompose(name, splitKeyed(r, rel)...)
+		picked++
+	}
+	if picked == 0 && !composedStudent {
+		rel, _ := pipe.To().Relation("courseLevel")
+		pipe.MustDecompose("courseLevel", splitKeyed(r, rel)...)
+	}
+	return pipe
+}
+
+// learnCastor runs Castor with the given cache setting and returns the
+// learned definition.
+func learnCastor(t *testing.T, prob *ilp.Problem, disableCache bool) *logic.Definition {
+	t.Helper()
+	params := ilp.Defaults()
+	params.Sample = 4
+	params.BeamWidth = 2
+	params.DisableCoverageCache = disableCache
+	def, err := castor.New().Learn(prob, params)
+	if err != nil {
+		t.Fatalf("castor (cache disabled=%v): %v", disableCache, err)
+	}
+	return def
+}
+
+// checkIndependence learns on the source problem and on its image under
+// pipe, for both cache settings, and asserts all four runs cover exactly
+// the same positive and negative examples.
+func checkIndependence(t *testing.T, pipe *transform.Pipeline, src *ilp.Problem, label string) {
+	t.Helper()
+	mapped, err := pipe.Apply(src.Instance)
+	if err != nil {
+		t.Fatalf("%s: Apply: %v", label, err)
+	}
+	dst := &ilp.Problem{
+		Instance:   mapped,
+		Target:     src.Target,
+		Pos:        src.Pos,
+		Neg:        src.Neg,
+		ValueAttrs: src.ValueAttrs,
+	}
+	all := append(append([]logic.Atom(nil), src.Pos...), src.Neg...)
+	var want []bool
+	for _, disableCache := range []bool{false, true} {
+		defS := learnCastor(t, src, disableCache)
+		defD := learnCastor(t, dst, disableCache)
+		vecS := coverageVector(src.Instance, defS, all)
+		vecD := coverageVector(mapped, defD, all)
+		if d := diffVectors(vecS, vecD); d != "" {
+			t.Errorf("%s (cache disabled=%v): coverage differs across schemas (%s)\nsource: %v\nimage:  %v",
+				label, disableCache, d, defS, defD)
+		}
+		// The cache is an optimization: switching it off must not change
+		// what gets learned on either schema.
+		if want == nil {
+			want = vecS
+		} else if d := diffVectors(want, vecS); d != "" {
+			t.Errorf("%s: coverage differs between cache on and off on the source schema (%s)", label, d)
+		}
+	}
+}
+
+// TestPropertyCastorSchemaIndependentUWCSE is the Theorem 6.2 property test
+// over the UW-CSE fixture: random (de)composition pipelines, fixed seed so
+// failures replay deterministically.
+func TestPropertyCastorSchemaIndependentUWCSE(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	w := testfix.NewWorld(12)
+	for trial := 0; trial < 6; trial++ {
+		pipe := randomUWCSEPipeline(r, w.Original.Schema())
+		label := fmt.Sprintf("uwcse trial %d (%d steps)", trial, pipe.Steps())
+		checkIndependence(t, pipe, w.ProblemOriginal(), label)
+	}
+}
+
+// TestPropertyCastorSchemaIndependentQuickstart runs the same property on
+// the quickstart co-authorship task (Example 3.2): publication(title,
+// person) under every vertical decomposition the schema admits.
+func TestPropertyCastorSchemaIndependentQuickstart(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	schema := relstore.NewSchema()
+	schema.MustAddRelation("publication", "title", "person")
+	schema.SetDomain("person", "person")
+	inst := relstore.NewInstance(schema)
+	for _, row := range [][2]string{
+		{"deep_paper", "ada"}, {"deep_paper", "grace"},
+		{"logic_paper", "ada"}, {"logic_paper", "kurt"},
+		{"db_paper", "edgar"}, {"db_paper", "grace"},
+		{"solo_paper", "alan"},
+	} {
+		inst.MustInsert("publication", row[0], row[1])
+	}
+	prob := &ilp.Problem{
+		Instance: inst,
+		Target:   &relstore.Relation{Name: "collaborated", Attrs: []string{"person", "person"}},
+		Pos: []logic.Atom{
+			logic.GroundAtom("collaborated", "ada", "grace"),
+			logic.GroundAtom("collaborated", "ada", "kurt"),
+			logic.GroundAtom("collaborated", "edgar", "grace"),
+		},
+		Neg: []logic.Atom{
+			logic.GroundAtom("collaborated", "ada", "edgar"),
+			logic.GroundAtom("collaborated", "kurt", "grace"),
+			logic.GroundAtom("collaborated", "alan", "ada"),
+			logic.GroundAtom("collaborated", "alan", "kurt"),
+		},
+	}
+	for trial := 0; trial < 4; trial++ {
+		pipe := transform.NewPipeline(schema)
+		// publication has no key, so the only always-lossless vertical
+		// decompositions keep the full extent plus a projection; randomize
+		// which projection and the column orders.
+		proj := []string{"title", "person"}[r.Intn(2)]
+		pipe.MustDecompose("publication",
+			transform.Part{Name: "pubXp", Attrs: []string{proj}},
+			transform.Part{Name: "pubXf", Attrs: shuffled(r, "title", "person")},
+		)
+		label := fmt.Sprintf("quickstart trial %d (project %s)", trial, proj)
+		checkIndependence(t, pipe, prob, label)
+	}
+}

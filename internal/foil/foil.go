@@ -18,6 +18,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/coverage"
 	"repro/internal/ilp"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -76,15 +77,30 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		}
 		cands := gen.candidates(varDomains, nextVar)
 		run.Add(obs.CCandidateLiterals, int64(len(cands)))
-		var best, fallback *candidate
+		// FOIL's branching factor is the schema's literal space, so this is
+		// the hot loop: score all grown clauses' positive covers as one
+		// concurrent batch, then the negative covers of only the candidates
+		// that still cover positives (dead candidates skip the negative
+		// side, as the sequential path did). Gain needs exact counts, so no
+		// early-termination bound applies here.
+		grown := make([]coverage.Candidate, len(cands))
 		for i := range cands {
-			cand := &cands[i]
-			grown := extend(clause, cand.atom)
-			cp := tester.Count(grown, uncovered)
-			if cp == 0 {
-				continue
+			grown[i] = coverage.Candidate{Clause: extend(clause, cands[i].atom)}
+		}
+		posScores := tester.ScoreBatch(grown, uncovered, nil, coverage.NoBound)
+		var alive []int
+		var negBatch []coverage.Candidate
+		for i, s := range posScores {
+			if s.P > 0 {
+				alive = append(alive, i)
+				negBatch = append(negBatch, coverage.Candidate{Clause: grown[i].Clause})
 			}
-			cn := tester.Count(grown, prob.Neg)
+		}
+		negScores := tester.ScoreBatch(negBatch, nil, prob.Neg, coverage.NoBound)
+		var best, fallback *candidate
+		for bi, i := range alive {
+			cand := &cands[i]
+			cp, cn := posScores[i].P, negScores[bi].N
 			cand.p, cand.n = cp, cn
 			cand.gain = gain(p, n, cp, cn)
 			if cand.gain > 0 && (best == nil || cand.gain > best.gain) {

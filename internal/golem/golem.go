@@ -13,6 +13,7 @@
 package golem
 
 import (
+	"repro/internal/coverage"
 	"repro/internal/ilp"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -67,16 +68,17 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	}
 
 	type cand struct {
-		clause *logic.Clause
-		score  int
-	}
-	score := func(c *logic.Clause) (int, bool) {
-		p := tester.Count(c, uncovered)
-		n := tester.Count(c, prob.Neg)
-		return p - n, ilp.AcceptClause(params, p, n)
+		clause   *logic.Clause
+		pos, neg *coverage.Bitset
+		score    int
 	}
 	var best *cand
 	tbeam := run.StartPhase(obs.PBeam)
+	// Pairwise rlggs are independent: generate them serially (the
+	// saturations are shared across pairs), then score the whole batch
+	// concurrently. No bound here — AcceptClause needs exact counts while
+	// best is still unknown.
+	var pairs []coverage.Candidate
 	for i := 0; i < len(sample); i++ {
 		for j := i + 1; j < len(sample); j++ {
 			g := RLGG(saturate(sample[i]), saturate(sample[j]))
@@ -84,9 +86,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 				continue
 			}
 			g = tidy(run, g)
-			if s, ok := score(g); ok && (best == nil || s > best.score) {
-				best = &cand{clause: g, score: s}
-			}
+			pairs = append(pairs, coverage.Candidate{Clause: g})
 			if run.Tracing() {
 				run.Emit("golem.rlgg",
 					obs.F("pair", []string{sample[i].String(), sample[j].String()}),
@@ -94,11 +94,23 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			}
 		}
 	}
+	for _, s := range tester.ScoreBatch(pairs, uncovered, prob.Neg, coverage.NoBound) {
+		if !ilp.AcceptClause(params, s.P, s.N) {
+			continue
+		}
+		if sc := s.P - s.N; best == nil || sc > best.score {
+			best = &cand{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc}
+		}
+	}
 	if best == nil {
 		run.EndPhase(obs.PBeam, tbeam)
 		return nil
 	}
 	// Greedy extension: absorb more positives while the score improves.
+	// Each rlgg generalizes the current best, so its covered sets seed the
+	// §7.5.4 knowns, and best.score is a sound early-termination bound: an
+	// abandoned candidate cannot improve the score, so it cannot win —
+	// though it must still pass AcceptClause when it does beat the bound.
 	remaining := exclude(uncovered, sample)
 	for _, e := range sampleAtoms(rng, remaining, k) {
 		g := RLGG(best.clause, saturate(e))
@@ -106,8 +118,13 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			continue
 		}
 		g = tidy(run, g)
-		if s, ok := score(g); ok && s > best.score {
-			best = &cand{clause: g, score: s}
+		batch := []coverage.Candidate{{Clause: g, KnownPos: best.pos, KnownNeg: best.neg}}
+		s := tester.ScoreBatch(batch, uncovered, prob.Neg, best.score)[0]
+		if s.Pruned || !ilp.AcceptClause(params, s.P, s.N) {
+			continue
+		}
+		if sc := s.P - s.N; sc > best.score {
+			best = &cand{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc}
 		}
 	}
 	run.EndPhase(obs.PBeam, tbeam)

@@ -36,14 +36,11 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 		if c == nil {
 			break
 		}
+		// These re-tests repeat the evaluation the learner just did on the
+		// same clause and example sets, so they are memo-cache hits (§7.5.4).
 		covered := tester.CoveredSet(c, uncovered, nil)
-		p := 0
-		for _, ok := range covered {
-			if ok {
-				p++
-			}
-		}
-		n := tester.Count(c, prob.Neg)
+		p := covered.Count()
+		n := tester.Count(c, prob.Neg, nil)
 		if p == 0 || !AcceptClause(params, p, n) {
 			// The best learnable clause fails the minimum condition.
 			run.Inc(obs.CClausesRejected)
@@ -62,7 +59,7 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 		def.Add(c)
 		rest := uncovered[:0]
 		for i, e := range uncovered {
-			if !covered[i] {
+			if !covered.Get(i) {
 				rest = append(rest, e)
 			}
 		}

@@ -3,6 +3,7 @@ package ilp_test
 import (
 	"testing"
 
+	"repro/internal/coverage"
 	"repro/internal/ilp"
 	"repro/internal/logic"
 	"repro/internal/subsume"
@@ -195,10 +196,8 @@ func TestTesterParallelMatchesSequential(t *testing.T) {
 	all := append(append([]logic.Atom(nil), prob.Pos...), prob.Neg...)
 	a := seq.CoveredSet(c, all, nil)
 	b := par.CoveredSet(c, all, nil)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("parallel mismatch at %d", i)
-		}
+	if a.Len() != len(all) || !a.Equal(b) {
+		t.Fatalf("parallel mismatch: %v vs %v", a.Bools(), b.Bools())
 	}
 }
 
@@ -208,13 +207,13 @@ func TestTesterKnownShortcut(t *testing.T) {
 	tester := ilp.NewTester(prob, ilp.Defaults())
 	// A clause covering nothing, but all marked known ⇒ all reported covered.
 	c := logic.MustParseClause("advisedBy(X,Y) :- publication(Z,X), courseLevel(Z,900).")
-	known := make([]bool, len(prob.Pos))
-	for i := range known {
-		known[i] = true
+	known := coverage.New(len(prob.Pos))
+	for i := range prob.Pos {
+		known.Set(i)
 	}
 	got := tester.CoveredSet(c, prob.Pos, known)
-	for i, ok := range got {
-		if !ok {
+	for i := range prob.Pos {
+		if !got.Get(i) {
 			t.Fatalf("known example %d re-tested and reported uncovered", i)
 		}
 	}
@@ -225,7 +224,7 @@ func TestPosNegAndAccept(t *testing.T) {
 	prob := w.ProblemOriginal()
 	tester := ilp.NewTester(prob, ilp.Defaults())
 	exact := logic.MustParseClause("advisedBy(X,Y) :- publication(P,X), publication(P,Y), hasPosition(Y,faculty).")
-	p, n := tester.PosNeg(exact, prob.Pos, prob.Neg)
+	p, n := tester.PosNeg(exact, prob.Pos, prob.Neg, nil, nil)
 	if p != len(prob.Pos) {
 		t.Errorf("exact clause covers %d/%d positives", p, len(prob.Pos))
 	}

@@ -3,6 +3,7 @@ package ilp
 import (
 	"sync"
 
+	"repro/internal/coverage"
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/subsume"
@@ -10,13 +11,16 @@ import (
 
 // Tester decides clause coverage of examples, in one of two modes
 // (§7.5.3): direct evaluation against the indexed store, or θ-subsumption
-// against the example's ground bottom clause. It shards example sets over a
-// worker pool (Parallelism) and supports the known-covered shortcut that
-// implements the paper's coverage caching (§7.5.4).
+// against the example's ground bottom clause. Evaluation runs on a
+// coverage.Engine: example sets shard over a worker pool (Parallelism),
+// whole results are memoized by canonical clause form, candidate batches
+// score concurrently with an early-termination bound, and the
+// known-covered shortcut implements the paper's coverage caching (§7.5.4).
 type Tester struct {
 	prob   *Problem
 	params Params
 	run    *obs.Run // from params.Obs; nil observes nothing
+	engine *coverage.Engine
 
 	// SatFn overrides how ground bottom clauses are built for
 	// subsumption-mode coverage. Castor installs its IND-chasing
@@ -34,14 +38,21 @@ type Tester struct {
 // tester first).
 func NewTester(prob *Problem, params Params) *Tester {
 	prob.Instance.SetObs(params.Obs)
-	return &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*logic.Clause)}
+	t := &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*logic.Clause)}
+	var cache *coverage.Cache
+	if !params.DisableCoverageCache {
+		cache = coverage.NewCache(0)
+	}
+	t.engine = coverage.NewEngine(t.Covers, params.Parallelism, cache, params.Obs)
+	return t
 }
 
 // Run returns the tester's instrumentation run (possibly nil), for
 // learners that want to report through the same channel.
 func (t *Tester) Run() *obs.Run { return t.run }
 
-// Covers reports whether the clause covers the example.
+// Covers reports whether the clause covers the example. It is the
+// engine's CoverFunc and safe for concurrent use.
 func (t *Tester) Covers(c *logic.Clause, e logic.Atom) bool {
 	t.run.Inc(obs.CCoverageTests)
 	switch t.params.CoverageMode {
@@ -80,75 +91,48 @@ func (t *Tester) saturation(e logic.Atom) *logic.Clause {
 	return bc
 }
 
+// knowns strips the known-covered shortcut when the §7.5.4 cache is
+// disabled, so the ablation gates every caller centrally.
+func (t *Tester) knowns(known *coverage.Bitset) *coverage.Bitset {
+	if t.params.DisableCoverageCache {
+		return nil
+	}
+	return known
+}
+
 // CoveredSet tests the clause against every example, in parallel when
 // Parallelism > 1. known, when non-nil, marks examples already known to be
 // covered (because the clause generalizes one that covered them); those
-// tests are skipped — the §7.5.4 coverage cache.
-func (t *Tester) CoveredSet(c *logic.Clause, examples []logic.Atom, known []bool) []bool {
-	start := t.run.StartPhase(obs.PCoverage)
-	defer t.run.EndPhase(obs.PCoverage, start)
-	if known != nil && t.run != nil {
-		// §7.5.4 cache hits: tests this batch will skip outright.
-		skipped := int64(0)
-		for i := range examples {
-			if known[i] {
-				skipped++
-			}
-		}
-		t.run.Add(obs.CCoverageSkipped, skipped)
-	}
-	out := make([]bool, len(examples))
-	workers := t.params.Parallelism
-	if workers <= 1 || len(examples) < 2 {
-		for i, e := range examples {
-			if known != nil && known[i] {
-				out[i] = true
-				continue
-			}
-			out[i] = t.Covers(c, e)
-		}
-		return out
-	}
-	if workers > len(examples) {
-		workers = len(examples)
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if known != nil && known[i] {
-					out[i] = true
-					continue
-				}
-				out[i] = t.Covers(c, examples[i])
-			}
-		}()
-	}
-	for i := range examples {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+// tests are skipped — the §7.5.4 coverage cache. Known bits beyond the
+// example count are ignored, and a short known set simply skips fewer
+// tests; neither mismatch is an error. Results are memoized by canonical
+// clause form unless DisableCoverageCache is set.
+func (t *Tester) CoveredSet(c *logic.Clause, examples []logic.Atom, known *coverage.Bitset) *coverage.Bitset {
+	return t.engine.CoveredSet(c, examples, t.knowns(known))
 }
 
-// Count returns how many of the examples the clause covers.
-func (t *Tester) Count(c *logic.Clause, examples []logic.Atom) int {
-	n := 0
-	for _, covered := range t.CoveredSet(c, examples, nil) {
-		if covered {
-			n++
-		}
-	}
-	return n
+// Count returns how many of the examples the clause covers. known works as
+// in CoveredSet, so covering-loop re-tests hit the cache too.
+func (t *Tester) Count(c *logic.Clause, examples []logic.Atom, known *coverage.Bitset) int {
+	return t.CoveredSet(c, examples, known).Count()
 }
 
 // PosNeg returns the clause's positive and negative coverage counts.
-func (t *Tester) PosNeg(c *logic.Clause, pos, neg []logic.Atom) (p, n int) {
-	return t.Count(c, pos), t.Count(c, neg)
+func (t *Tester) PosNeg(c *logic.Clause, pos, neg []logic.Atom, knownPos, knownNeg *coverage.Bitset) (p, n int) {
+	return t.Count(c, pos, knownPos), t.Count(c, neg, knownNeg)
+}
+
+// ScoreBatch scores independent candidates concurrently over the worker
+// pool. bound, unless coverage.NoBound, is a compression score (p−n) that
+// candidates must strictly beat: ones that provably cannot are abandoned
+// mid-scan and returned with Pruned set.
+func (t *Tester) ScoreBatch(cands []coverage.Candidate, pos, neg []logic.Atom, bound int) []coverage.Score {
+	if t.params.DisableCoverageCache {
+		for i := range cands {
+			cands[i].KnownPos, cands[i].KnownNeg = nil, nil
+		}
+	}
+	return t.engine.ScoreBatch(cands, pos, neg, bound)
 }
 
 // Precision returns p/(p+n), or 0 when nothing is covered.

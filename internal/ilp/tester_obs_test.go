@@ -3,6 +3,7 @@ package ilp_test
 import (
 	"testing"
 
+	"repro/internal/coverage"
 	"repro/internal/ilp"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -18,9 +19,9 @@ func TestCoveredSetParallelKnownMatchesSequential(t *testing.T) {
 	prob := w.ProblemOriginal()
 	c := logic.MustParseClause("advisedBy(X,Y) :- publication(P,X), publication(P,Y).")
 	all := append(append([]logic.Atom(nil), prob.Pos...), prob.Neg...)
-	known := make([]bool, len(all))
-	for i := range known {
-		known[i] = i%3 == 0
+	known := coverage.New(len(all))
+	for i := 0; i < len(all); i += 3 {
+		known.Set(i)
 	}
 
 	seqParams := ilp.Defaults()
@@ -32,22 +33,17 @@ func TestCoveredSetParallelKnownMatchesSequential(t *testing.T) {
 	parParams.Obs = obs.NewRun(nil, obs.NewRegistry())
 	par := ilp.NewTester(prob, parParams).CoveredSet(c, all, known)
 
-	for i := range seq {
-		if seq[i] != par[i] {
-			t.Fatalf("parallel/sequential disagree at %d: %v vs %v", i, seq[i], par[i])
-		}
-		if known[i] && !par[i] {
+	if !seq.Equal(par) {
+		t.Fatalf("parallel/sequential disagree: %v vs %v", seq.Bools(), par.Bools())
+	}
+	for i := range all {
+		if known.Get(i) && !par.Get(i) {
 			t.Fatalf("known example %d reported uncovered", i)
 		}
 	}
 
 	reg := parParams.Obs.Registry()
-	wantSkipped := int64(0)
-	for _, k := range known {
-		if k {
-			wantSkipped++
-		}
-	}
+	wantSkipped := int64(known.Count())
 	if got := reg.Get(obs.CCoverageSkipped); got != wantSkipped {
 		t.Errorf("coverage_tests_skipped = %d, want %d", got, wantSkipped)
 	}
@@ -68,6 +64,10 @@ func TestSaturationCacheCounters(t *testing.T) {
 	prob := w.ProblemOriginal()
 	params := ilp.Defaults()
 	params.CoverageMode = ilp.CoverageSubsumption
+	// With the memo cache on, the second CoveredSet would be answered
+	// whole-sale without consulting the saturation cache; disable it so
+	// this test exercises the per-example saturation path both times.
+	params.DisableCoverageCache = true
 	params.Obs = obs.NewRun(nil, obs.NewRegistry())
 	tester := ilp.NewTester(prob, params)
 	c := logic.MustParseClause("advisedBy(X,Y) :- publication(P,X), publication(P,Y).")

@@ -61,10 +61,18 @@ func (t Term) String() string {
 		return t.Name
 	}
 	if needsQuote(t.Name) {
-		return "'" + strings.ReplaceAll(t.Name, "'", "\\'") + "'"
+		// Backslashes must be escaped before quotes: a constant ending in
+		// `\` would otherwise print as `\'`, which the reader consumes as
+		// an escaped quote and runs off the end of the literal.
+		return "'" + quoteEscaper.Replace(t.Name) + "'"
 	}
 	return t.Name
 }
+
+// quoteEscaper escapes the two characters with meaning inside a quoted
+// constant. strings.Replacer substitutes in a single pass, so the inserted
+// backslashes are not themselves re-escaped.
+var quoteEscaper = strings.NewReplacer(`\`, `\\`, `'`, `\'`)
 
 // needsQuote reports whether a constant must be quoted so the parser will
 // not read it back as a variable or fail on it.

@@ -31,6 +31,17 @@ const (
 	// CCoverageSkipped counts coverage tests skipped because the example
 	// was already known covered — the §7.5.4 coverage-cache hits.
 	CCoverageSkipped
+	// CCoverageCacheHits counts whole-clause memo-cache hits: CoveredSet
+	// calls answered from the canonical-clause-keyed cache without any
+	// per-example testing (§7.5.4).
+	CCoverageCacheHits
+	// CCoverageCacheMisses counts memo-cache lookups that had to evaluate.
+	CCoverageCacheMisses
+	// CCandidatesScored counts candidates evaluated by batched scoring.
+	CCandidatesScored
+	// CCandidatesPruned counts candidates abandoned early because their
+	// negative cover already disqualified them against the current best.
+	CCandidatesPruned
 	// CSaturationHits counts ground-bottom-clause cache hits in
 	// subsumption-mode coverage testing.
 	CSaturationHits
@@ -77,23 +88,27 @@ const (
 
 // counterNames are the stable report keys, in Counter order.
 var counterNames = [numCounters]string{
-	CCoverageTests:     "coverage_tests",
-	CCoverageSkipped:   "coverage_tests_skipped",
-	CSaturationHits:    "saturation_cache_hits",
-	CSaturationMisses:  "saturation_cache_misses",
-	CSubsumptionCalls:  "subsumption_calls",
-	CSubsumptionNodes:  "subsumption_nodes",
-	CINDChaseHops:      "ind_chase_hops",
-	CTuplesScanned:     "tuples_scanned",
-	CPlanCompiles:      "plan_compiles",
-	CReductionSteps:    "reduction_steps",
-	CReductionRemoved:  "reduction_removed",
-	CBottomClauses:     "bottom_clauses",
-	CBottomLiterals:    "bottom_literals",
-	CARMGCalls:         "armg_calls",
-	CCandidateLiterals: "candidate_literals",
-	CClausesAccepted:   "clauses_accepted",
-	CClausesRejected:   "clauses_rejected",
+	CCoverageTests:       "coverage_tests",
+	CCoverageSkipped:     "coverage_tests_skipped",
+	CCoverageCacheHits:   "coverage_cache_hits",
+	CCoverageCacheMisses: "coverage_cache_misses",
+	CCandidatesScored:    "candidates_scored",
+	CCandidatesPruned:    "candidates_pruned",
+	CSaturationHits:      "saturation_cache_hits",
+	CSaturationMisses:    "saturation_cache_misses",
+	CSubsumptionCalls:    "subsumption_calls",
+	CSubsumptionNodes:    "subsumption_nodes",
+	CINDChaseHops:        "ind_chase_hops",
+	CTuplesScanned:       "tuples_scanned",
+	CPlanCompiles:        "plan_compiles",
+	CReductionSteps:      "reduction_steps",
+	CReductionRemoved:    "reduction_removed",
+	CBottomClauses:       "bottom_clauses",
+	CBottomLiterals:      "bottom_literals",
+	CARMGCalls:           "armg_calls",
+	CCandidateLiterals:   "candidate_literals",
+	CClausesAccepted:     "clauses_accepted",
+	CClausesRejected:     "clauses_rejected",
 }
 
 // String returns the report key of the counter.

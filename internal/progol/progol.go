@@ -100,11 +100,11 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	// states can only shrink further under specialization.
 	evaluate := func(s *state) bool {
 		c := build(s.picks)
-		s.p = tester.Count(c, uncovered)
+		s.p = tester.Count(c, uncovered, nil)
 		if s.p < params.MinPos {
 			return false
 		}
-		s.n = tester.Count(c, prob.Neg)
+		s.n = tester.Count(c, prob.Neg, nil)
 		// Aleph's default compression-style evaluation: positives covered
 		// minus negatives covered minus clause length.
 		s.score = float64(s.p-s.n) - float64(len(s.picks))

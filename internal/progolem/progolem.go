@@ -13,6 +13,7 @@ package progolem
 import (
 	"sort"
 
+	"repro/internal/coverage"
 	"repro/internal/ilp"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -54,16 +55,17 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			obs.F("seed", seed.String()), obs.F("literals", len(bottom.Body)))
 	}
 
-	score := func(c *logic.Clause) float64 {
-		p := tester.Count(c, uncovered)
-		n := tester.Count(c, prob.Neg)
-		return float64(p - n)
-	}
 	type scored struct {
-		clause *logic.Clause
-		score  float64
+		clause   *logic.Clause
+		pos, neg *coverage.Bitset
+		score    float64
 	}
-	beam := []scored{{clause: bottom, score: score(bottom)}}
+	evaluate := func(c *logic.Clause) scored {
+		pc := tester.CoveredSet(c, uncovered, nil)
+		nc := tester.CoveredSet(c, prob.Neg, nil)
+		return scored{clause: c, pos: pc, neg: nc, score: float64(pc.Count() - nc.Count())}
+	}
+	beam := []scored{evaluate(bottom)}
 	k := params.Sample
 	if k < 1 {
 		k = 1
@@ -82,17 +84,27 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			}
 		}
 		sample := sampleAtoms(rng, uncovered, k)
-		var newCands []scored
+		// ARMGs drop literals, so each candidate generalizes its beam
+		// parent and inherits its covered sets as §7.5.4 knowns; the batch
+		// then scores concurrently, abandoning candidates that provably
+		// cannot beat the current best (they would not enter the beam).
+		var cands []coverage.Candidate
 		for _, b := range beam {
 			for _, e := range sample {
 				g := ARMG(tester, b.clause, e)
 				if g == nil || g.Equal(b.clause) {
 					continue
 				}
-				s := score(g)
-				if s > bestScore {
-					newCands = append(newCands, scored{clause: g, score: s})
-				}
+				cands = append(cands, coverage.Candidate{Clause: g, KnownPos: b.pos, KnownNeg: b.neg})
+			}
+		}
+		var newCands []scored
+		for _, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore)) {
+			if s.Pruned {
+				continue
+			}
+			if sc := float64(s.P - s.N); sc > bestScore {
+				newCands = append(newCands, scored{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc})
 			}
 		}
 		if len(newCands) == 0 {
@@ -118,7 +130,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		}
 	}
 	tn := run.StartPhase(obs.PNegReduce)
-	reduced := NegativeReduce(tester, best.clause, prob.Neg)
+	reduced := NegativeReduce(tester, best.clause, prob.Neg, best.neg)
 	run.EndPhase(obs.PNegReduce, tn)
 	if len(reduced.Body) == 0 {
 		return nil
@@ -178,9 +190,13 @@ func blockingAtom(tester *ilp.Tester, c *logic.Clause, e2 logic.Atom) int {
 // does not increase the clause's negative coverage (§7.2.2 at literal
 // granularity, as in ProGolem). Scanning back to front keeps early
 // (seed-example) literals preferentially.
-func NegativeReduce(tester *ilp.Tester, c *logic.Clause, neg []logic.Atom) *logic.Clause {
+//
+// known optionally carries c's negative cover; every candidate here only
+// removes literals, so it stays a valid known-covered set throughout.
+func NegativeReduce(tester *ilp.Tester, c *logic.Clause, neg []logic.Atom, known *coverage.Bitset) *logic.Clause {
 	cur := c.Clone()
-	base := tester.Count(cur, neg)
+	baseSet := tester.CoveredSet(cur, neg, known)
+	base := baseSet.Count()
 	for i := len(cur.Body) - 1; i >= 0; i-- {
 		if len(cur.Body) == 1 {
 			break
@@ -189,7 +205,7 @@ func NegativeReduce(tester *ilp.Tester, c *logic.Clause, neg []logic.Atom) *logi
 		if len(cand.Body) == 0 {
 			continue
 		}
-		if tester.Count(cand, neg) <= base {
+		if tester.Count(cand, neg, baseSet) <= base {
 			cur = cand
 			if i > len(cur.Body) {
 				i = len(cur.Body)
