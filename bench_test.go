@@ -7,6 +7,7 @@ package sirl_test
 // cmd/experiments binary for full laptop-scale tables.
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/relstore"
+	"repro/internal/subsume"
 )
 
 // reportObsMetrics attaches the per-op values of the run's key counters
@@ -215,6 +217,139 @@ func BenchmarkCandidateScoring(b *testing.B) {
 	b.Run("serial", func(b *testing.B) { run(b, 1, true) })
 	b.Run("parallel", func(b *testing.B) { run(b, runtime.NumCPU(), true) })
 	b.Run("cached", func(b *testing.B) { run(b, runtime.NumCPU(), false) })
+}
+
+// subsumptionShape is one (source body, target body) pair exercising a
+// distinct regime of the θ-subsumption engine. Targets are ground, like the
+// bottom clauses coverage testing probes.
+type subsumptionShape struct {
+	name  string
+	cBody []logic.Atom
+	dBody []logic.Atom
+	want  bool
+}
+
+// subsumptionShapes builds the benchmark clause pairs: a dense
+// repeated-variable component (heavy backtracking, both satisfiable and
+// not), a long chain (propagation-bound), and a ground mismatch (the
+// fail-fast path constant indexing should answer without search).
+func subsumptionShapes() []subsumptionShape {
+	// Dense component: source demands p(Xi,Xj) for every i<j over 6
+	// variables; the target is the i<j edge set over 8 constants minus a
+	// few edges, so the matcher must search for a 6-subset avoiding the
+	// holes. Removing one endpoint of two disjoint missing edges leaves a
+	// witness (satisfiable); four disjoint missing edges cannot all be
+	// avoided by dropping two constants (unsatisfiable, full search).
+	denseSrc := func() []logic.Atom {
+		var body []logic.Atom
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				body = append(body, logic.NewAtom("p", logic.Var(fmt.Sprintf("X%d", i)), logic.Var(fmt.Sprintf("X%d", j))))
+			}
+		}
+		return body
+	}
+	denseTgt := func(missing [][2]int) []logic.Atom {
+		gap := make(map[[2]int]bool, len(missing))
+		for _, m := range missing {
+			gap[m] = true
+		}
+		var body []logic.Atom
+		for i := 0; i < 8; i++ {
+			for j := i + 1; j < 8; j++ {
+				if gap[[2]int{i, j}] {
+					continue
+				}
+				body = append(body, logic.GroundAtom("p", fmt.Sprintf("a%d", i), fmt.Sprintf("a%d", j)))
+			}
+		}
+		return body
+	}
+	// Chain: a 12-literal variable chain into a 48-constant ground chain
+	// with a dead-end decoy branch at every node; forward pruning should
+	// discard the decoys without descending into them.
+	var chainSrc, chainTgt []logic.Atom
+	for i := 0; i < 12; i++ {
+		chainSrc = append(chainSrc, logic.NewAtom("q", logic.Var(fmt.Sprintf("Y%d", i)), logic.Var(fmt.Sprintf("Y%d", i+1))))
+	}
+	for i := 0; i < 48; i++ {
+		chainTgt = append(chainTgt, logic.GroundAtom("q", fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1)))
+		chainTgt = append(chainTgt, logic.GroundAtom("q", fmt.Sprintf("c%d", i), fmt.Sprintf("dead%d", i)))
+	}
+	// Ground mismatch: every source literal anchors on a constant the
+	// target never holds in that position, over a 200-tuple target.
+	var mismatchSrc, mismatchTgt []logic.Atom
+	for i := 0; i < 10; i++ {
+		mismatchSrc = append(mismatchSrc, logic.NewAtom("r", logic.Var(fmt.Sprintf("Z%d", i)), logic.Const("absent")))
+	}
+	for i := 0; i < 200; i++ {
+		mismatchTgt = append(mismatchTgt, logic.GroundAtom("r", fmt.Sprintf("e%d", i), fmt.Sprintf("v%d", i%7)))
+	}
+	return []subsumptionShape{
+		{"dense_sat", denseSrc(), denseTgt([][2]int{{0, 1}, {2, 3}}), true},
+		{"dense_unsat", denseSrc(), denseTgt([][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}), false},
+		{"chain", chainSrc, chainTgt, true},
+		{"ground_mismatch", mismatchSrc, mismatchTgt, false},
+	}
+}
+
+// BenchmarkSubsumption measures the θ-subsumption engine itself on the
+// shapes above, reporting backtracking nodes per op. The oneshot variants
+// pay target compilation every call (the engine's Subsumes/SubsumesBody
+// entry points); the compiled variants compile the target once and probe
+// it repeatedly, the coverage-testing access pattern.
+func BenchmarkSubsumption(b *testing.B) {
+	for _, shape := range subsumptionShapes() {
+		b.Run(shape.name+"/oneshot", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			run := obs.NewRun(nil, reg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := subsume.SubsumesBodyR(run, shape.cBody, shape.dBody, nil); got != shape.want {
+					b.Fatalf("%s: got %v, want %v", shape.name, got, shape.want)
+				}
+			}
+			b.ReportMetric(float64(reg.Get(obs.CSubsumptionNodes))/float64(b.N), "nodes/op")
+		})
+		b.Run(shape.name+"/compiled", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			run := obs.NewRun(nil, reg)
+			cd := subsume.CompileBody(shape.dBody)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := cd.SubsumesBodyR(run, shape.cBody, nil); got != shape.want {
+					b.Fatalf("%s: got %v, want %v", shape.name, got, shape.want)
+				}
+			}
+			b.ReportMetric(float64(reg.Get(obs.CSubsumptionNodes))/float64(b.N), "nodes/op")
+		})
+	}
+}
+
+// BenchmarkBottomClause measures Castor's ground-bottom-clause saturation
+// (IND chasing included) on UW-CSE, serial versus the worker pool.
+func BenchmarkBottomClause(b *testing.B) {
+	prob := benchUWCSEProblem(b, true)
+	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", runtime.NumCPU()}} {
+		b.Run(c.name, func(b *testing.B) {
+			params := benchCastorParams()
+			params.Parallelism = c.workers
+			reg := obs.NewRegistry()
+			params.Obs = obs.NewRun(nil, reg)
+			var lits int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bc := castor.GroundBottomClause(prob, plan, prob.Pos[i%len(prob.Pos)], params)
+				lits += len(bc.Body)
+			}
+			b.ReportMetric(float64(lits)/float64(b.N), "lits/op")
+			b.ReportMetric(float64(reg.Get(obs.CTuplesScanned))/float64(b.N), "tuples/op")
+		})
+	}
 }
 
 // BenchmarkAblationCoverageMode compares direct database evaluation with

@@ -1,6 +1,8 @@
 package castor
 
 import (
+	"sync"
+
 	"repro/internal/ilp"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -150,17 +152,16 @@ func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, pa
 		frontier = nil
 		var found []string
 		discovered = &found
-		for _, rel := range schema.Relations() {
-			table := prob.Instance.Table(rel.Name)
-			if table == nil {
-				continue
-			}
-			for _, cst := range chase {
-				tps := fetch(table.TuplesContaining(cst))
-				scanned += int64(len(tps))
-				for _, tp := range tps {
-					addWithChase(rel, tp)
-				}
+		// One fetch job per (relation, frontier constant) pair. The store
+		// scans run concurrently over the worker pool (reads only; the
+		// §7.5.3 idiom), then the results are folded into the clause
+		// serially in job order, so the literal order — and therefore the
+		// clause — is byte-identical to the sequential construction.
+		jobs := fetchFrontier(prob, schema, chase, fetch, params.Parallelism)
+		for _, job := range jobs {
+			scanned += int64(len(job.tuples))
+			for _, tp := range job.tuples {
+				addWithChase(job.rel, tp)
 			}
 		}
 		frontier = found
@@ -174,4 +175,58 @@ func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, pa
 	run.Add(obs.CINDChaseHops, chaseHops)
 	run.Add(obs.CTuplesScanned, scanned)
 	return c
+}
+
+// fetchJob is one frontier scan: the tuples of rel containing one frontier
+// constant, in deterministic (relation-major, constant-minor) job order.
+type fetchJob struct {
+	rel    *relstore.Relation
+	cst    string
+	tuples []relstore.Tuple
+}
+
+// fetchFrontier runs every (relation, constant) scan of one frontier
+// iteration, sharded over workers goroutines when workers > 1. Only the
+// store reads are concurrent — each job fills its own slot — so callers
+// can fold the results in job order and reproduce the sequential clause
+// exactly.
+func fetchFrontier(prob *ilp.Problem, schema *relstore.Schema, chase []string, fetch func([]relstore.Tuple) []relstore.Tuple, workers int) []fetchJob {
+	var jobs []fetchJob
+	tables := make([]*relstore.Table, 0, len(schema.Relations()))
+	for _, rel := range schema.Relations() {
+		table := prob.Instance.Table(rel.Name)
+		if table == nil {
+			continue
+		}
+		for _, cst := range chase {
+			jobs = append(jobs, fetchJob{rel: rel, cst: cst})
+			tables = append(tables, table)
+		}
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			jobs[i].tuples = fetch(tables[i].TuplesContaining(jobs[i].cst))
+		}
+		return jobs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				jobs[i].tuples = fetch(tables[i].TuplesContaining(jobs[i].cst))
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return jobs
 }

@@ -29,7 +29,7 @@ type Tester struct {
 	SatFn func(e logic.Atom) *logic.Clause
 
 	mu          sync.Mutex
-	saturations map[string]*logic.Clause // example key → ground bottom clause
+	saturations map[string]*subsume.Compiled // example key → compiled bottom clause
 }
 
 // NewTester builds a tester for the problem. As a side effect it attaches
@@ -38,7 +38,7 @@ type Tester struct {
 // tester first).
 func NewTester(prob *Problem, params Params) *Tester {
 	prob.Instance.SetObs(params.Obs)
-	t := &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*logic.Clause)}
+	t := &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*subsume.Compiled)}
 	var cache *coverage.Cache
 	if !params.DisableCoverageCache {
 		cache = coverage.NewCache(0)
@@ -57,38 +57,38 @@ func (t *Tester) Covers(c *logic.Clause, e logic.Atom) bool {
 	t.run.Inc(obs.CCoverageTests)
 	switch t.params.CoverageMode {
 	case CoverageSubsumption:
-		bc := t.saturation(e)
-		s, ok := logic.MatchAtoms(c.Head, bc.Head, logic.NewSubstitution())
-		if !ok {
-			return false
-		}
-		return subsume.SubsumesBodyR(t.run, c.Body, bc.Body, s)
+		return t.saturation(e).SubsumesR(t.run, c)
 	default:
 		return t.prob.Instance.CoversExample(c, e)
 	}
 }
 
-// saturation returns (building and caching on demand) the ground bottom
-// clause of the example, used as the subsumption target.
-func (t *Tester) saturation(e logic.Atom) *logic.Clause {
+// saturation returns (building, compiling and caching on demand) the
+// ground bottom clause of the example in the engine's compile-once form:
+// the clause is skolemized, interned and indexed exactly once, and every
+// candidate the covering loop scores against this example probes the same
+// compilation — the match-many side of the §7.5.3 engine.
+func (t *Tester) saturation(e logic.Atom) *subsume.Compiled {
 	k := e.Key()
 	t.mu.Lock()
-	bc, ok := t.saturations[k]
+	cd, ok := t.saturations[k]
 	t.mu.Unlock()
 	if ok {
 		t.run.Inc(obs.CSaturationHits)
-		return bc
+		return cd
 	}
 	t.run.Inc(obs.CSaturationMisses)
+	var bc *logic.Clause
 	if t.SatFn != nil {
 		bc = t.SatFn(e)
 	} else {
 		bc = Saturation(t.prob, e, t.params.Depth, t.params.MaxRecall)
 	}
+	cd = subsume.Compile(bc)
 	t.mu.Lock()
-	t.saturations[k] = bc
+	t.saturations[k] = cd
 	t.mu.Unlock()
-	return bc
+	return cd
 }
 
 // knowns strips the known-covered shortcut when the §7.5.4 cache is

@@ -94,8 +94,9 @@ func (o *Oracle) Equivalence(h *logic.Definition) *Counterexample {
 // subsumedByAny reports whether some clause of d θ-subsumes c (UCQ
 // containment: d's result contains c's on every instance).
 func subsumedByAny(d *logic.Definition, c *logic.Clause) bool {
+	cd := subsume.Compile(c) // one compilation serves the probe from every clause of d
 	for _, dc := range d.Clauses {
-		if subsume.Subsumes(dc, c) {
+		if cd.Subsumes(dc) {
 			return true
 		}
 	}

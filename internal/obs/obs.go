@@ -53,6 +53,11 @@ const (
 	// CSubsumptionNodes counts backtracking nodes explored by the
 	// θ-subsumption engine.
 	CSubsumptionNodes
+	// CSubsumptionBudgetExhausted counts θ-subsumption calls cut off by the
+	// node budget. The engine reports those as "does not subsume"; a
+	// nonzero value here means some answers were cutoffs, not genuine
+	// failures.
+	CSubsumptionBudgetExhausted
 	// CINDChaseHops counts IND hops followed during Castor's bottom-clause
 	// construction (§7.1).
 	CINDChaseHops
@@ -88,27 +93,28 @@ const (
 
 // counterNames are the stable report keys, in Counter order.
 var counterNames = [numCounters]string{
-	CCoverageTests:       "coverage_tests",
-	CCoverageSkipped:     "coverage_tests_skipped",
-	CCoverageCacheHits:   "coverage_cache_hits",
-	CCoverageCacheMisses: "coverage_cache_misses",
-	CCandidatesScored:    "candidates_scored",
-	CCandidatesPruned:    "candidates_pruned",
-	CSaturationHits:      "saturation_cache_hits",
-	CSaturationMisses:    "saturation_cache_misses",
-	CSubsumptionCalls:    "subsumption_calls",
-	CSubsumptionNodes:    "subsumption_nodes",
-	CINDChaseHops:        "ind_chase_hops",
-	CTuplesScanned:       "tuples_scanned",
-	CPlanCompiles:        "plan_compiles",
-	CReductionSteps:      "reduction_steps",
-	CReductionRemoved:    "reduction_removed",
-	CBottomClauses:       "bottom_clauses",
-	CBottomLiterals:      "bottom_literals",
-	CARMGCalls:           "armg_calls",
-	CCandidateLiterals:   "candidate_literals",
-	CClausesAccepted:     "clauses_accepted",
-	CClausesRejected:     "clauses_rejected",
+	CCoverageTests:              "coverage_tests",
+	CCoverageSkipped:            "coverage_tests_skipped",
+	CCoverageCacheHits:          "coverage_cache_hits",
+	CCoverageCacheMisses:        "coverage_cache_misses",
+	CCandidatesScored:           "candidates_scored",
+	CCandidatesPruned:           "candidates_pruned",
+	CSaturationHits:             "saturation_cache_hits",
+	CSaturationMisses:           "saturation_cache_misses",
+	CSubsumptionCalls:           "subsumption_calls",
+	CSubsumptionNodes:           "subsumption_nodes",
+	CSubsumptionBudgetExhausted: "subsumption_budget_exhausted",
+	CINDChaseHops:               "ind_chase_hops",
+	CTuplesScanned:              "tuples_scanned",
+	CPlanCompiles:               "plan_compiles",
+	CReductionSteps:             "reduction_steps",
+	CReductionRemoved:           "reduction_removed",
+	CBottomClauses:              "bottom_clauses",
+	CBottomLiterals:             "bottom_literals",
+	CARMGCalls:                  "armg_calls",
+	CCandidateLiterals:          "candidate_literals",
+	CClausesAccepted:            "clauses_accepted",
+	CClausesRejected:            "clauses_rejected",
 }
 
 // String returns the report key of the counter.

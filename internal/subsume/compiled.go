@@ -1,0 +1,520 @@
+package subsume
+
+import (
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// Compiled is a target clause in compile-once/match-many form, the
+// substitute for Resumer2's clause compilation: the clause is skolemized
+// and interned once (variables become reserved constants, names become
+// int32 symbol ids), body literals are indexed by predicate and by
+// (predicate, argument position, constant), and every later probe matches
+// a source clause against the integer form with slot-indexed substitutions
+// and incremental candidate domains. One compilation serves thousands of
+// coverage probes; Compile itself costs about what a single probe used to.
+//
+// A Compiled is immutable after construction and safe for concurrent
+// probes.
+type Compiled struct {
+	syms     *logic.Symbols
+	hasHead  bool
+	headPred int32
+	headArgs []int32
+	lits     []targetLit
+	byPred   map[int32][]int32
+	byArg    map[argKey][]int32
+}
+
+// targetLit is one ground (skolemized) target literal.
+type targetLit struct {
+	pred int32
+	args []int32
+}
+
+// argKey addresses the argument-position constant index: the target
+// literals of predicate pred holding symbol sym at position pos.
+type argKey struct {
+	pred int32
+	pos  int32
+	sym  int32
+}
+
+// Compile builds the match-many form of a full clause (head and body).
+func Compile(d *logic.Clause) *Compiled {
+	cd := newCompiled(len(d.Body))
+	cd.hasHead = true
+	cd.headPred, cd.headArgs = cd.internTarget(d.Head)
+	for _, a := range d.Body {
+		cd.addTarget(a)
+	}
+	return cd
+}
+
+// CompileBody builds the match-many form of a headless body (the
+// SubsumesBody target shape).
+func CompileBody(body []logic.Atom) *Compiled {
+	cd := newCompiled(len(body))
+	for _, a := range body {
+		cd.addTarget(a)
+	}
+	return cd
+}
+
+func newCompiled(nlits int) *Compiled {
+	return &Compiled{
+		syms:   logic.NewSymbols(),
+		lits:   make([]targetLit, 0, nlits),
+		byPred: make(map[int32][]int32),
+		byArg:  make(map[argKey][]int32, nlits*2),
+	}
+}
+
+// internTarget interns one target atom, skolemizing variables: each target
+// variable becomes a reserved constant symbol (the NUL-prefixed name can
+// collide with no real constant), so the matcher can never bind onto or
+// rebind it.
+func (cd *Compiled) internTarget(a logic.Atom) (int32, []int32) {
+	args := make([]int32, len(a.Args))
+	for i, t := range a.Args {
+		if t.IsVar {
+			args[i] = cd.syms.Intern(skolemPrefix + t.Name)
+		} else {
+			args[i] = cd.syms.Intern(t.Name)
+		}
+	}
+	return cd.syms.Intern(a.Pred), args
+}
+
+func (cd *Compiled) addTarget(a logic.Atom) {
+	pred, args := cd.internTarget(a)
+	idx := int32(len(cd.lits))
+	cd.lits = append(cd.lits, targetLit{pred: pred, args: args})
+	cd.byPred[pred] = append(cd.byPred[pred], idx)
+	for pos, sym := range args {
+		k := argKey{pred: pred, pos: int32(pos), sym: sym}
+		cd.byArg[k] = append(cd.byArg[k], idx)
+	}
+}
+
+// Len returns the number of target body literals.
+func (cd *Compiled) Len() int { return len(cd.lits) }
+
+// Subsumes reports whether clause c θ-subsumes the compiled target: some
+// substitution maps c's head to the target head and every body literal of
+// c to a target body literal.
+func (cd *Compiled) Subsumes(c *logic.Clause) bool {
+	return cd.SubsumesR(nil, c)
+}
+
+// SubsumesR is Subsumes reporting engine calls, backtracking nodes and
+// budget exhaustions into the run (nil observes nothing).
+func (cd *Compiled) SubsumesR(run *obs.Run, c *logic.Clause) bool {
+	return cd.match(run, &c.Head, c.Body, nil)
+}
+
+// SubsumesBody reports whether cBody maps into the compiled target body
+// under some extension of init, ignoring heads. Bindings in init must map
+// onto constants (coverage tests bind onto ground bottom clauses,
+// satisfying this); aliases var→var act as shared free variables.
+func (cd *Compiled) SubsumesBody(cBody []logic.Atom, init logic.Substitution) bool {
+	return cd.SubsumesBodyR(nil, cBody, init)
+}
+
+// SubsumesBodyR is SubsumesBody reporting into the run (nil observes
+// nothing).
+func (cd *Compiled) SubsumesBodyR(run *obs.Run, cBody []logic.Atom, init logic.Substitution) bool {
+	return cd.match(run, nil, cBody, init)
+}
+
+// matcher is the per-probe search state of one compiled match: interned
+// source literals, a slot-indexed substitution with a trail, and one live
+// candidate domain per open source literal, narrowed on bind and restored
+// from the domain trail on backtrack.
+type matcher struct {
+	cd        *Compiled
+	lits      []logic.IAtom
+	subst     *logic.Subst
+	occ       [][]occEntry // slot → occurrences in source body
+	doms      [][]int32    // per literal: candidate target indexes, swap-partitioned
+	live      []int32      // per literal: length of the live domain prefix
+	domTrail  []domSave
+	matched   []bool
+	open      []int32
+	nodes     int
+	exhausted bool
+}
+
+// occEntry is one occurrence of a variable slot in the source body.
+type occEntry struct {
+	lit int32
+	pos int32
+}
+
+// domSave is one domain-narrowing trail entry; undoing restores the live
+// length, which resurrects exactly the candidates swapped past it.
+type domSave struct {
+	lit     int32
+	oldLive int32
+}
+
+// match runs one probe: intern the source (resolving through init), match
+// the heads when the target has one, split the body into components
+// connected by unbound variables, and search each component with forward
+// pruning over incremental domains.
+func (cd *Compiled) match(run *obs.Run, head *logic.Atom, body []logic.Atom, init logic.Substitution) bool {
+	m := &matcher{cd: cd, nodes: matchBudget}
+	ok := m.run(head, body, init)
+	m.report(run)
+	return ok
+}
+
+// report flushes the engine-call, node and budget-exhaustion counts of one
+// finished top-level match into the run.
+func (m *matcher) report(run *obs.Run) {
+	run.Inc(obs.CSubsumptionCalls)
+	used := matchBudget - m.nodes
+	if m.exhausted {
+		used = matchBudget // the countdown went negative by one
+		run.Inc(obs.CSubsumptionBudgetExhausted)
+	}
+	run.Add(obs.CSubsumptionNodes, int64(used))
+}
+
+func (m *matcher) run(head *logic.Atom, body []logic.Atom, init logic.Substitution) bool {
+	vars := logic.NewVarSlots()
+	var headLit logic.IAtom
+	if head != nil {
+		hl, ok := m.internSource(*head, vars, init)
+		if !ok {
+			return false // head predicate absent from the target
+		}
+		headLit = hl
+	}
+	m.lits = make([]logic.IAtom, len(body))
+	for i, a := range body {
+		lit, ok := m.internSource(a, vars, init)
+		if !ok {
+			return false // predicate absent: the literal has no candidates
+		}
+		m.lits[i] = lit
+	}
+	m.subst = logic.NewSubst(vars.Len())
+	if head != nil && !m.matchHead(headLit) {
+		return false
+	}
+	n := len(m.lits)
+	if n == 0 {
+		return true
+	}
+	m.occ = make([][]occEntry, vars.Len())
+	for i, lit := range m.lits {
+		for p, t := range lit.Args {
+			if t.IsVar() {
+				s := t.Slot()
+				m.occ[s] = append(m.occ[s], occEntry{lit: int32(i), pos: int32(p)})
+			}
+		}
+	}
+	m.doms = make([][]int32, n)
+	m.live = make([]int32, n)
+	m.matched = make([]bool, n)
+	m.open = make([]int32, 0, n)
+	for _, comp := range m.components() {
+		if !m.matchComponent(comp) {
+			return false
+		}
+	}
+	return true
+}
+
+// internSource interns one source atom against the compiled target's
+// symbol table, resolving terms through init first. Constants the target
+// never mentions become UnknownSym terms (they fail every comparison);
+// a predicate the target never mentions fails the whole probe, which the
+// false return signals.
+func (m *matcher) internSource(a logic.Atom, vars *logic.VarSlots, init logic.Substitution) (logic.IAtom, bool) {
+	pred, ok := m.cd.syms.Lookup(a.Pred)
+	if !ok {
+		return logic.IAtom{}, false
+	}
+	args := make([]logic.ITerm, len(a.Args))
+	for i, t := range a.Args {
+		t = init.Resolve(t)
+		if t.IsVar {
+			args[i] = logic.VarITerm(vars.Slot(t.Name))
+		} else if sym, known := m.cd.syms.Lookup(t.Name); known {
+			args[i] = logic.ConstITerm(sym)
+		} else {
+			args[i] = logic.ConstITerm(logic.UnknownSym)
+		}
+	}
+	return logic.IAtom{Pred: pred, Args: args}, true
+}
+
+// matchHead extends the substitution so the source head maps onto the
+// (skolemized, ground) target head.
+func (m *matcher) matchHead(head logic.IAtom) bool {
+	if !m.cd.hasHead || head.Pred != m.cd.headPred || len(head.Args) != len(m.cd.headArgs) {
+		return false
+	}
+	for i, t := range head.Args {
+		want := m.cd.headArgs[i]
+		if t.IsVar() {
+			slot := t.Slot()
+			if sym, bound := m.subst.Value(slot); bound {
+				if sym != want {
+					return false
+				}
+				continue
+			}
+			m.subst.Bind(slot, want)
+			continue
+		}
+		if t.Sym() != want {
+			return false
+		}
+	}
+	return true
+}
+
+// components partitions the source literal indexes into groups connected
+// by variables unbound in the current substitution. Components are
+// independent subproblems: they share no unbound variable, so one
+// exponential search becomes several much smaller ones.
+func (m *matcher) components() [][]int32 {
+	n := len(m.lits)
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	slotOwner := make([]int32, m.subst.Slots())
+	for i := range slotOwner {
+		slotOwner[i] = -1
+	}
+	for i, lit := range m.lits {
+		for _, t := range lit.Args {
+			if !t.IsVar() {
+				continue
+			}
+			s := t.Slot()
+			if _, bound := m.subst.Value(s); bound {
+				continue // bound variables do not connect literals
+			}
+			if o := slotOwner[s]; o >= 0 {
+				parent[find(int32(i))] = find(o)
+			} else {
+				slotOwner[s] = int32(i)
+			}
+		}
+	}
+	groups := make(map[int32][]int32, n)
+	var order []int32
+	for i := range m.lits {
+		r := find(int32(i))
+		if _, ok := groups[r]; !ok {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], int32(i))
+	}
+	out := make([][]int32, 0, len(order))
+	for _, r := range order {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// matchComponent initializes the candidate domains of one component's
+// literals and backtracks over them. Bindings of a solved component stay
+// in place: later components share no unbound variable with it, so they
+// are unaffected, and the union of the per-component assignments is the
+// witnessing substitution.
+func (m *matcher) matchComponent(comp []int32) bool {
+	for _, i := range comp {
+		if !m.initDomain(i) {
+			return false
+		}
+	}
+	m.open = append(m.open[:0], comp...)
+	return m.search(len(comp))
+}
+
+// initDomain builds literal i's initial candidate list: starting from the
+// shortest applicable argument-position constant index (falling back to
+// the predicate index), keep the target literals consistent with the
+// literal under the current substitution — constants and bound variables
+// must agree positionally, repeated unbound variables must meet equal
+// target constants.
+func (m *matcher) initDomain(i int32) bool {
+	lit := m.lits[i]
+	cand := m.cd.byPred[lit.Pred]
+	for pos, t := range lit.Args {
+		sym, known := int32(0), false
+		if t.IsVar() {
+			if v, bound := m.subst.Value(t.Slot()); bound {
+				sym, known = v, true
+			}
+		} else {
+			sym, known = t.Sym(), true
+		}
+		if !known {
+			continue
+		}
+		if sym < 0 {
+			cand = nil // unknown constant: no target argument can equal it
+			break
+		}
+		if l := m.cd.byArg[argKey{pred: lit.Pred, pos: int32(pos), sym: sym}]; len(l) < len(cand) {
+			cand = l
+		}
+	}
+	dom := make([]int32, 0, len(cand))
+	for _, t := range cand {
+		if m.consistent(lit, t) {
+			dom = append(dom, t)
+		}
+	}
+	m.doms[i] = dom
+	m.live[i] = int32(len(dom))
+	return len(dom) > 0
+}
+
+// consistent reports whether target literal t can host the source literal
+// under the current substitution.
+func (m *matcher) consistent(lit logic.IAtom, t int32) bool {
+	tgt := m.cd.lits[t]
+	if len(tgt.args) != len(lit.Args) {
+		return false
+	}
+	for p, st := range lit.Args {
+		if st.IsVar() {
+			if sym, bound := m.subst.Value(st.Slot()); bound {
+				if tgt.args[p] != sym {
+					return false
+				}
+				continue
+			}
+			// Unbound: repeated occurrences inside the literal must land on
+			// equal target constants.
+			for q := 0; q < p; q++ {
+				if lit.Args[q] == st && tgt.args[q] != tgt.args[p] {
+					return false
+				}
+			}
+			continue
+		}
+		if tgt.args[p] != st.Sym() {
+			return false
+		}
+	}
+	return true
+}
+
+// search backtracks over the first openCount entries of m.open. At each
+// node it picks the literal with the smallest live domain (domains are
+// maintained incrementally, so selection is a scan, not a re-count) and
+// tries its candidates; assignment narrows the neighbours' domains and
+// failure restores them from the trails.
+func (m *matcher) search(openCount int) bool {
+	if openCount == 0 {
+		return true
+	}
+	best, bestLive := 0, m.live[m.open[0]]
+	for k := 1; k < openCount && bestLive > 1; k++ {
+		if l := m.live[m.open[k]]; l < bestLive {
+			best, bestLive = k, l
+		}
+	}
+	i := m.open[best]
+	m.open[best], m.open[openCount-1] = m.open[openCount-1], m.open[best]
+	m.matched[i] = true
+	dom, n := m.doms[i], m.live[i]
+	for k := int32(0); k < n; k++ {
+		m.nodes--
+		if m.nodes < 0 {
+			m.exhausted = true
+			break
+		}
+		smark := m.subst.Mark()
+		dmark := len(m.domTrail)
+		if m.assign(i, dom[k]) && m.search(openCount-1) {
+			return true
+		}
+		m.subst.UndoTo(smark)
+		m.undoDoms(dmark)
+		if m.exhausted {
+			break
+		}
+	}
+	m.matched[i] = false
+	return false
+}
+
+// assign binds literal i's unbound variables to target literal t's
+// constants and forward-propagates each binding into the open neighbours'
+// domains. No consistency check is needed — domain maintenance guarantees
+// every live candidate agrees with the current substitution — so the only
+// failure mode is a neighbour's domain emptying.
+func (m *matcher) assign(i, t int32) bool {
+	tgt := m.cd.lits[t]
+	for p, st := range m.lits[i].Args {
+		if !st.IsVar() {
+			continue
+		}
+		slot := st.Slot()
+		if _, bound := m.subst.Value(slot); bound {
+			continue
+		}
+		m.subst.Bind(slot, tgt.args[p])
+		if !m.propagate(slot, tgt.args[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// propagate narrows the domain of every open literal in which the slot
+// occurs to the candidates holding sym at that position — the
+// arc-consistency-style pruning that replaces per-node candidate
+// re-counting. Emptied domains fail the assignment immediately.
+func (m *matcher) propagate(slot, sym int32) bool {
+	for _, oc := range m.occ[slot] {
+		if m.matched[oc.lit] {
+			continue
+		}
+		dom, n := m.doms[oc.lit], m.live[oc.lit]
+		kept := int32(0)
+		for k := int32(0); k < n; k++ {
+			if m.cd.lits[dom[k]].args[oc.pos] == sym {
+				dom[kept], dom[k] = dom[k], dom[kept]
+				kept++
+			}
+		}
+		if kept == n {
+			continue
+		}
+		m.domTrail = append(m.domTrail, domSave{lit: oc.lit, oldLive: n})
+		m.live[oc.lit] = kept
+		if kept == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// undoDoms restores every domain narrowed since the mark.
+func (m *matcher) undoDoms(mark int) {
+	for k := len(m.domTrail) - 1; k >= mark; k-- {
+		sv := m.domTrail[k]
+		m.live[sv.lit] = sv.oldLive
+	}
+	m.domTrail = m.domTrail[:mark]
+}

@@ -1,0 +1,129 @@
+package subsume
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// chainPair builds a c-body chain q(X0,X1)…q(Xn-1,Xn) and a ground chain
+// of m constants it maps into — a pair that genuinely subsumes but needs at
+// least n search nodes to prove it.
+func chainPair(n, m int) (cBody, dBody []logic.Atom) {
+	for i := 0; i < n; i++ {
+		cBody = append(cBody, logic.NewAtom("q",
+			logic.Var(fmt.Sprintf("X%d", i)), logic.Var(fmt.Sprintf("X%d", i+1))))
+	}
+	for i := 0; i < m; i++ {
+		dBody = append(dBody, logic.GroundAtom("q",
+			fmt.Sprintf("c%d", i), fmt.Sprintf("c%d", i+1)))
+	}
+	return cBody, dBody
+}
+
+// TestBudgetExhaustedCutoff: when the node budget runs out, the engine
+// reports "does not subsume" — even for a pair that genuinely subsumes —
+// and bumps the subsumption_budget_exhausted counter so metrics can tell
+// cutoffs from real failures. The budget variable is lowered so the test
+// is deterministic and fast instead of needing a multi-million-node pair.
+func TestBudgetExhaustedCutoff(t *testing.T) {
+	cBody, dBody := chainPair(10, 40)
+	if !SubsumesBody(cBody, dBody, nil) {
+		t.Fatalf("chain pair should subsume under the full budget")
+	}
+
+	old := matchBudget
+	matchBudget = 2 // a 10-literal chain needs at least 10 nodes
+	defer func() { matchBudget = old }()
+
+	reg := obs.NewRegistry()
+	run := obs.NewRun(nil, reg)
+	if SubsumesBodyR(run, cBody, dBody, nil) {
+		t.Fatalf("exhausted search must report non-subsumption")
+	}
+	if got := reg.Get(obs.CSubsumptionBudgetExhausted); got != 1 {
+		t.Fatalf("subsumption_budget_exhausted = %d, want 1", got)
+	}
+	// An exhausted call charges the whole budget to the node counter.
+	if got := reg.Get(obs.CSubsumptionNodes); got != int64(matchBudget) {
+		t.Fatalf("subsumption_nodes = %d, want %d", got, matchBudget)
+	}
+	if got := reg.Get(obs.CSubsumptionCalls); got != 1 {
+		t.Fatalf("subsumption_calls = %d, want 1", got)
+	}
+
+	// Restored budget: the same pair subsumes again and the exhaustion
+	// counter stays put — the cutoff left no state behind.
+	matchBudget = old
+	if !SubsumesBodyR(run, cBody, dBody, nil) {
+		t.Fatalf("pair should subsume once the budget is restored")
+	}
+	if got := reg.Get(obs.CSubsumptionBudgetExhausted); got != 1 {
+		t.Fatalf("subsumption_budget_exhausted moved to %d after a clean call", got)
+	}
+}
+
+// TestCompiledProbeMany: one compilation answers many probes, repeated
+// probes included — matcher state must not leak between calls.
+func TestCompiledProbeMany(t *testing.T) {
+	d := cl("t(a) :- p(a,b), p(b,c), q(c), r(a,a).")
+	cd := Compile(d)
+	probes := []struct {
+		c    string
+		want bool
+	}{
+		{"t(X) :- p(X,Y), p(Y,Z), q(Z).", true},
+		{"t(X) :- p(X,Y), q(Y).", false},
+		{"t(X) :- r(X,X).", true},
+		{"t(X) :- p(X,Y), r(Y,Y).", false},
+		{"t(X) :- p(X,Y).", true},
+	}
+	for round := 0; round < 3; round++ {
+		for _, p := range probes {
+			if got := cd.Subsumes(cl(p.c)); got != p.want {
+				t.Fatalf("round %d: Subsumes(%s) = %v, want %v", round, p.c, got, p.want)
+			}
+		}
+	}
+	if cd.Len() != len(d.Body) {
+		t.Fatalf("Len = %d, want %d", cd.Len(), len(d.Body))
+	}
+}
+
+// TestCompiledConcurrentProbes: a Compiled target is immutable after
+// Compile, so concurrent probes — the coverage engine's worker-pool usage —
+// must agree with the sequential answers. Run under -race this is the
+// safety check for sharing one compilation across the pool.
+func TestCompiledConcurrentProbes(t *testing.T) {
+	cBody, dBody := chainPair(8, 32)
+	cd := CompileBody(dBody)
+	bad := append(append([]logic.Atom(nil), cBody...),
+		logic.GroundAtom("q", "absent", "absent"))
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if !cd.SubsumesBody(cBody, nil) {
+					errs <- "chain probe: got false, want true"
+					return
+				}
+				if cd.SubsumesBody(bad, nil) {
+					errs <- "bad probe: got true, want false"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -9,10 +9,14 @@
 // database instance, which is what the paper's equivalence of definitions
 // (operator ≡) is built on.
 //
-// The engine substitutes for the Resumer2 system the paper uses: it is a
-// backtracking matcher with per-predicate indexing of the target clause,
-// decomposition of the source body into variable-connected components, and
-// dynamic most-constrained-literal selection with forward pruning.
+// The engine substitutes for the Resumer2 system the paper uses: targets
+// are compiled once (Compile/CompileBody — skolemized, interned, indexed
+// by predicate and argument-position constants) and probed many times by
+// a backtracking CSP matcher with decomposition into variable-connected
+// components, dynamic most-constrained-literal selection, and incremental
+// candidate domains narrowed on bind and restored from a trail on
+// backtrack. The one-shot entry points below compile and probe in one
+// call; coverage testing caches the compilation per bottom clause.
 package subsume
 
 import (
@@ -30,16 +34,7 @@ func Subsumes(c, d *logic.Clause) bool {
 // SubsumesR is Subsumes reporting engine calls and backtracking nodes into
 // the run (nil observes nothing).
 func SubsumesR(run *obs.Run, c, d *logic.Clause) bool {
-	d = skolemize(d)
-	s, ok := logic.MatchAtoms(c.Head, d.Head, logic.NewSubstitution())
-	if !ok {
-		run.Inc(obs.CSubsumptionCalls)
-		return false
-	}
-	m := newMatcher(d.Body)
-	ok = m.matchAll(c.Body, s) // s is fresh: in-place binding is safe
-	m.report(run)
-	return ok
+	return Compile(d).SubsumesR(run, c)
 }
 
 // SubsumesBody reports whether the body of c maps into the body of d under
@@ -54,236 +49,22 @@ func SubsumesBody(cBody, dBody []logic.Atom, init logic.Substitution) bool {
 // SubsumesBodyR is SubsumesBody reporting into the run (nil observes
 // nothing).
 func SubsumesBodyR(run *obs.Run, cBody, dBody []logic.Atom, init logic.Substitution) bool {
-	if init == nil {
-		init = logic.NewSubstitution()
-	}
-	d := skolemize(&logic.Clause{Body: dBody})
-	m := newMatcher(d.Body)
-	ok := m.matchAll(cBody, init.Clone()) // the matcher binds in place
-	m.report(run)
-	return ok
+	return CompileBody(dBody).SubsumesBodyR(run, cBody, init)
 }
 
 // skolemPrefix marks constants standing in for target-clause variables. The
 // NUL byte cannot occur in real constants, so skolems never collide.
 const skolemPrefix = "\x00sk:"
 
-// skolemize replaces every variable of the target clause with a distinct
-// reserved constant so that the matcher can never bind onto or rebind them.
-// Ground clauses are returned unchanged (no allocation).
-func skolemize(d *logic.Clause) *logic.Clause {
-	ground := d.Head.IsGround()
-	if ground {
-		for _, a := range d.Body {
-			if !a.IsGround() {
-				ground = false
-				break
-			}
-		}
-	}
-	if ground {
-		return d
-	}
-	s := logic.NewSubstitution()
-	for _, v := range d.Vars() {
-		s.Bind(v, logic.Const(skolemPrefix+v))
-	}
-	return d.Apply(s)
-}
-
 // matchBudget bounds the backtracking search per top-level call; on
-// exhaustion the matcher reports "does not subsume", the cutoff discipline
-// of engines like Resumer2. Subsumption is NP-complete, so some bound is
-// required for pathological clause pairs; the default is far beyond what
-// realistic clauses need.
-const matchBudget = 1 << 21
-
-// matcher holds the target clause body indexed by predicate symbol.
-type matcher struct {
-	byPred map[string][]logic.Atom
-	nodes  int
-}
-
-func newMatcher(target []logic.Atom) *matcher {
-	byPred := make(map[string][]logic.Atom)
-	for _, a := range target {
-		byPred[a.Pred] = append(byPred[a.Pred], a)
-	}
-	return &matcher{byPred: byPred, nodes: matchBudget}
-}
-
-// report flushes the engine-call and node counts of one finished top-level
-// match into the run: node counting stays a plain decrement on the search
-// path and costs two atomic adds per call.
-func (m *matcher) report(run *obs.Run) {
-	run.Inc(obs.CSubsumptionCalls)
-	run.Add(obs.CSubsumptionNodes, int64(matchBudget-m.nodes))
-}
-
-// matchAll matches every source literal into the target under extensions of
-// s. The source body is first split into components connected through
-// variables unbound in s; components are independent subproblems, which
-// turns one exponential search into several much smaller ones.
-func (m *matcher) matchAll(src []logic.Atom, s logic.Substitution) bool {
-	for _, comp := range components(src, s) {
-		if !m.matchComponent(comp, s) {
-			return false
-		}
-	}
-	return true
-}
-
-// components partitions the literals into groups connected by variables
-// that are not bound in s.
-func components(src []logic.Atom, s logic.Substitution) [][]logic.Atom {
-	n := len(src)
-	if n <= 1 {
-		if n == 0 {
-			return nil
-		}
-		return [][]logic.Atom{src}
-	}
-	// Union-find over literal indexes.
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-
-	varOwner := make(map[string]int)
-	for i, a := range src {
-		for _, t := range a.Args {
-			if !t.IsVar {
-				continue
-			}
-			rt := s.Resolve(t)
-			if !rt.IsVar {
-				continue // bound variables do not connect literals
-			}
-			name := rt.Name
-			if j, ok := varOwner[name]; ok {
-				union(i, j)
-			} else {
-				varOwner[name] = i
-			}
-		}
-	}
-	groups := make(map[int][]logic.Atom)
-	var order []int
-	for i, a := range src {
-		r := find(i)
-		if _, ok := groups[r]; !ok {
-			order = append(order, r)
-		}
-		groups[r] = append(groups[r], a)
-	}
-	out := make([][]logic.Atom, 0, len(order))
-	for _, r := range order {
-		out = append(out, groups[r])
-	}
-	return out
-}
-
-// matchComponent backtracks over one connected component. At each step it
-// picks the remaining literal with the fewest consistent target candidates
-// (forward pruning: zero candidates fails immediately).
-func (m *matcher) matchComponent(lits []logic.Atom, s logic.Substitution) bool {
-	remaining := make([]logic.Atom, len(lits))
-	copy(remaining, lits)
-	return m.search(remaining, s)
-}
-
-func (m *matcher) search(remaining []logic.Atom, s logic.Substitution) bool {
-	m.nodes--
-	if m.nodes < 0 {
-		return false // budget exhausted: treat as non-subsuming
-	}
-	if len(remaining) == 0 {
-		return true
-	}
-	// Most-constrained literal selection (forward pruning on zero).
-	bestIdx, bestCount := -1, -1
-	for i, lit := range remaining {
-		n := m.countCandidates(lit, s)
-		if n == 0 {
-			return false
-		}
-		if bestCount == -1 || n < bestCount {
-			bestIdx, bestCount = i, n
-			if n == 1 {
-				break
-			}
-		}
-	}
-	lit := remaining[bestIdx]
-	rest := make([]logic.Atom, 0, len(remaining)-1)
-	rest = append(rest, remaining[:bestIdx]...)
-	rest = append(rest, remaining[bestIdx+1:]...)
-	// Trail-based binding: extend s in place, undo on backtrack. This
-	// avoids cloning the substitution per candidate, the dominant cost of
-	// coverage testing.
-	for _, tgt := range m.byPred[lit.Pred] {
-		trail, ok := bindInPlace(lit, tgt, s)
-		if !ok {
-			continue
-		}
-		if m.search(rest, s) {
-			return true
-		}
-		undo(s, trail)
-	}
-	return false
-}
-
-// countCandidates counts target literals compatible with lit under s,
-// using temporary in-place bindings to honor repeated variables.
-func (m *matcher) countCandidates(lit logic.Atom, s logic.Substitution) int {
-	n := 0
-	for _, tgt := range m.byPred[lit.Pred] {
-		if trail, ok := bindInPlace(lit, tgt, s); ok {
-			n++
-			undo(s, trail)
-		}
-	}
-	return n
-}
-
-// bindInPlace extends s so that pattern·s = ground, returning the trail of
-// newly bound variables; on mismatch it restores s and reports false.
-func bindInPlace(pattern, ground logic.Atom, s logic.Substitution) ([]string, bool) {
-	if len(pattern.Args) != len(ground.Args) {
-		return nil, false
-	}
-	var trail []string
-	for i, pt := range pattern.Args {
-		pt = s.Resolve(pt)
-		gt := ground.Args[i]
-		if pt.IsVar {
-			s[pt.Name] = gt
-			trail = append(trail, pt.Name)
-			continue
-		}
-		if pt != gt {
-			undo(s, trail)
-			return nil, false
-		}
-	}
-	return trail, true
-}
-
-func undo(s logic.Substitution, trail []string) {
-	for _, v := range trail {
-		delete(s, v)
-	}
-}
+// exhaustion the matcher reports "does not subsume" — the cutoff discipline
+// of engines like Resumer2 — and bumps the subsumption_budget_exhausted
+// counter so metrics distinguish cutoffs from genuine failures.
+// Subsumption is NP-complete, so some bound is required for pathological
+// clause pairs; the default is far beyond what realistic clauses need. A
+// variable (not a constant) so the cutoff test can exercise the path
+// without a multi-million-node search.
+var matchBudget = 1 << 21
 
 // Reduce removes syntactically redundant body literals from the clause: a
 // literal L is redundant iff C θ-subsumes C−{L} (then the two are
@@ -298,12 +79,18 @@ func Reduce(c *logic.Clause) *logic.Clause {
 // the run (nil observes nothing).
 func ReduceR(run *obs.Run, c *logic.Clause) *logic.Clause {
 	cur := c.Clone()
+	// One scratch body serves every removal attempt: the shorter candidate
+	// only lives for the duration of its subsumption test, so the quadratic
+	// clone-per-attempt of RemoveBodyAt is avoidable.
+	scratch := make([]logic.Atom, 0, len(cur.Body))
 	for i := 0; i < len(cur.Body); {
 		run.Inc(obs.CReductionSteps)
-		shorter := cur.RemoveBodyAt(i)
+		scratch = append(scratch[:0], cur.Body[:i]...)
+		scratch = append(scratch, cur.Body[i+1:]...)
+		shorter := &logic.Clause{Head: cur.Head, Body: scratch}
 		if SubsumesR(run, cur, shorter) {
 			run.Inc(obs.CReductionRemoved)
-			cur = shorter // drop the literal; do not advance
+			cur.Body = append(cur.Body[:i], cur.Body[i+1:]...) // drop; do not advance
 		} else {
 			i++
 		}
@@ -321,9 +108,11 @@ func EquivalentClauses(c, d *logic.Clause) bool {
 // some clause of d1, so d1's result contains d2's result on every instance.
 func ContainsDefinition(d1, d2 *logic.Definition) bool {
 	for _, c2 := range d2.Clauses {
+		// One compilation of c2 serves the probe from every clause of d1.
+		cd := Compile(c2)
 		found := false
 		for _, c1 := range d1.Clauses {
-			if Subsumes(c1, c2) {
+			if cd.Subsumes(c1) {
 				found = true
 				break
 			}
