@@ -1,0 +1,87 @@
+package sirl_test
+
+// Machine-readable benchmark emitter. `BENCH_JSON=BENCH_castor.json go test
+// -run TestEmitBenchJSON` runs a curated subset of the benchmarks through
+// testing.Benchmark and writes one JSON document with ns/op plus the custom
+// per-op metrics (covtests/op, covhits/op, nodes/op, ...) each benchmark
+// reports. The format is documented in DESIGN.md and consumed by the CI
+// observability job; cmd/obsreport diffs run reports, this file covers the
+// microbenchmark side.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// benchEntry is one benchmark result in the BENCH_castor.json document.
+type benchEntry struct {
+	Name    string             `json:"name"`
+	Iters   int                `json:"iters"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchDocument is the top-level BENCH_castor.json shape.
+type benchDocument struct {
+	Suite      string       `json:"suite"`
+	GoVersion  string       `json:"go_version"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	CPUs       int          `json:"cpus"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// TestEmitBenchJSON is skipped unless BENCH_JSON names an output path. It
+// deliberately runs a small, fast subset — the scenarios whose custom
+// metrics the regression tooling watches — not the full table/figure suite.
+func TestEmitBenchJSON(t *testing.T) {
+	path := os.Getenv("BENCH_JSON")
+	if path == "" {
+		t.Skip("set BENCH_JSON=<path> to emit the benchmark JSON document")
+	}
+
+	prob := benchUWCSEProblem(t, true)
+	cands := buildScoringCandidates(t, prob)
+
+	measure := func(name string, f func(*testing.B)) benchEntry {
+		r := testing.Benchmark(f)
+		if r.N == 0 {
+			t.Fatalf("%s: benchmark did not run (a b.Fatal inside testing.Benchmark aborts silently)", name)
+		}
+		e := benchEntry{Name: name, Iters: r.N, NsPerOp: float64(r.NsPerOp()), Metrics: map[string]float64{}}
+		for metric, v := range r.Extra {
+			e.Metrics[metric] = v
+		}
+		return e
+	}
+
+	doc := benchDocument{
+		Suite:     "castor",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	doc.Benchmarks = append(doc.Benchmarks,
+		measure("CandidateScoring/serial", func(b *testing.B) { benchScoreBatch(b, prob, cands, 1, true) }),
+		measure("CandidateScoring/parallel", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.NumCPU(), true) }),
+		measure("CandidateScoring/cached", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.NumCPU(), false) }),
+	)
+	for _, shape := range subsumptionShapes() {
+		shape := shape
+		doc.Benchmarks = append(doc.Benchmarks,
+			measure("Subsumption/"+shape.name+"/compiled", func(b *testing.B) { benchSubsumptionCompiled(b, shape) }))
+	}
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %d benchmark entries to %s", len(doc.Benchmarks), path)
+}

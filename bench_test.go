@@ -134,17 +134,17 @@ func BenchmarkFigure3QueryComplexity(b *testing.B) {
 // --- ablations -----------------------------------------------------------
 
 // benchUWCSEProblem builds one small UW-CSE problem for the ablations.
-func benchUWCSEProblem(b *testing.B, indexed bool) *ilp.Problem {
-	b.Helper()
+func benchUWCSEProblem(tb testing.TB, indexed bool) *ilp.Problem {
+	tb.Helper()
 	cfg := datasets.DefaultUWCSE()
 	cfg.Students, cfg.Courses = 16, 12
 	ds, err := datasets.GenerateUWCSE(cfg)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	prob, err := ds.Problem("Original")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	if !indexed {
 		v := ds.Variants[0]
@@ -177,14 +177,11 @@ func runCastor(b *testing.B, prob *ilp.Problem, params ilp.Params) {
 	}
 }
 
-// BenchmarkCandidateScoring isolates the batched candidate scorer: one
-// beam-sized batch of bottom-clause generalizations (leave-one-literal-out,
-// the shape ARMG produces) scored against every example, serial versus one
-// worker per core. The memo cache is off so every iteration measures raw
-// scoring; the "cached" variant leaves it on to show the steady-state cost
-// once the memo cache answers repeats.
-func BenchmarkCandidateScoring(b *testing.B) {
-	prob := benchUWCSEProblem(b, true)
+// buildScoringCandidates builds one beam-sized batch of bottom-clause
+// generalizations (leave-one-literal-out, the shape ARMG produces) for the
+// candidate-scoring benchmarks.
+func buildScoringCandidates(tb testing.TB, prob *ilp.Problem) []coverage.Candidate {
+	tb.Helper()
 	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
 	bottom := castor.BottomClause(prob, plan, prob.Pos[0], benchCastorParams())
 	var cands []coverage.Candidate
@@ -194,29 +191,43 @@ func BenchmarkCandidateScoring(b *testing.B) {
 		body = append(body, bottom.Body[drop+1:]...)
 		cands = append(cands, coverage.Candidate{Clause: &logic.Clause{Head: bottom.Head, Body: body}})
 	}
-	run := func(b *testing.B, workers int, disableCache bool) {
-		params := benchCastorParams()
-		params.CoverageMode = ilp.CoverageSubsumption
-		params.Parallelism = workers
-		params.DisableCoverageCache = disableCache
-		reg := obs.NewRegistry()
-		params.Obs = obs.NewRun(nil, reg)
-		tester := ilp.NewTester(prob, params)
-		// Warm the saturation cache so both variants time scoring, not
-		// bottom-clause construction.
-		tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			scores := tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
-			if len(scores) != len(cands) {
-				b.Fatalf("scores = %d, want %d", len(scores), len(cands))
-			}
+	return cands
+}
+
+// benchScoreBatch times one candidate-scoring configuration; shared between
+// BenchmarkCandidateScoring and the BENCH_castor.json emitter.
+func benchScoreBatch(b *testing.B, prob *ilp.Problem, cands []coverage.Candidate, workers int, disableCache bool) {
+	params := benchCastorParams()
+	params.CoverageMode = ilp.CoverageSubsumption
+	params.Parallelism = workers
+	params.DisableCoverageCache = disableCache
+	reg := obs.NewRegistry()
+	params.Obs = obs.NewRun(nil, reg)
+	tester := ilp.NewTester(prob, params)
+	// Warm the saturation cache so both variants time scoring, not
+	// bottom-clause construction.
+	tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scores := tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
+		if len(scores) != len(cands) {
+			b.Fatalf("scores = %d, want %d", len(scores), len(cands))
 		}
-		reportObsMetrics(b, reg)
 	}
-	b.Run("serial", func(b *testing.B) { run(b, 1, true) })
-	b.Run("parallel", func(b *testing.B) { run(b, runtime.NumCPU(), true) })
-	b.Run("cached", func(b *testing.B) { run(b, runtime.NumCPU(), false) })
+	reportObsMetrics(b, reg)
+}
+
+// BenchmarkCandidateScoring isolates the batched candidate scorer: one
+// leave-one-literal-out batch scored against every example, serial versus
+// one worker per core. The memo cache is off so every iteration measures raw
+// scoring; the "cached" variant leaves it on to show the steady-state cost
+// once the memo cache answers repeats.
+func BenchmarkCandidateScoring(b *testing.B) {
+	prob := benchUWCSEProblem(b, true)
+	cands := buildScoringCandidates(b, prob)
+	b.Run("serial", func(b *testing.B) { benchScoreBatch(b, prob, cands, 1, true) })
+	b.Run("parallel", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.NumCPU(), true) })
+	b.Run("cached", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.NumCPU(), false) })
 }
 
 // subsumptionShape is one (source body, target body) pair exercising a
@@ -293,6 +304,22 @@ func subsumptionShapes() []subsumptionShape {
 	}
 }
 
+// benchSubsumptionCompiled times the compile-once/match-many path on one
+// shape; shared between BenchmarkSubsumption and the BENCH_castor.json
+// emitter.
+func benchSubsumptionCompiled(b *testing.B, shape subsumptionShape) {
+	reg := obs.NewRegistry()
+	run := obs.NewRun(nil, reg)
+	cd := subsume.CompileBody(shape.dBody)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := cd.SubsumesBodyR(run, shape.cBody, nil); got != shape.want {
+			b.Fatalf("%s: got %v, want %v", shape.name, got, shape.want)
+		}
+	}
+	b.ReportMetric(float64(reg.Get(obs.CSubsumptionNodes))/float64(b.N), "nodes/op")
+}
+
 // BenchmarkSubsumption measures the θ-subsumption engine itself on the
 // shapes above, reporting backtracking nodes per op. The oneshot variants
 // pay target compilation every call (the engine's Subsumes/SubsumesBody
@@ -311,18 +338,7 @@ func BenchmarkSubsumption(b *testing.B) {
 			}
 			b.ReportMetric(float64(reg.Get(obs.CSubsumptionNodes))/float64(b.N), "nodes/op")
 		})
-		b.Run(shape.name+"/compiled", func(b *testing.B) {
-			reg := obs.NewRegistry()
-			run := obs.NewRun(nil, reg)
-			cd := subsume.CompileBody(shape.dBody)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if got := cd.SubsumesBodyR(run, shape.cBody, nil); got != shape.want {
-					b.Fatalf("%s: got %v, want %v", shape.name, got, shape.want)
-				}
-			}
-			b.ReportMetric(float64(reg.Get(obs.CSubsumptionNodes))/float64(b.N), "nodes/op")
-		})
+		b.Run(shape.name+"/compiled", func(b *testing.B) { benchSubsumptionCompiled(b, shape) })
 	}
 }
 

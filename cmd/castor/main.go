@@ -19,6 +19,10 @@
 //	castor -dataset uwcse -trace trace.jsonl -metrics metrics.json
 //	castor -dataset uwcse -cpuprofile cpu.pprof -memprofile mem.pprof
 //
+//	# span-level tracing (Perfetto-loadable), run report, live server
+//	castor -dataset uwcse -chrometrace trace.json -report run.json
+//	castor -dataset uwcse -http :6060   # /metrics /progress /debug/pprof/
+//
 // File formats are those of internal/relstore: `rel name(attr, …)` /
 // `fd` / `ind` / `domain` lines for the schema, one ground fact per line
 // for data and examples. The trace file is JSONL (one event object per
@@ -63,6 +67,8 @@ type options struct {
 
 	verbose                bool
 	traceFile, metricsFile string
+	chromeFile, reportFile string
+	httpAddr               string
 	cpuProfile, memProfile string
 }
 
@@ -87,6 +93,9 @@ func main() {
 	flag.BoolVar(&o.verbose, "v", false, "log trace events to stderr")
 	flag.StringVar(&o.traceFile, "trace", "", "write a JSONL event trace to this file")
 	flag.StringVar(&o.metricsFile, "metrics", "", "write the JSON metrics report to this file")
+	flag.StringVar(&o.chromeFile, "chrometrace", "", "write a Chrome trace-event (Perfetto) span trace to this file")
+	flag.StringVar(&o.reportFile, "report", "", "write the JSON run report (for cmd/obsreport) to this file")
+	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /progress and /debug/pprof/ on this address (e.g. :6060)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -126,7 +135,30 @@ func run(o options, out io.Writer) error {
 		traceSink = s
 		tracers = append(tracers, s)
 	}
-	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg)
+	var spanSinks []obs.SpanSink
+	var chromeSink *obs.ChromeTraceSink
+	if o.chromeFile != "" {
+		s, err := obs.CreateChromeTraceFile(o.chromeFile)
+		if err != nil {
+			return err
+		}
+		// The sink is both a span sink (slices) and a tracer (instant
+		// markers), so flat events line up with the spans around them.
+		chromeSink = s
+		spanSinks = append(spanSinks, s)
+		tracers = append(tracers, s)
+	}
+	if o.httpAddr != "" {
+		prog := obs.NewProgress(reg)
+		spanSinks = append(spanSinks, prog)
+		srv, err := obs.StartServer(o.httpAddr, reg, prog)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "introspection server on http://%s/ (/metrics /progress /debug/pprof/)\n", srv.Addr())
+	}
+	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).WithSpans(obs.MultiSpanSink(spanSinks...))
 
 	var prob *ilp.Problem
 	var pos, neg []logic.Atom
@@ -213,7 +245,37 @@ func run(o options, out io.Writer) error {
 			return err
 		}
 	}
+	if chromeSink != nil {
+		if err := chromeSink.Close(); err != nil {
+			return err
+		}
+	}
 	report := reg.Snapshot()
+	if o.reportFile != "" {
+		rr := &obs.RunReport{
+			Tool:    "castor",
+			When:    time.Now(),
+			Dataset: datasetLabel,
+			Variant: o.variant,
+			Learner: learner.Name(),
+			Target:  prob.Target.Name,
+			Params: map[string]any{
+				"coverage":     o.coverage,
+				"sample":       o.sample,
+				"beam":         o.beam,
+				"clauselength": o.clauseLength,
+				"par":          params.Parallelism,
+				"seed":         o.seed,
+				"subset_inds":  o.subsetINDs,
+			},
+			ElapsedSeconds: elapsed.Seconds(),
+			Metrics:        report,
+			Definition:     definitionStats(def, m),
+		}
+		if err := rr.WriteJSONFile(o.reportFile); err != nil {
+			return err
+		}
+	}
 	if o.metricsFile != "" {
 		f, err := os.Create(o.metricsFile)
 		if err != nil {
@@ -243,6 +305,27 @@ func run(o options, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// definitionStats summarizes the learned definition for the run report.
+func definitionStats(def *logic.Definition, m eval.Metrics) *obs.DefinitionStats {
+	if def == nil {
+		return nil
+	}
+	lits := 0
+	for _, c := range def.Clauses {
+		lits += len(c.Body)
+	}
+	return &obs.DefinitionStats{
+		Clauses:   def.Len(),
+		Literals:  lits,
+		TP:        m.TP,
+		FP:        m.FP,
+		FN:        m.FN,
+		Precision: m.Precision,
+		Recall:    m.Recall,
+		F1:        m.F1,
+	}
 }
 
 // coverageMode resolves the -coverage flag. The dataset heuristic (UW-CSE

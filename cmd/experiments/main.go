@@ -8,11 +8,14 @@
 //
 //	# observability: aggregate counters/timers across every learner run
 //	experiments -exp table10 -v -metrics metrics.json -trace trace.jsonl
+//	experiments -exp table10 -chrometrace trace.json -report run.json
+//	experiments -exp all -http :6060     # live /metrics /progress /debug/pprof/
 //	experiments -exp fig2 -cpuprofile cpu.pprof
 //
 // Experiments: table2, table9, table10, table11, table12, table13, fig2,
-// fig3, all. With -metrics/-trace, one registry and one trace stream span
-// all selected experiments (see README "Observability").
+// fig3, all. With -metrics/-trace/-chrometrace/-report, one registry and
+// one trace stream span all selected experiments (see README
+// "Observability").
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -37,6 +41,9 @@ func main() {
 	verbose := flag.Bool("v", false, "log trace events to stderr")
 	traceFile := flag.String("trace", "", "write a JSONL event trace to this file")
 	metricsFile := flag.String("metrics", "", "write the JSON metrics report to this file")
+	chromeFile := flag.String("chrometrace", "", "write a Chrome trace-event (Perfetto) span trace to this file")
+	reportFile := flag.String("report", "", "write the JSON run report (for cmd/obsreport) to this file")
+	httpAddr := flag.String("http", "", "serve /metrics, /progress and /debug/pprof/ on this address (e.g. :6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -55,8 +62,11 @@ func main() {
 
 	var reg *obs.Registry
 	var tracers []obs.Tracer
+	var spanSinks []obs.SpanSink
 	var traceSink *obs.JSONLSink
-	observing := *verbose || *traceFile != "" || *metricsFile != ""
+	var chromeSink *obs.ChromeTraceSink
+	observing := *verbose || *traceFile != "" || *metricsFile != "" ||
+		*chromeFile != "" || *reportFile != "" || *httpAddr != ""
 	if observing {
 		reg = obs.NewRegistry()
 		if *verbose {
@@ -70,15 +80,35 @@ func main() {
 			traceSink = s
 			tracers = append(tracers, s)
 		}
+		if *chromeFile != "" {
+			s, err := obs.CreateChromeTraceFile(*chromeFile)
+			if err != nil {
+				fatal(err)
+			}
+			chromeSink = s
+			spanSinks = append(spanSinks, s)
+			tracers = append(tracers, s)
+		}
+		if *httpAddr != "" {
+			prog := obs.NewProgress(reg)
+			spanSinks = append(spanSinks, prog)
+			srv, err := obs.StartServer(*httpAddr, reg, prog)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("introspection server on http://%s/ (/metrics /progress /debug/pprof/)\n", srv.Addr())
+		}
 	}
 
+	start := time.Now()
 	cfg := experiments.Config{
 		Scale:       *scale,
 		Folds:       *folds,
 		Parallelism: *par,
 		Seed:        *seed,
 		Out:         os.Stdout,
-		Obs:         obs.NewRun(obs.MultiTracer(tracers...), reg),
+		Obs:         obs.NewRun(obs.MultiTracer(tracers...), reg).WithSpans(obs.MultiSpanSink(spanSinks...)),
 	}
 
 	runners := map[string]func() error{
@@ -117,8 +147,31 @@ func main() {
 			fatal(err)
 		}
 	}
+	if chromeSink != nil {
+		if err := chromeSink.Close(); err != nil {
+			fatal(err)
+		}
+	}
 	if reg != nil {
 		report := reg.Snapshot()
+		if *reportFile != "" {
+			rr := &obs.RunReport{
+				Tool:    "experiments",
+				When:    time.Now(),
+				Dataset: *exp,
+				Params: map[string]any{
+					"scale": *scale,
+					"folds": *folds,
+					"par":   *par,
+					"seed":  *seed,
+				},
+				ElapsedSeconds: time.Since(start).Seconds(),
+				Metrics:        report,
+			}
+			if err := rr.WriteJSONFile(*reportFile); err != nil {
+				fatal(err)
+			}
+		}
 		if *metricsFile != "" {
 			f, err := os.Create(*metricsFile)
 			if err != nil {

@@ -1,0 +1,130 @@
+// Command obsreport compares two run reports written with -report and
+// prints a metric-by-metric diff. With -watch it acts as a regression
+// gate: it exits nonzero when any watched metric in the new report exceeds
+// the old value by more than -threshold, which is how CI compares a
+// branch's run against a baseline artifact.
+//
+// Usage:
+//
+//	obsreport old.json new.json                       # full diff table
+//	obsreport -watch elapsed_seconds,coverage_tests \
+//	          -threshold 1.10 old.json new.json       # gate: new ≤ 1.10×old
+//
+// Metric names are the flattened namespace of the run report: counters
+// keep their report names (coverage_tests, subsumption_nodes, …), phases
+// become <phase>_seconds and <phase>_calls, span aggregates become
+// span_<name>_seconds and span_<name>_calls, and elapsed_seconds and the
+// definition_* stats are included. Exit status: 0 when no watched metric
+// regresses, 1 on a regression, 2 on usage or read errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	watch := fs.String("watch", "", "comma-separated metrics to gate on (empty: report only, never fail)")
+	threshold := fs.Float64("threshold", 1.10, "max allowed new/old ratio for watched metrics")
+	all := fs.Bool("all", false, "print unchanged metrics too")
+	fs.Usage = func() {
+		fmt.Fprintln(errw, "usage: obsreport [-watch m1,m2] [-threshold 1.10] [-all] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldRep, err := obs.LoadRunReport(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(errw, "obsreport:", err)
+		return 2
+	}
+	newRep, err := obs.LoadRunReport(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(errw, "obsreport:", err)
+		return 2
+	}
+
+	watched := make(map[string]bool)
+	for _, w := range strings.Split(*watch, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			watched[w] = true
+		}
+	}
+
+	deltas := obs.DiffRunReports(oldRep, newRep)
+	fmt.Fprintf(out, "old: %s (%s %s %s)\n", fs.Arg(0), oldRep.Tool, oldRep.Dataset, oldRep.Learner)
+	fmt.Fprintf(out, "new: %s (%s %s %s)\n\n", fs.Arg(1), newRep.Tool, newRep.Dataset, newRep.Learner)
+	fmt.Fprintf(out, "%-36s %14s %14s %8s\n", "metric", "old", "new", "ratio")
+	var regressions []string
+	seen := make(map[string]bool)
+	for _, d := range deltas {
+		seen[d.Name] = true
+		regressed := watched[d.Name] && d.Ratio > *threshold
+		if regressed {
+			regressions = append(regressions, d.Name)
+		}
+		if !*all && d.Old == d.New && !watched[d.Name] {
+			continue // unchanged and unwatched: noise in the default view
+		}
+		mark := " "
+		switch {
+		case regressed:
+			mark = "!"
+		case watched[d.Name]:
+			mark = "*"
+		}
+		fmt.Fprintf(out, "%-36s %14s %14s %7s %s\n",
+			d.Name, num(d.Old), num(d.New), ratio(d.Ratio), mark)
+	}
+	for name := range watched {
+		if !seen[name] {
+			fmt.Fprintf(errw, "obsreport: watched metric %q absent from both reports\n", name)
+			return 2
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(out, "\nREGRESSION: %s exceeded %.2fx the baseline\n",
+			strings.Join(regressions, ", "), *threshold)
+		return 1
+	}
+	if len(watched) > 0 {
+		fmt.Fprintf(out, "\nok: all %d watched metrics within %.2fx of the baseline\n",
+			len(watched), *threshold)
+	}
+	return 0
+}
+
+// num formats a metric value compactly: integers without a fraction,
+// timings with enough digits to compare.
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// ratio renders new/old, tolerating the +Inf of a zero baseline.
+func ratio(r float64) string {
+	if math.IsInf(r, 1) {
+		return "+inf"
+	}
+	return fmt.Sprintf("%.3fx", r)
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// writeReport marshals a run report into dir and returns its path.
+func writeReport(t *testing.T, dir, name string, counters map[string]int64, elapsed float64) string {
+	t.Helper()
+	r := obs.RunReport{
+		Tool:           "castor",
+		Dataset:        "UW-CSE",
+		Learner:        "Castor",
+		ElapsedSeconds: elapsed,
+		Metrics:        obs.Report{Counters: counters},
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSelfDiffExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	p := writeReport(t, dir, "run.json", map[string]int64{"coverage_tests": 228}, 1.5)
+	var out, errw strings.Builder
+	code := run([]string{"-watch", "coverage_tests,elapsed_seconds", p, p}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("self diff exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "ok: all 2 watched metrics") {
+		t.Errorf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestRegressionExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]int64{"coverage_tests": 100}, 1.0)
+	newP := writeReport(t, dir, "new.json", map[string]int64{"coverage_tests": 300}, 1.0)
+	var out, errw strings.Builder
+	code := run([]string{"-watch", "coverage_tests", oldP, newP}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: coverage_tests") {
+		t.Errorf("missing regression line:\n%s", out.String())
+	}
+}
+
+func TestWithinThresholdExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]int64{"coverage_tests": 100}, 1.0)
+	newP := writeReport(t, dir, "new.json", map[string]int64{"coverage_tests": 105}, 1.0)
+	var out, errw strings.Builder
+	if code := run([]string{"-watch", "coverage_tests", "-threshold", "1.10", oldP, newP}, &out, &errw); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out.String())
+	}
+	// A tighter threshold flips the same pair into a regression.
+	if code := run([]string{"-watch", "coverage_tests", "-threshold", "1.01", oldP, newP}, &out, &errw); code != 1 {
+		t.Fatal("tight threshold did not gate")
+	}
+}
+
+func TestUnwatchedChangesNeverFail(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]int64{"coverage_tests": 1}, 1.0)
+	newP := writeReport(t, dir, "new.json", map[string]int64{"coverage_tests": 1000}, 50.0)
+	var out, errw strings.Builder
+	if code := run([]string{oldP, newP}, &out, &errw); code != 0 {
+		t.Fatalf("report-only mode exit = %d, want 0", code)
+	}
+	if !strings.Contains(out.String(), "coverage_tests") {
+		t.Errorf("diff table missing changed metric:\n%s", out.String())
+	}
+}
+
+func TestUsageAndReadErrorsExitTwo(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"only-one.json"}, &out, &errw); code != 2 {
+		t.Errorf("one arg: exit = %d, want 2", code)
+	}
+	if code := run([]string{"a.json", "b.json"}, &out, &errw); code != 2 {
+		t.Errorf("missing files: exit = %d, want 2", code)
+	}
+	dir := t.TempDir()
+	p := writeReport(t, dir, "run.json", map[string]int64{"coverage_tests": 1}, 1.0)
+	if code := run([]string{"-watch", "no_such_metric", p, p}, &out, &errw); code != 2 {
+		t.Errorf("unknown watched metric: exit = %d, want 2", code)
+	}
+}

@@ -218,9 +218,13 @@ func fetchFrontier(prob *ilp.Problem, schema *relstore.Schema, chase []string, f
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				jobs[i].tuples = fetch(tables[i].TuplesContaining(jobs[i].cst))
-			}
+			// Label the drain loop so CPU profiles attribute frontier scans
+			// to bottom-clause construction.
+			obs.WithPhaseLabel("bottom_construction", func() {
+				for i := range next {
+					jobs[i].tuples = fetch(tables[i].TuplesContaining(jobs[i].cst))
+				}
+			})
 		}()
 	}
 	for i := range jobs {

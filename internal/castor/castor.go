@@ -94,7 +94,15 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 		}
 		return l.learnClause(prob, params, tester, rng, p, uncovered), nil
 	}
-	return ilp.Cover(prob, params, tester, learn)
+	sp := run.StartSpan("learn",
+		obs.F("learner", "castor"), obs.F("target", prob.Target.Name),
+		obs.F("pos", len(prob.Pos)), obs.F("neg", len(prob.Neg)))
+	def, err := ilp.Cover(prob, params, tester, learn)
+	if def != nil {
+		sp.Annotate(obs.F("clauses", def.Len()))
+	}
+	sp.End()
+	return def, err
 }
 
 // scored is one beam entry with cached coverage, enabling the §7.5.4
@@ -148,9 +156,12 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 // learnClauseFromSeed runs the beam search of Algorithm 4 for one seed.
 func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, plan *relstore.Plan, uncovered []logic.Atom, seed logic.Atom) *logic.Clause {
 	run := params.Obs
+	sb := run.StartSpan("bottom_clause", obs.F("seed", seed.String()))
 	tb := run.StartPhase(obs.PBottom)
 	bottom := BottomClause(prob, plan, seed, params)
 	run.EndPhase(obs.PBottom, tb)
+	sb.Annotate(obs.F("literals", len(bottom.Body)), obs.F("vars", bottom.NumVars()))
+	sb.End()
 	run.Inc(obs.CBottomClauses)
 	run.Add(obs.CBottomLiterals, int64(len(bottom.Body)))
 	if params.Minimize && len(bottom.Body) <= reduceCutoff {
@@ -187,6 +198,7 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 	}
 	tbeam := run.StartPhase(obs.PBeam)
 	for iter := 0; ; iter++ {
+		sr := run.StartSpan("beam_round", obs.F("iter", iter), obs.F("beam", len(beam)))
 		best := beam[0]
 		for _, b := range beam {
 			if b.score > best.score {
@@ -204,6 +216,7 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 			}
 		}
 		if len(pool) == 0 {
+			sr.End()
 			break
 		}
 		sample := sampleAtoms(rng, pool, k)
@@ -235,6 +248,7 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 			}
 		}
 		if len(next) == 0 {
+			sr.End()
 			break
 		}
 		// Keep the N best, ties in discovery order for determinism.
@@ -248,6 +262,8 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 				obs.F("iter", iter), obs.F("beam", len(beam)),
 				obs.F("best", beam[0].score), obs.F("literals", len(beam[0].clause.Body)))
 		}
+		sr.Annotate(obs.F("candidates", len(cands)), obs.F("best", beam[0].score))
+		sr.End()
 	}
 	run.EndPhase(obs.PBeam, tbeam)
 	best := beam[0]
@@ -256,11 +272,14 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 			best = b
 		}
 	}
+	sn := run.StartSpan("negative_reduction", obs.F("literals", len(best.clause.Body)))
 	tn := run.StartPhase(obs.PNegReduce)
 	// Reduction only generalizes, so the winner's negative cover seeds the
 	// known-covered shortcut for every re-test inside.
 	reduced := NegativeReduce(tester, plan, best.clause, prob.Neg, best.negCovered)
 	run.EndPhase(obs.PNegReduce, tn)
+	sn.Annotate(obs.F("kept", len(reduced.Body)))
+	sn.End()
 	if params.Minimize && len(reduced.Body) <= reduceCutoff {
 		tm := run.StartPhase(obs.PMinimize)
 		reduced = subsume.ReduceR(run, reduced)

@@ -1,0 +1,97 @@
+package castor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/ilp"
+	"repro/internal/obs"
+	"repro/internal/testfix"
+)
+
+// TestIntrospectionServerDuringLearn polls /progress while a Castor Learn
+// call runs, exercising the live span stack and counter deltas under
+// concurrency (meaningful under -race), then checks the post-run /metrics
+// exposition carries every counter.
+func TestIntrospectionServerDuringLearn(t *testing.T) {
+	reg := obs.NewRegistry()
+	prog := obs.NewProgress(reg)
+	srv := httptest.NewServer(obs.NewHandler(reg, prog))
+	defer srv.Close()
+
+	run := obs.NewRun(nil, reg).WithSpans(prog)
+	w := testfix.NewWorld(8)
+	prob := w.ProblemOriginal()
+	params := ilp.Defaults()
+	params.Obs = run
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := New().Learn(prob, params)
+		done <- err
+	}()
+
+	// Poll /progress until the run finishes; every response must be valid
+	// JSON with consistent span bookkeeping.
+	polls := 0
+	for learning := true; learning; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			learning = false
+		default:
+			resp, err := http.Get(srv.URL + "/progress")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var snap obs.Snapshot
+			if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+				t.Fatalf("mid-run /progress is not valid JSON: %v", err)
+			}
+			resp.Body.Close()
+			if snap.SpansStarted < snap.SpansCompleted {
+				t.Fatalf("started %d < completed %d", snap.SpansStarted, snap.SpansCompleted)
+			}
+			if int64(len(snap.ActiveSpans)) != snap.SpansStarted-snap.SpansCompleted {
+				t.Fatalf("active %d != started %d - completed %d",
+					len(snap.ActiveSpans), snap.SpansStarted, snap.SpansCompleted)
+			}
+			polls++
+		}
+	}
+	if polls == 0 {
+		t.Log("run finished before any poll; span checks below still apply")
+	}
+
+	// After the run: no span may remain open, and some must have run.
+	snap := prog.Snapshot()
+	if len(snap.ActiveSpans) != 0 {
+		t.Errorf("spans still open after Learn: %+v", snap.ActiveSpans)
+	}
+	if snap.SpansCompleted == 0 {
+		t.Error("no spans completed over a full Castor run")
+	}
+
+	// /metrics renders every counter of the registry in exposition format.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{"coverage_tests", "bottom_clauses", "tuples_scanned"} {
+		if !strings.Contains(string(body), fmt.Sprintf("sirl_%s ", name)) {
+			t.Errorf("/metrics missing sirl_%s", name)
+		}
+	}
+	if !strings.Contains(string(body), `sirl_span_calls{span="learn"} 1`) {
+		t.Errorf("/metrics missing the learn span aggregate:\n%s", body)
+	}
+}

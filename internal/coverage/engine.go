@@ -43,9 +43,18 @@ func NewEngine(cover CoverFunc, workers int, cache *Cache, run *obs.Run) *Engine
 // as unset. The result is memoized: a repeat of the same clause (up to
 // variable renaming) over the same example set is answered from cache.
 func (en *Engine) CoveredSet(c *logic.Clause, examples []logic.Atom, known *Bitset) *Bitset {
+	var sp *obs.Span
+	if en.run.Spanning() {
+		sp = en.run.StartSpan("coverage_batch", obs.F("examples", len(examples)))
+	}
 	start := en.run.StartPhase(obs.PCoverage)
-	defer en.run.EndPhase(obs.PCoverage, start)
-	return en.coveredSet(c, examples, known, en.workers)
+	out := en.coveredSet(c, examples, known, en.workers)
+	en.run.EndPhase(obs.PCoverage, start)
+	if sp != nil {
+		sp.Annotate(obs.F("covered", out.Count()))
+		sp.End()
+	}
+	return out
 }
 
 // coveredSet is CoveredSet without the phase timer, with an explicit
@@ -99,9 +108,13 @@ func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				buf[i] = known.Get(i) || en.cover(c, examples[i])
-			}
+			// Label the whole drain loop so CPU profiles attribute worker
+			// time to the coverage phase.
+			obs.WithPhaseLabel("coverage_testing", func() {
+				for i := range next {
+					buf[i] = known.Get(i) || en.cover(c, examples[i])
+				}
+			})
 		}()
 	}
 	for i := range examples {
@@ -137,6 +150,11 @@ type Score struct {
 // bound, because negative cover only grows as the scan proceeds. Complete
 // results are memoized; pruned ones are not.
 func (en *Engine) ScoreBatch(cands []Candidate, pos, neg []logic.Atom, bound int) []Score {
+	var sp *obs.Span
+	if en.run.Spanning() {
+		sp = en.run.StartSpan("score_batch", obs.F("candidates", len(cands)))
+	}
+	defer sp.End()
 	start := en.run.StartPhase(obs.PCoverage)
 	defer en.run.EndPhase(obs.PCoverage, start)
 	out := make([]Score, len(cands))
@@ -165,9 +183,11 @@ func (en *Engine) ScoreBatch(cands []Candidate, pos, neg []logic.Atom, bound int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				out[i] = en.scoreOne(cands[i], pos, neg, bound, inner)
-			}
+			obs.WithPhaseLabel("candidate_scoring", func() {
+				for i := range next {
+					out[i] = en.scoreOne(cands[i], pos, neg, bound, inner)
+				}
+			})
 		}()
 	}
 	for i := range cands {

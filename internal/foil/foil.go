@@ -49,7 +49,16 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 	learn := func(uncovered []logic.Atom) (*logic.Clause, error) {
 		return l.learnClause(prob, params, tester, gen, uncovered)
 	}
-	return ilp.Cover(prob, params, tester, learn)
+	run := params.Obs
+	sp := run.StartSpan("learn",
+		obs.F("learner", "foil"), obs.F("target", prob.Target.Name),
+		obs.F("pos", len(prob.Pos)), obs.F("neg", len(prob.Neg)))
+	def, err := ilp.Cover(prob, params, tester, learn)
+	if def != nil {
+		sp.Annotate(obs.F("clauses", def.Len()))
+	}
+	sp.End()
+	return def, err
 }
 
 // learnClause grows one clause greedily by gain.
@@ -71,10 +80,12 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	// consecutive zero-gain, variable-introducing additions.
 	const maxZeroGainRun = 2
 	zeroRun := 0
-	for n > 0 {
+	for round := 0; n > 0; round++ {
 		if params.ClauseLength > 0 && clause.Len() >= params.ClauseLength {
 			break
 		}
+		// Each greedy literal addition is FOIL's analogue of a beam round.
+		sr := run.StartSpan("beam_round", obs.F("iter", round), obs.F("literals", clause.Len()))
 		cands := gen.candidates(varDomains, nextVar)
 		run.Add(obs.CCandidateLiterals, int64(len(cands)))
 		// FOIL's branching factor is the schema's literal space, so this is
@@ -113,6 +124,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		}
 		if best == nil {
 			if fallback == nil || zeroRun >= maxZeroGainRun {
+				sr.End()
 				break
 			}
 			best = fallback
@@ -131,6 +143,8 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		}
 		nextVar += len(best.newVars)
 		p, n = best.p, best.n
+		sr.Annotate(obs.F("candidates", len(cands)), obs.F("pos", p), obs.F("neg", n))
+		sr.End()
 	}
 	if n > 0 && !ilp.AcceptClause(params, p, n) {
 		// The greedy clause still covers too many negatives and fails the

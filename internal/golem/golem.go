@@ -43,7 +43,16 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 	learn := func(uncovered []logic.Atom) (*logic.Clause, error) {
 		return l.learnClause(prob, params, tester, rng, uncovered), nil
 	}
-	return ilp.Cover(prob, params, tester, learn)
+	run := params.Obs
+	sp := run.StartSpan("learn",
+		obs.F("learner", "golem"), obs.F("target", prob.Target.Name),
+		obs.F("pos", len(prob.Pos)), obs.F("neg", len(prob.Neg)))
+	def, err := ilp.Cover(prob, params, tester, learn)
+	if def != nil {
+		sp.Annotate(obs.F("clauses", def.Len()))
+	}
+	sp.End()
+	return def, err
 }
 
 // learnClause is Algorithm 2: rlggs of sampled example pairs, then greedy
@@ -59,9 +68,12 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		return nil
 	}
 	saturate := func(e logic.Atom) *logic.Clause {
+		sb := run.StartSpan("bottom_clause", obs.F("seed", e.String()))
 		tb := run.StartPhase(obs.PBottom)
 		sat := ilp.Saturation(prob, e, params.Depth, params.MaxRecall)
 		run.EndPhase(obs.PBottom, tb)
+		sb.Annotate(obs.F("literals", len(sat.Body)))
+		sb.End()
 		run.Inc(obs.CBottomClauses)
 		run.Add(obs.CBottomLiterals, int64(len(sat.Body)))
 		return sat
@@ -74,6 +86,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	}
 	var best *cand
 	tbeam := run.StartPhase(obs.PBeam)
+	sg := run.StartSpan("rlgg_generation", obs.F("sample", len(sample)))
 	// Pairwise rlggs are independent: generate them serially (the
 	// saturations are shared across pairs), then score the whole batch
 	// concurrently. No bound here — AcceptClause needs exact counts while
@@ -102,6 +115,8 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			best = &cand{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc}
 		}
 	}
+	sg.Annotate(obs.F("rlggs", len(pairs)))
+	sg.End()
 	if best == nil {
 		run.EndPhase(obs.PBeam, tbeam)
 		return nil
@@ -112,6 +127,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	// abandoned candidate cannot improve the score, so it cannot win —
 	// though it must still pass AcceptClause when it does beat the bound.
 	remaining := exclude(uncovered, sample)
+	se := run.StartSpan("greedy_extension")
 	for _, e := range sampleAtoms(rng, remaining, k) {
 		g := RLGG(best.clause, saturate(e))
 		if g == nil {
@@ -127,6 +143,8 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			best = &cand{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc}
 		}
 	}
+	se.Annotate(obs.F("score", best.score))
+	se.End()
 	run.EndPhase(obs.PBeam, tbeam)
 	if run.Tracing() {
 		run.Emit("golem.clause",

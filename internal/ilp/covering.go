@@ -29,11 +29,15 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 			run.Emit("covering.iteration",
 				obs.F("clauses", def.Len()), obs.F("uncovered", len(uncovered)))
 		}
+		sp := run.StartSpan("covering_iteration",
+			obs.F("clauses", def.Len()), obs.F("uncovered", len(uncovered)))
 		c, err := learn(uncovered)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		if c == nil {
+			sp.End()
 			break
 		}
 		// These re-tests repeat the evaluation the learner just did on the
@@ -48,6 +52,8 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 				run.Emit("covering.rejected",
 					obs.F("clause", c.String()), obs.F("pos", p), obs.F("neg", n))
 			}
+			sp.Annotate(obs.F("accepted", false))
+			sp.End()
 			break
 		}
 		run.Inc(obs.CClausesAccepted)
@@ -56,6 +62,9 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 				obs.F("clause", c.String()), obs.F("pos", p), obs.F("neg", n),
 				obs.F("literals", len(c.Body)))
 		}
+		sp.Annotate(obs.F("accepted", true), obs.F("pos", p), obs.F("neg", n),
+			obs.F("literals", len(c.Body)))
+		sp.End()
 		def.Add(c)
 		rest := uncovered[:0]
 		for i, e := range uncovered {

@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+// TestNilRunFastPathAllocs pins the contract the learner hot paths rely
+// on: with observability off (nil *Run), every instrumentation call is a
+// pointer test and nothing else — zero allocations. Call sites that pass
+// fields guard them behind Tracing()/Spanning(), so the no-field forms
+// below are the ones that run uninstrumented.
+func TestNilRunFastPathAllocs(t *testing.T) {
+	var r *Run
+	cases := map[string]func(){
+		"Emit":     func() { r.Emit("covering.accepted") },
+		"Inc":      func() { r.Inc(CCoverageTests) },
+		"Add":      func() { r.Add(CTuplesScanned, 42) },
+		"Phase":    func() { r.EndPhase(PCoverage, r.StartPhase(PCoverage)) },
+		"Span":     func() { r.StartSpan("learn").End() },
+		"Annotate": func() { r.StartSpan("learn").Annotate() },
+		"Tracing":  func() { _ = r.Tracing() },
+		"Spanning": func() { _ = r.Spanning() },
+		"Registry": func() { _ = r.Registry() },
+	}
+	for name, f := range cases {
+		if allocs := testing.AllocsPerRun(1000, f); allocs != 0 {
+			t.Errorf("%s on nil run: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}

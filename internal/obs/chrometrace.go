@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ChromeTraceSink writes spans (and, when also registered as a Tracer,
+// instant events) in the Chrome trace-event JSON format, loadable by
+// Perfetto (ui.perfetto.dev) and chrome://tracing — the -chrometrace
+// flag. Spans become complete ("ph":"X") slices with their fields as
+// args; trace events become instants ("ph":"i"). All slices share one
+// pid/tid track: learners start and end spans on the learning goroutine,
+// so slices nest by time exactly as the span tree nests.
+type ChromeTraceSink struct {
+	mu   sync.Mutex
+	w    *bufio.Writer
+	c    io.Closer // non-nil when the sink owns the file
+	base time.Time // ts origin; Chrome wants microseconds from an epoch
+	n    int       // events written, for comma placement
+	err  error     // first write error, sticky
+	done bool
+}
+
+// NewChromeTraceSink wraps a writer. Call Close before reading what was
+// written: the JSON envelope is only complete then.
+func NewChromeTraceSink(w io.Writer) *ChromeTraceSink {
+	s := &ChromeTraceSink{w: bufio.NewWriter(w), base: time.Now()}
+	s.write([]byte(`{"displayTimeUnit":"ms","traceEvents":[`))
+	return s
+}
+
+// CreateChromeTraceFile creates (truncating) a trace file and returns a
+// sink that owns it; Close completes the JSON and closes the file.
+func CreateChromeTraceFile(path string) (*ChromeTraceSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s := NewChromeTraceSink(f)
+	s.c = f
+	return s, nil
+}
+
+// write appends raw bytes, latching the first error.
+func (s *ChromeTraceSink) write(b []byte) {
+	if _, err := s.w.Write(b); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// event emits one trace-event object. fields become the args payload.
+func (s *ChromeTraceSink) event(name, ph string, ts time.Time, dur time.Duration, id uint64, fields []Field) {
+	buf := make([]byte, 0, 160)
+	buf = append(buf, `{"name":`...)
+	buf = appendJSONValue(buf, name)
+	buf = append(buf, `,"ph":"`...)
+	buf = append(buf, ph...)
+	buf = append(buf, `","ts":`...)
+	buf = strconv.AppendInt(buf, ts.Sub(s.base).Microseconds(), 10)
+	if ph == "X" {
+		buf = append(buf, `,"dur":`...)
+		buf = strconv.AppendInt(buf, dur.Microseconds(), 10)
+	}
+	if ph == "i" {
+		buf = append(buf, `,"s":"t"`...)
+	}
+	buf = append(buf, `,"pid":1,"tid":1`...)
+	if id != 0 || len(fields) > 0 {
+		buf = append(buf, `,"args":{`...)
+		if id != 0 {
+			buf = append(buf, `"span_id":`...)
+			buf = strconv.AppendUint(buf, id, 10)
+		}
+		for i, f := range fields {
+			if id != 0 || i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONValue(buf, f.Key)
+			buf = append(buf, ':')
+			buf = appendJSONValue(buf, f.Value)
+		}
+		buf = append(buf, '}')
+	}
+	buf = append(buf, '}')
+
+	s.mu.Lock()
+	if !s.done {
+		if s.n > 0 {
+			s.write([]byte{','})
+		}
+		s.n++
+		s.write(buf)
+	}
+	s.mu.Unlock()
+}
+
+// SpanStart implements SpanSink; the slice is written whole at SpanEnd,
+// so starts need no output.
+func (s *ChromeTraceSink) SpanStart(*Span) {}
+
+// SpanEnd implements SpanSink: one complete slice per finished span.
+func (s *ChromeTraceSink) SpanEnd(sp *Span, d time.Duration) {
+	s.event(sp.Name, "X", sp.Start, d, sp.ID, sp.Fields)
+}
+
+// Emit implements Tracer: flat trace events render as instant markers on
+// the same track, so covering.accepted and friends line up with the span
+// slices around them.
+func (s *ChromeTraceSink) Emit(e Event) {
+	s.event(e.Name, "i", e.Time, 0, 0, e.Fields)
+}
+
+// Close completes the JSON envelope, flushes and, when the sink owns its
+// file, closes it. The first write error wins.
+func (s *ChromeTraceSink) Close() error {
+	s.mu.Lock()
+	if !s.done {
+		s.done = true
+		s.write([]byte("]}\n"))
+		if err := s.w.Flush(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	err := s.err
+	s.mu.Unlock()
+	if s.c != nil {
+		if cerr := s.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.c = nil
+	}
+	return err
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewHandler builds the introspection mux the -http flag serves:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/progress       JSON snapshot of live spans + counter deltas
+//	/debug/pprof/*  the standard pprof handlers
+//
+// Either argument may be nil; the corresponding endpoint then reports an
+// empty state rather than disappearing, so scrapers see a stable surface.
+func NewHandler(reg *Registry, prog *Progress) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "sirl introspection server")
+		fmt.Fprintln(w, "  /metrics       Prometheus counters, phase and span timings")
+		fmt.Fprintln(w, "  /progress      live span stack and counter deltas (JSON)")
+		fmt.Fprintln(w, "  /debug/pprof/  CPU, heap, goroutine profiles")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", metricsContentType)
+		var rep Report
+		if reg != nil {
+			rep = reg.Snapshot()
+		}
+		rep.WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if prog == nil {
+			enc.Encode(Snapshot{}) //nolint:errcheck // best-effort HTTP response
+			return
+		}
+		enc.Encode(prog.Snapshot()) //nolint:errcheck
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running introspection server.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (e.g. ":6060", "localhost:0") and serves the
+// introspection handler in a background goroutine until Close.
+func StartServer(addr string, reg *Registry, prog *Progress) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{l: l, srv: &http.Server{Handler: NewHandler(reg, prog)}}
+	go s.srv.Serve(l) //nolint:errcheck // always returns ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound address, useful when addr requested port 0.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsEndpointRendersEveryCounter(t *testing.T) {
+	reg := NewRegistry()
+	reg.counters[CCoverageTests].Store(7)
+	run := NewRun(nil, reg)
+	run.EndPhase(PCoverage, run.StartPhase(PCoverage))
+	run.StartSpan("learn").End()
+
+	srv := httptest.NewServer(NewHandler(reg, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != metricsContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, metricsContentType)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	text := string(body)
+	for c := Counter(0); c < numCounters; c++ {
+		want := fmt.Sprintf("sirl_%s ", c)
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing counter %q", c)
+		}
+	}
+	if !strings.Contains(text, "sirl_coverage_tests 7") {
+		t.Error("/metrics does not carry the counter value")
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		if !strings.Contains(text, fmt.Sprintf("sirl_phase_seconds{phase=%q}", p.String())) {
+			t.Errorf("/metrics missing phase %q", p)
+		}
+	}
+	if !strings.Contains(text, `sirl_span_calls{span="learn"} 1`) {
+		t.Error("/metrics missing the span aggregate family")
+	}
+}
+
+func TestProgressEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	prog := NewProgress(reg)
+	run := NewRun(nil, reg).WithSpans(prog)
+
+	root := run.StartSpan("learn", F("learner", "castor"))
+	child := run.StartSpan("beam_round")
+	run.Inc(CCoverageTests)
+
+	srv := httptest.NewServer(NewHandler(reg, prog))
+	defer srv.Close()
+	get := func() Snapshot {
+		resp, err := http.Get(srv.URL + "/progress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q, want application/json", ct)
+		}
+		var snap Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatalf("/progress is not valid JSON: %v", err)
+		}
+		return snap
+	}
+
+	snap := get()
+	if len(snap.ActiveSpans) != 2 {
+		t.Fatalf("active spans = %d, want 2", len(snap.ActiveSpans))
+	}
+	if snap.ActiveSpans[0].Name != "learn" || snap.ActiveSpans[1].Name != "beam_round" {
+		t.Errorf("active spans = %+v, want learn then beam_round", snap.ActiveSpans)
+	}
+	if snap.ActiveSpans[1].Parent != snap.ActiveSpans[0].ID {
+		t.Error("child span does not reference its parent")
+	}
+	if snap.ActiveSpans[0].Fields["learner"] != "castor" {
+		t.Errorf("span fields = %v", snap.ActiveSpans[0].Fields)
+	}
+	if snap.SpansStarted != 2 || snap.SpansCompleted != 0 {
+		t.Errorf("started/completed = %d/%d, want 2/0", snap.SpansStarted, snap.SpansCompleted)
+	}
+	if snap.Counters["coverage_tests"] != 1 || snap.CounterDeltas["coverage_tests"] != 1 {
+		t.Errorf("counters = %v deltas = %v", snap.Counters, snap.CounterDeltas)
+	}
+
+	child.End()
+	root.End()
+	run.Inc(CCoverageTests)
+	snap = get()
+	if len(snap.ActiveSpans) != 0 {
+		t.Errorf("active spans after End = %d, want 0", len(snap.ActiveSpans))
+	}
+	if snap.SpansCompleted != 2 {
+		t.Errorf("completed = %d, want 2", snap.SpansCompleted)
+	}
+	// The delta baseline advanced with the previous snapshot.
+	if snap.CounterDeltas["coverage_tests"] != 1 {
+		t.Errorf("second delta = %d, want 1", snap.CounterDeltas["coverage_tests"])
+	}
+}
+
+func TestProgressElapsedSeconds(t *testing.T) {
+	prog := NewProgress(nil)
+	run := (*Run)(nil).WithSpans(prog)
+	s := run.StartSpan("learn")
+	time.Sleep(2 * time.Millisecond)
+	snap := prog.Snapshot()
+	s.End()
+	if len(snap.ActiveSpans) != 1 || snap.ActiveSpans[0].ElapsedSeconds <= 0 {
+		t.Errorf("snapshot = %+v, want one active span with positive elapsed", snap.ActiveSpans)
+	}
+}
+
+func TestHandlerIndexAndPprof(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), NewProgress(nil)))
+	defer srv.Close()
+	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /nope = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil, nil))
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/progress"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d, want 200 (body %q)", path, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestStartServer(t *testing.T) {
+	srv, err := StartServer("localhost:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d, want 200", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -5,16 +5,55 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
 
 // Registry is the counter/timer store of one run. All operations are
-// atomic; a registry may be shared by the coverage worker pool.
+// atomic; a registry may be shared by the coverage worker pool. Span
+// aggregates (per-name wall time and call counts) are the one open-ended
+// table and take a mutex — spans end orders of magnitude less often than
+// counters increment.
 type Registry struct {
 	counters   [numCounters]atomic.Int64
 	phaseNS    [numPhases]atomic.Int64
 	phaseCalls [numPhases]atomic.Int64
+
+	spanMu sync.Mutex
+	spans  map[string]*spanTotals
+}
+
+// spanTotals accumulates one span kind.
+type spanTotals struct {
+	ns    int64
+	calls int64
+}
+
+// addSpan folds one finished span into the per-kind aggregates.
+func (g *Registry) addSpan(name string, d time.Duration) {
+	g.spanMu.Lock()
+	if g.spans == nil {
+		g.spans = make(map[string]*spanTotals)
+	}
+	t := g.spans[name]
+	if t == nil {
+		t = &spanTotals{}
+		g.spans[name] = t
+	}
+	t.ns += int64(d)
+	t.calls++
+	g.spanMu.Unlock()
+}
+
+// SpanTime returns the accumulated wall time of the span kind.
+func (g *Registry) SpanTime(name string) time.Duration {
+	g.spanMu.Lock()
+	defer g.spanMu.Unlock()
+	if t := g.spans[name]; t != nil {
+		return time.Duration(t.ns)
+	}
+	return 0
 }
 
 // NewRegistry returns an empty registry.
@@ -36,7 +75,7 @@ func (g *Registry) PhaseTime(p Phase) time.Duration {
 	return time.Duration(g.phaseNS[p].Load())
 }
 
-// Reset zeroes every counter and timer.
+// Reset zeroes every counter, timer and span aggregate.
 func (g *Registry) Reset() {
 	for i := range g.counters {
 		g.counters[i].Store(0)
@@ -45,6 +84,9 @@ func (g *Registry) Reset() {
 		g.phaseNS[i].Store(0)
 		g.phaseCalls[i].Store(0)
 	}
+	g.spanMu.Lock()
+	g.spans = nil
+	g.spanMu.Unlock()
 }
 
 // PhaseStat is the report entry of one timed phase.
@@ -57,10 +99,12 @@ type PhaseStat struct {
 
 // Report is a point-in-time snapshot of a registry, the JSON shape the
 // -metrics flag writes. Every known counter and phase is present, zero or
-// not, so consumers see a stable schema.
+// not, so consumers see a stable schema; spans hold whichever kinds the
+// run produced.
 type Report struct {
 	Counters map[string]int64     `json:"counters"`
 	Phases   map[string]PhaseStat `json:"phases"`
+	Spans    map[string]PhaseStat `json:"spans,omitempty"`
 }
 
 // Snapshot captures the registry's current state.
@@ -78,6 +122,14 @@ func (g *Registry) Snapshot() Report {
 			Calls:   g.phaseCalls[p].Load(),
 		}
 	}
+	g.spanMu.Lock()
+	if len(g.spans) > 0 {
+		r.Spans = make(map[string]PhaseStat, len(g.spans))
+		for name, t := range g.spans {
+			r.Spans[name] = PhaseStat{Seconds: time.Duration(t.ns).Seconds(), Calls: t.calls}
+		}
+	}
+	g.spanMu.Unlock()
 	return r
 }
 
@@ -105,6 +157,21 @@ func (r Report) WriteSummary(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-28s %12.3f %10d\n", n, s.Seconds, s.Calls)
 	}
+	if len(r.Spans) > 0 {
+		fmt.Fprintf(w, "%-28s %12s %10s\n", "span", "seconds", "calls")
+		names = names[:0]
+		for n := range r.Spans {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s := r.Spans[n]
+			if s.Calls == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-28s %12.3f %10d\n", n, s.Seconds, s.Calls)
+		}
+	}
 	fmt.Fprintf(w, "%-28s %12s\n", "counter", "value")
 	names = names[:0]
 	for n := range r.Counters {
@@ -117,3 +184,61 @@ func (r Report) WriteSummary(w io.Writer) {
 		}
 	}
 }
+
+// WritePrometheus renders the report in the Prometheus text exposition
+// format the /metrics endpoint serves: every counter as sirl_<name>, the
+// phase and span tables as sirl_phase_* / sirl_span_* families with a
+// name label. Rows are sorted for stable scrapes.
+func (r Report) WritePrometheus(w io.Writer) {
+	names := make([]string, 0, len(r.Counters))
+	for n := range r.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "# TYPE sirl_%s counter\nsirl_%s %d\n", n, n, r.Counters[n])
+	}
+	writeLabeled := func(family, label string, stats map[string]PhaseStat) {
+		if len(stats) == 0 {
+			return
+		}
+		names = names[:0]
+		for n := range stats {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "# TYPE %s_seconds counter\n", family)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s_seconds{%s=%q} %g\n", family, label, n, stats[n].Seconds)
+		}
+		fmt.Fprintf(w, "# TYPE %s_calls counter\n", family)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s_calls{%s=%q} %d\n", family, label, n, stats[n].Calls)
+		}
+	}
+	writeLabeled("sirl_phase", "phase", r.Phases)
+	writeLabeled("sirl_span", "span", r.Spans)
+}
+
+// FlatMetrics flattens the report into one name → value table — the
+// namespace cmd/obsreport diffs and gates on: counters keep their names,
+// phases become <phase>_seconds/<phase>_calls, spans span_<name>_seconds/
+// span_<name>_calls.
+func (r Report) FlatMetrics() map[string]float64 {
+	out := make(map[string]float64, len(r.Counters)+2*len(r.Phases)+2*len(r.Spans))
+	for n, v := range r.Counters {
+		out[n] = float64(v)
+	}
+	for n, s := range r.Phases {
+		out[n+"_seconds"] = s.Seconds
+		out[n+"_calls"] = float64(s.Calls)
+	}
+	for n, s := range r.Spans {
+		out["span_"+n+"_seconds"] = s.Seconds
+		out["span_"+n+"_calls"] = float64(s.Calls)
+	}
+	return out
+}
+
+// metricsContentType is the exposition-format content type of /metrics.
+const metricsContentType = "text/plain; version=0.0.4; charset=utf-8"

@@ -1,7 +1,10 @@
 // Package obs is the instrumentation layer of the repository: structured
-// trace events, atomic counters and per-phase wall-clock timers for the
-// learning pipeline (bottom-clause construction, beam search, coverage
-// testing, negative reduction, minimization).
+// trace events, atomic counters, per-phase wall-clock timers and nested
+// spans for the learning pipeline (bottom-clause construction, beam
+// search, coverage testing, negative reduction, minimization), plus the
+// exporters that make them operable — a Chrome-trace (Perfetto) span
+// exporter, a Prometheus/-progress introspection HTTP server, and a
+// machine-diffable run report.
 //
 // The paper's performance claims (§7.5) — parallel coverage testing
 // (§7.5.3), the coverage cache (§7.5.4), stored-procedure plans (§7.5.2),
@@ -17,6 +20,7 @@
 package obs
 
 import (
+	"sync"
 	"time"
 )
 
@@ -189,11 +193,16 @@ type Tracer interface {
 	Emit(Event)
 }
 
-// Run bundles the tracer and registry one learning run reports into. The
-// zero value and nil are valid and mean "observe nothing".
+// Run bundles the tracer, registry and span sink one learning run reports
+// into. The zero value and nil are valid and mean "observe nothing".
 type Run struct {
 	tracer Tracer
 	reg    *Registry
+	spans  SpanSink
+
+	// spanMu guards cur, the innermost open span (see span.go).
+	spanMu sync.Mutex
+	cur    *Span
 }
 
 // NewRun pairs a tracer with a registry; either may be nil.

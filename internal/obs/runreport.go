@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"time"
+)
+
+// RunReport is the machine-diffable record one run writes with -report:
+// what ran (tool, dataset, learner, parameters), how long it took, every
+// counter and timer the registry accumulated, and what came out (learned
+// definition size and quality). cmd/obsreport diffs two of these and gates
+// on regressions.
+type RunReport struct {
+	// Tool is the producing binary ("castor", "experiments").
+	Tool string `json:"tool"`
+	// When is the report's creation time.
+	When time.Time `json:"when"`
+	// Dataset, Variant and Target identify the learning problem; Learner
+	// names the algorithm. Any may be empty when not applicable.
+	Dataset string `json:"dataset,omitempty"`
+	Variant string `json:"variant,omitempty"`
+	Learner string `json:"learner,omitempty"`
+	Target  string `json:"target,omitempty"`
+	// Params are the learner parameters the run used, as flat name→value
+	// pairs (clause length, beam width, sample size, worker count, …).
+	Params map[string]any `json:"params,omitempty"`
+	// ElapsedSeconds is the end-to-end wall time of the run.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Metrics is the registry snapshot: counters, phases, span aggregates.
+	Metrics Report `json:"metrics"`
+	// Definition summarizes the learned theory, when the tool learned one.
+	Definition *DefinitionStats `json:"definition,omitempty"`
+}
+
+// DefinitionStats summarizes a learned definition and its evaluation.
+type DefinitionStats struct {
+	Clauses   int     `json:"clauses"`
+	Literals  int     `json:"literals"`
+	TP        int     `json:"tp"`
+	FP        int     `json:"fp"`
+	FN        int     `json:"fn"`
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *RunReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the report to path, creating or truncating it.
+func (r *RunReport) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadRunReport reads a report written by WriteJSON.
+func LoadRunReport(path string) (*RunReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunReport
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// MetricDelta is one row of a report diff.
+type MetricDelta struct {
+	Name string
+	Old  float64
+	New  float64
+	// Ratio is New/Old; +Inf when Old is zero and New is not, 1 when both
+	// are zero.
+	Ratio float64
+}
+
+// DiffRunReports flattens both reports' metrics (see Report.FlatMetrics),
+// adds elapsed_seconds and the definition stats when present, and returns
+// one delta per metric name appearing in either, sorted by name.
+func DiffRunReports(old, new *RunReport) []MetricDelta {
+	om := flatten(old)
+	nm := flatten(new)
+	names := make(map[string]struct{}, len(om)+len(nm))
+	for n := range om {
+		names[n] = struct{}{}
+	}
+	for n := range nm {
+		names[n] = struct{}{}
+	}
+	out := make([]MetricDelta, 0, len(names))
+	for n := range names {
+		d := MetricDelta{Name: n, Old: om[n], New: nm[n]}
+		switch {
+		case d.Old != 0:
+			d.Ratio = d.New / d.Old
+		case d.New != 0:
+			d.Ratio = math.Inf(1)
+		default:
+			d.Ratio = 1
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// flatten merges a report's metric namespaces into one table.
+func flatten(r *RunReport) map[string]float64 {
+	out := r.Metrics.FlatMetrics()
+	out["elapsed_seconds"] = r.ElapsedSeconds
+	if d := r.Definition; d != nil {
+		out["definition_clauses"] = float64(d.Clauses)
+		out["definition_literals"] = float64(d.Literals)
+		out["definition_tp"] = float64(d.TP)
+		out["definition_fp"] = float64(d.FP)
+		out["definition_fn"] = float64(d.FN)
+		out["definition_precision"] = d.Precision
+		out["definition_recall"] = d.Recall
+		out["definition_f1"] = d.F1
+	}
+	return out
+}

@@ -18,9 +18,10 @@ import (
 //
 // with the event's fields flattened into the object in emission order.
 type JSONLSink struct {
-	mu sync.Mutex
-	w  *bufio.Writer
-	c  io.Closer // non-nil when the sink owns the file
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // non-nil when the sink owns the file
+	err error     // first write error, sticky; reported by Flush/Close
 }
 
 // NewJSONLSink wraps a writer. Call Close (or Flush) before reading what
@@ -57,7 +58,9 @@ func (s *JSONLSink) Emit(e Event) {
 	}
 	buf = append(buf, '}', '\n')
 	s.mu.Lock()
-	s.w.Write(buf)
+	if _, err := s.w.Write(buf); err != nil && s.err == nil {
+		s.err = err // Emit cannot return it; surface the first one at Flush/Close
+	}
 	s.mu.Unlock()
 }
 
@@ -77,22 +80,29 @@ func stringify(v any) string {
 	return "unrepresentable"
 }
 
-// Flush forces buffered events out.
+// Flush forces buffered events out. It returns the first error any Emit
+// hit, so a run that traced into a full disk fails loudly instead of
+// silently writing a truncated trace.
 func (s *JSONLSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.w.Flush()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
 }
 
-// Close flushes and, when the sink owns its file, closes it.
+// Close flushes and, when the sink owns its file, closes it (even when a
+// write already failed). The first error wins.
 func (s *JSONLSink) Close() error {
-	if err := s.Flush(); err != nil {
-		return err
-	}
+	err := s.Flush()
 	if s.c != nil {
-		return s.c.Close()
+		if cerr := s.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		s.c = nil
 	}
-	return nil
+	return err
 }
 
 // SlogSink forwards events to a log/slog logger at Info level — the

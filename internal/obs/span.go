@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Spans are the structured counterpart of flat trace events: a named,
+// timed region of the learning pipeline with a parent, so a run becomes a
+// tree — one span per Learn call, per covering-loop iteration, per bottom
+// clause, per beam round, per coverage batch, per reduction. Exporters
+// (the Chrome-trace sink, the live progress tracker) consume spans through
+// SpanSink; the Registry aggregates wall time and call counts per span
+// name for the run report.
+//
+// Parentage is implicit: StartSpan parents the new span under the
+// innermost span still open on the run. Learners start and end their
+// spans on the learning goroutine (coverage *workers* are below span
+// granularity), so the implicit stack reconstructs the call tree exactly;
+// the stack itself is mutex-guarded, so concurrent misuse degrades
+// parentage, never memory safety.
+
+// spanIDs issues process-unique span IDs, so spans from several runs (the
+// experiments binary learns many times) never collide in one export.
+var spanIDs atomic.Uint64
+
+// Span is one open (or finished) region of a run. A nil *Span is the nop
+// default returned by StartSpan on an unobserved run: End and Annotate on
+// nil return immediately, so call sites need no guards.
+type Span struct {
+	run    *Run
+	parent *Span
+
+	// ID is unique per process; ParentID is 0 for root spans.
+	ID       uint64
+	ParentID uint64
+	// Name is the span kind ("learn", "beam_round", …); aggregation and
+	// export group by it.
+	Name string
+	// Start is the wall-clock start time.
+	Start time.Time
+	// Fields are the span's annotations, in emission order.
+	Fields []Field
+}
+
+// SpanSink consumes span lifecycle notifications. SpanStart runs before
+// the span's region executes and SpanEnd after it, both on the goroutine
+// that owns the span; implementations must be safe for use from multiple
+// goroutines (several runs may share one sink).
+type SpanSink interface {
+	SpanStart(s *Span)
+	SpanEnd(s *Span, d time.Duration)
+}
+
+// Spanning reports whether StartSpan would record anything. Hot loops can
+// guard expensive field construction with it, like Tracing for Emit.
+func (r *Run) Spanning() bool {
+	return r != nil && (r.reg != nil || r.spans != nil)
+}
+
+// WithSpans returns a run that additionally records spans into sink. The
+// receiver is not modified; a nil sink returns the receiver unchanged,
+// and a nil receiver with a live sink returns a span-only run, so flag
+// wiring stays unconditional.
+func (r *Run) WithSpans(sink SpanSink) *Run {
+	if sink == nil {
+		return r
+	}
+	if r == nil {
+		return &Run{spans: sink}
+	}
+	return &Run{tracer: r.tracer, reg: r.reg, spans: sink}
+}
+
+// StartSpan opens a span named name under the innermost open span of the
+// run. It returns nil — and does nothing — when the run observes nothing,
+// so uninstrumented paths pay one pointer test.
+func (r *Run) StartSpan(name string, fields ...Field) *Span {
+	if r == nil || (r.reg == nil && r.spans == nil) {
+		return nil
+	}
+	s := &Span{run: r, ID: spanIDs.Add(1), Name: name, Start: time.Now(), Fields: fields}
+	r.spanMu.Lock()
+	if r.cur != nil {
+		s.parent = r.cur
+		s.ParentID = r.cur.ID
+	}
+	r.cur = s
+	r.spanMu.Unlock()
+	if r.spans != nil {
+		r.spans.SpanStart(s)
+	}
+	return s
+}
+
+// Annotate appends fields to the span (results known only at the end of
+// the region: literals produced, candidates kept). Nil-safe.
+func (s *Span) Annotate(fields ...Field) {
+	if s == nil {
+		return
+	}
+	s.Fields = append(s.Fields, fields...)
+}
+
+// End closes the span: the run's current span reverts to the parent, the
+// registry accumulates the duration under the span's name, and sinks see
+// SpanEnd. Nil-safe; ending a span twice double-counts, ending out of
+// order only degrades parentage of later spans.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.Start)
+	r := s.run
+	r.spanMu.Lock()
+	if r.cur == s {
+		r.cur = s.parent
+	}
+	r.spanMu.Unlock()
+	if r.reg != nil {
+		r.reg.addSpan(s.Name, d)
+	}
+	if r.spans != nil {
+		r.spans.SpanEnd(s, d)
+	}
+}
+
+// multiSpanSink fans span notifications out to several sinks.
+type multiSpanSink []SpanSink
+
+func (m multiSpanSink) SpanStart(s *Span) {
+	for _, k := range m {
+		k.SpanStart(s)
+	}
+}
+
+func (m multiSpanSink) SpanEnd(s *Span, d time.Duration) {
+	for _, k := range m {
+		k.SpanEnd(s, d)
+	}
+}
+
+// MultiSpanSink combines span sinks, ignoring nils; nil when nothing
+// remains, so WithSpans stays a no-op for unobserved runs.
+func MultiSpanSink(sinks ...SpanSink) SpanSink {
+	var out multiSpanSink
+	for _, k := range sinks {
+		if k != nil {
+			out = append(out, k)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// WithPhaseLabel runs f with the pprof label sirl_phase=phase attached to
+// the goroutine, so CPU profiles slice worker time by pipeline stage
+// (worker goroutines otherwise all stack below the pool plumbing).
+// Intended to wrap a worker's whole drain loop, not individual items.
+func WithPhaseLabel(phase string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("sirl_phase", phase), func(context.Context) { f() })
+}

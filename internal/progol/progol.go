@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/ilp"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Learner is the Aleph-style saturate-then-search algorithm.
@@ -61,7 +62,16 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 	learn := func(uncovered []logic.Atom) (*logic.Clause, error) {
 		return l.learnClause(prob, params, tester, uncovered), nil
 	}
-	return ilp.Cover(prob, params, tester, learn)
+	run := params.Obs
+	sp := run.StartSpan("learn",
+		obs.F("learner", l.name), obs.F("target", prob.Target.Name),
+		obs.F("pos", len(prob.Pos)), obs.F("neg", len(prob.Neg)))
+	def, err := ilp.Cover(prob, params, tester, learn)
+	if def != nil {
+		sp.Annotate(obs.F("clauses", def.Len()))
+	}
+	sp.End()
+	return def, err
 }
 
 // state is one node of the search: a subset of bottom-clause literal

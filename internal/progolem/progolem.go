@@ -38,16 +38,28 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 	learn := func(uncovered []logic.Atom) (*logic.Clause, error) {
 		return l.learnClause(prob, params, tester, rng, uncovered), nil
 	}
-	return ilp.Cover(prob, params, tester, learn)
+	run := params.Obs
+	sp := run.StartSpan("learn",
+		obs.F("learner", "progolem"), obs.F("target", prob.Target.Name),
+		obs.F("pos", len(prob.Pos)), obs.F("neg", len(prob.Neg)))
+	def, err := ilp.Cover(prob, params, tester, learn)
+	if def != nil {
+		sp.Annotate(obs.F("clauses", def.Len()))
+	}
+	sp.End()
+	return def, err
 }
 
 // learnClause runs the beam search over ARMGs of the seed's bottom clause.
 func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, uncovered []logic.Atom) *logic.Clause {
 	run := params.Obs
 	seed := uncovered[0]
+	sb := run.StartSpan("bottom_clause", obs.F("seed", seed.String()))
 	tb := run.StartPhase(obs.PBottom)
 	bottom := ilp.BottomClause(prob, seed, params.Depth, params.MaxRecall)
 	run.EndPhase(obs.PBottom, tb)
+	sb.Annotate(obs.F("literals", len(bottom.Body)))
+	sb.End()
 	run.Inc(obs.CBottomClauses)
 	run.Add(obs.CBottomLiterals, int64(len(bottom.Body)))
 	if run.Tracing() {
@@ -77,6 +89,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 
 	tbeam := run.StartPhase(obs.PBeam)
 	for iter := 0; ; iter++ {
+		sr := run.StartSpan("beam_round", obs.F("iter", iter), obs.F("beam", len(beam)))
 		bestScore := beam[0].score
 		for _, b := range beam {
 			if b.score > bestScore {
@@ -108,6 +121,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			}
 		}
 		if len(newCands) == 0 {
+			sr.End()
 			break
 		}
 		// Keep the N highest-scoring candidates, ties in discovery order.
@@ -120,6 +134,8 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			run.Emit("progolem.beam",
 				obs.F("iter", iter), obs.F("beam", len(beam)), obs.F("best", beam[0].score))
 		}
+		sr.Annotate(obs.F("candidates", len(cands)), obs.F("best", beam[0].score))
+		sr.End()
 	}
 	run.EndPhase(obs.PBeam, tbeam)
 	// Highest-scoring clause in the beam, negatively reduced.
@@ -129,9 +145,12 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			best = b
 		}
 	}
+	sn := run.StartSpan("negative_reduction", obs.F("literals", len(best.clause.Body)))
 	tn := run.StartPhase(obs.PNegReduce)
 	reduced := NegativeReduce(tester, best.clause, prob.Neg, best.neg)
 	run.EndPhase(obs.PNegReduce, tn)
+	sn.Annotate(obs.F("kept", len(reduced.Body)))
+	sn.End()
 	if len(reduced.Body) == 0 {
 		return nil
 	}

@@ -76,8 +76,12 @@ func Reduce(c *logic.Clause) *logic.Clause {
 }
 
 // ReduceR is Reduce reporting removal attempts and removed literals into
-// the run (nil observes nothing).
+// the run (nil observes nothing). Each call is one "minimize" span.
 func ReduceR(run *obs.Run, c *logic.Clause) *logic.Clause {
+	var sp *obs.Span
+	if run.Spanning() {
+		sp = run.StartSpan("minimize", obs.F("literals", len(c.Body)))
+	}
 	cur := c.Clone()
 	// One scratch body serves every removal attempt: the shorter candidate
 	// only lives for the duration of its subsumption test, so the quadratic
@@ -94,6 +98,10 @@ func ReduceR(run *obs.Run, c *logic.Clause) *logic.Clause {
 		} else {
 			i++
 		}
+	}
+	if sp != nil {
+		sp.Annotate(obs.F("kept", len(cur.Body)))
+		sp.End()
 	}
 	return cur
 }
