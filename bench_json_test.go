@@ -13,6 +13,8 @@ import (
 	"os"
 	"runtime"
 	"testing"
+
+	"repro/internal/relstore"
 )
 
 // benchEntry is one benchmark result in the BENCH_castor.json document.
@@ -74,6 +76,11 @@ func TestEmitBenchJSON(t *testing.T) {
 		doc.Benchmarks = append(doc.Benchmarks,
 			measure("Subsumption/"+shape.name+"/compiled", func(b *testing.B) { benchSubsumptionCompiled(b, shape) }))
 	}
+	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
+	doc.Benchmarks = append(doc.Benchmarks,
+		measure("BottomClause/serial", func(b *testing.B) { benchBottomClause(b, prob, plan, 1) }),
+		measure("BottomClause/parallel", func(b *testing.B) { benchBottomClause(b, prob, plan, runtime.NumCPU()) }),
+	)
 
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,0 +1,337 @@
+// The explain subcommand interrogates a provenance artifact written with
+// -provenance: the lineage of a learned clause (the chain of search steps
+// from its seed bottom clause), the coverage witness of an example (which
+// clause covers it, under which substitution), and which inclusion
+// dependencies fired during bottom-clause construction.
+//
+//	castor explain -provenance prov.jsonl                 # lineage of every learned clause
+//	castor explain -provenance prov.jsonl -clause 'advisedby(A,B) :- ...'
+//	castor explain -provenance prov.jsonl -inds           # IND firing totals
+//	castor explain -provenance prov.jsonl \
+//	    -example 'advisedby(person12,person5)'            # coverage witness
+//
+// The example mode reloads the run's dataset (taken from the artifact's
+// meta record; override with -dataset/-variant) and replays the coverage
+// test of each learned clause, printing the witnessing substitution of the
+// first clause that covers the example.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// provGraph is a parsed provenance artifact.
+type provGraph struct {
+	meta    map[string]any
+	nodes   map[uint64]obs.ProvNode
+	order   []uint64 // node IDs in artifact order
+	selects []provSelectRec
+	summary *provSummaryRec
+}
+
+// provSelectRec mirrors the "select" wire record.
+type provSelectRec struct {
+	Node   uint64 `json:"node"`
+	Clause string `json:"clause"`
+	Pos    int    `json:"pos"`
+	Neg    int    `json:"neg"`
+}
+
+// provSummaryRec mirrors the trailing "summary" wire record.
+type provSummaryRec struct {
+	Nodes   uint64           `json:"nodes"`
+	Dropped uint64           `json:"dropped"`
+	Selects int              `json:"selects"`
+	INDs    map[string]int64 `json:"ind_firings"`
+}
+
+// loadProvenance parses a provenance JSONL artifact.
+func loadProvenance(path string) (*provGraph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g := &provGraph{nodes: make(map[uint64]obs.ProvNode)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &kind); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		switch kind.Kind {
+		case "meta":
+			if err := json.Unmarshal(sc.Bytes(), &g.meta); err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+		case "node":
+			var n obs.ProvNode
+			if err := json.Unmarshal(sc.Bytes(), &n); err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			g.nodes[n.ID] = n
+			g.order = append(g.order, n.ID)
+		case "select":
+			var s provSelectRec
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			g.selects = append(g.selects, s)
+		case "summary":
+			var s provSummaryRec
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+			}
+			g.summary = &s
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown record kind %q", path, line, kind.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(g.nodes) == 0 && g.summary == nil {
+		return nil, fmt.Errorf("%s: no provenance records (was the run started with -provenance?)", path)
+	}
+	return g, nil
+}
+
+// lineage walks first-parent links from id to its root, returning the path
+// root-first. A missing link (a dropped or unrecorded parent) ends the walk.
+func (g *provGraph) lineage(id uint64) []obs.ProvNode {
+	var rev []obs.ProvNode
+	seen := make(map[uint64]bool)
+	for id != 0 && !seen[id] {
+		seen[id] = true
+		n, ok := g.nodes[id]
+		if !ok {
+			break
+		}
+		rev = append(rev, n)
+		if len(n.Parents) == 0 {
+			break
+		}
+		id = n.Parents[0]
+	}
+	out := make([]obs.ProvNode, len(rev))
+	for i, n := range rev {
+		out[len(rev)-1-i] = n
+	}
+	return out
+}
+
+// runExplain is the subcommand entry point.
+func runExplain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("castor explain", flag.ContinueOnError)
+	provFile := fs.String("provenance", "", "provenance artifact written by castor -provenance (required)")
+	clause := fs.String("clause", "", "explain this learned clause only (exact or substring match)")
+	example := fs.String("example", "", "explain why this ground example is covered (or not), e.g. 'advisedby(person12,person5)'")
+	inds := fs.Bool("inds", false, "print which inclusion dependencies fired, with totals")
+	dataset := fs.String("dataset", "", "dataset for -example replay (default: the artifact's meta record)")
+	variant := fs.String("variant", "", "schema variant for -example replay (default: the artifact's meta record)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *provFile == "" {
+		return fmt.Errorf("-provenance is required")
+	}
+	g, err := loadProvenance(*provFile)
+	if err != nil {
+		return err
+	}
+	printMeta(out, g)
+	switch {
+	case *example != "":
+		return explainExample(out, g, *example, *dataset, *variant)
+	case *inds:
+		return explainINDs(out, g)
+	default:
+		return explainLineage(out, g, *clause)
+	}
+}
+
+// printMeta labels the output with what produced the artifact.
+func printMeta(out io.Writer, g *provGraph) {
+	if g.meta == nil {
+		return
+	}
+	var parts []string
+	for _, k := range []string{"dataset", "variant", "learner", "target", "seed"} {
+		if v, ok := g.meta[k]; ok {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(out, "run: %s\n", strings.Join(parts, " "))
+	}
+}
+
+// explainLineage prints, for each selected clause (or the ones matching
+// filter), the chain of search steps from its seed bottom clause.
+func explainLineage(out io.Writer, g *provGraph, filter string) error {
+	if len(g.selects) == 0 {
+		return fmt.Errorf("artifact has no selected clauses (the run learned nothing)")
+	}
+	matched := 0
+	for _, s := range g.selects {
+		if filter != "" && s.Clause != filter && !strings.Contains(s.Clause, filter) {
+			continue
+		}
+		matched++
+		fmt.Fprintf(out, "\nclause: %s\n", s.Clause)
+		fmt.Fprintf(out, "  selected with pos=%d neg=%d\n", s.Pos, s.Neg)
+		if s.Node == 0 {
+			fmt.Fprintln(out, "  lineage: unavailable (no node recorded this clause)")
+			continue
+		}
+		path := g.lineage(s.Node)
+		if len(path) == 0 {
+			fmt.Fprintf(out, "  lineage: node %d missing from the artifact\n", s.Node)
+			continue
+		}
+		if path[0].Step != obs.StepSeedBottom {
+			fmt.Fprintf(out, "  lineage (truncated — root node was dropped):\n")
+		} else {
+			fmt.Fprintf(out, "  lineage (%d steps):\n", len(path))
+		}
+		for _, n := range path {
+			fmt.Fprintf(out, "    %s\n", renderNode(n))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no selected clause matches %q", filter)
+	}
+	return nil
+}
+
+// renderNode renders one lineage step on one line.
+func renderNode(n obs.ProvNode) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s", n.ID, n.Step)
+	if n.Seed != "" {
+		fmt.Fprintf(&b, " seed=%s", n.Seed)
+	}
+	if n.Literals > 0 {
+		fmt.Fprintf(&b, " literals=%d", n.Literals)
+	}
+	if n.Pos >= 0 {
+		fmt.Fprintf(&b, " pos=%d neg=%d score=%g", n.Pos, n.Neg, n.Score)
+	}
+	fmt.Fprintf(&b, " [%s]", n.Disposition)
+	if len(n.INDs) > 0 {
+		fmt.Fprintf(&b, " inds=%s", strings.Join(n.INDs, "; "))
+	}
+	return b.String()
+}
+
+// explainINDs prints the run's IND firing totals.
+func explainINDs(out io.Writer, g *provGraph) error {
+	if g.summary == nil {
+		return fmt.Errorf("artifact has no summary record (was the run interrupted?)")
+	}
+	if len(g.summary.INDs) == 0 {
+		fmt.Fprintln(out, "no inclusion dependencies fired")
+		return nil
+	}
+	type firing struct {
+		ind string
+		n   int64
+	}
+	fired := make([]firing, 0, len(g.summary.INDs))
+	for ind, n := range g.summary.INDs {
+		fired = append(fired, firing{ind, n})
+	}
+	sort.Slice(fired, func(i, j int) bool {
+		if fired[i].n != fired[j].n {
+			return fired[i].n > fired[j].n
+		}
+		return fired[i].ind < fired[j].ind
+	})
+	fmt.Fprintf(out, "inclusion dependencies fired during bottom-clause construction:\n")
+	for _, f := range fired {
+		fmt.Fprintf(out, "  %8d  %s\n", f.n, f.ind)
+	}
+	return nil
+}
+
+// explainExample replays the learned definition's coverage test on one
+// ground example and prints the witnessing clause and substitution.
+func explainExample(out io.Writer, g *provGraph, example, dataset, variant string) error {
+	e, err := logic.ParseAtom(example)
+	if err != nil {
+		return fmt.Errorf("parsing -example: %w", err)
+	}
+	if !e.IsGround() {
+		return fmt.Errorf("-example must be a ground atom, got %s", e)
+	}
+	if len(g.selects) == 0 {
+		return fmt.Errorf("artifact has no selected clauses to test coverage against")
+	}
+	if dataset == "" {
+		if v, ok := g.meta["dataset"].(string); ok {
+			dataset = datasetKey(v)
+		}
+	}
+	if variant == "" {
+		variant, _ = g.meta["variant"].(string)
+	}
+	if dataset == "" {
+		return fmt.Errorf("the artifact has no meta record; pass -dataset (and -variant)")
+	}
+	o := &options{dataset: dataset, variant: variant}
+	prob, _, _, _, err := loadProblem(o)
+	if err != nil {
+		return err
+	}
+	for _, s := range g.selects {
+		c, err := logic.ParseClause(s.Clause)
+		if err != nil {
+			return fmt.Errorf("parsing selected clause %q: %w", s.Clause, err)
+		}
+		w := prob.Instance.CoverageWitness(c, e)
+		if w == nil {
+			continue
+		}
+		fmt.Fprintf(out, "%s is COVERED\n", e)
+		fmt.Fprintf(out, "  witness clause: %s\n", s.Clause)
+		fmt.Fprintf(out, "  substitution:\n")
+		vars := make([]string, 0, len(w))
+		for v := range w {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+		for _, v := range vars {
+			fmt.Fprintf(out, "    %s -> %s\n", v, w[v].Name)
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "%s is NOT covered: no learned clause's body maps into the database under the head match\n", e)
+	return nil
+}
+
+// datasetKey normalizes a display label ("UW-CSE", "IMDb") back to the
+// -dataset flag key.
+func datasetKey(label string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(label) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -23,6 +23,12 @@
 //	castor -dataset uwcse -chrometrace trace.json -report run.json
 //	castor -dataset uwcse -http :6060   # /metrics /progress /debug/pprof/
 //
+//	# search-graph provenance and explanations
+//	castor -dataset uwcse -provenance prov.jsonl -explain-plan
+//	castor explain -provenance prov.jsonl          # lineage of every learned clause
+//	castor explain -provenance prov.jsonl -inds    # which INDs fired, with totals
+//	castor explain -provenance prov.jsonl -example 'advisedBy(stud12,prof5)'
+//
 // File formats are those of internal/relstore: `rel name(attr, …)` /
 // `fd` / `ind` / `domain` lines for the schema, one ground fact per line
 // for data and examples. The trace file is JSONL (one event object per
@@ -70,9 +76,21 @@ type options struct {
 	chromeFile, reportFile string
 	httpAddr               string
 	cpuProfile, memProfile string
+
+	provFile     string
+	provMaxNodes int64
+	provSample   int64
+	explainPlan  bool
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		if err := runExplain(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "castor explain:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var o options
 	flag.StringVar(&o.dataset, "dataset", "uwcse", "dataset: uwcse|hiv|imdb")
 	flag.StringVar(&o.variant, "variant", "", "schema variant (default: first)")
@@ -98,6 +116,11 @@ func main() {
 	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /progress and /debug/pprof/ on this address (e.g. :6060)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
+	flag.StringVar(&o.provFile, "provenance", "", "write the candidate search graph (JSONL) to this file")
+	flag.Int64Var(&o.provMaxNodes, "provenance-max-nodes", 0,
+		"cap on recorded provenance nodes (0 = default cap, negative = unlimited); past it pruned candidates are dropped")
+	flag.Int64Var(&o.provSample, "provenance-sample", 1, "record every Nth pruned candidate (kept nodes always recorded)")
+	flag.BoolVar(&o.explainPlan, "explain-plan", false, "print the precompiled bottom-clause plan (IND hop table) before learning")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -159,33 +182,21 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "introspection server on http://%s/ (/metrics /progress /debug/pprof/)\n", srv.Addr())
 	}
 	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).WithSpans(obs.MultiSpanSink(spanSinks...))
+	var prov *obs.Prov
+	if o.provFile != "" {
+		p, err := obs.CreateProvenanceFile(o.provFile,
+			obs.ProvOptions{MaxNodes: o.provMaxNodes, SampleEvery: o.provSample})
+		if err != nil {
+			return err
+		}
+		prov = p
+		obsRun = obsRun.WithProvenance(prov)
+	}
 
-	var prob *ilp.Problem
-	var pos, neg []logic.Atom
-	datasetLabel := o.dataset
 	userData := o.schemaFile != ""
-	if userData {
-		p, err := loadUserProblem(o.schemaFile, o.dataFile, o.posFile, o.negFile, o.targetDecl, o.valueAttrs)
-		if err != nil {
-			return err
-		}
-		prob, pos, neg = p, p.Pos, p.Neg
-		datasetLabel = o.dataFile
-		o.variant = "user"
-	} else {
-		ds, err := buildDataset(o.dataset)
-		if err != nil {
-			return err
-		}
-		if o.variant == "" {
-			o.variant = ds.Variants[0].Name
-		}
-		p, err := ds.Problem(o.variant)
-		if err != nil {
-			return err
-		}
-		prob, pos, neg = p, ds.Pos, ds.Neg
-		datasetLabel = ds.Name
+	prob, pos, neg, datasetLabel, err := loadProblem(&o)
+	if err != nil {
+		return err
 	}
 
 	var learner ilp.Learner
@@ -223,6 +234,19 @@ func run(o options, out io.Writer) error {
 	}
 	params.CoverageMode = mode
 
+	if o.explainPlan {
+		plan := relstore.CompilePlan(prob.Instance.Schema(), o.subsetINDs)
+		fmt.Fprintf(out, "bottom-clause plan for variant %s:\n%s\n", o.variant, plan.Explain())
+	}
+	prov.Meta(map[string]any{
+		"tool":    "castor",
+		"dataset": datasetLabel,
+		"variant": o.variant,
+		"learner": learner.Name(),
+		"target":  prob.Target.Name,
+		"seed":    o.seed,
+	})
+
 	fmt.Fprintf(out, "dataset=%s variant=%s learner=%s (%d pos, %d neg, %d tuples)\n",
 		datasetLabel, o.variant, learner.Name(), len(pos), len(neg), prob.Instance.NumTuples())
 	start := time.Now()
@@ -231,6 +255,9 @@ func run(o options, out io.Writer) error {
 		return err
 	}
 	elapsed := time.Since(start)
+	if err := prov.Close(); err != nil {
+		return fmt.Errorf("writing provenance: %w", err)
+	}
 	fmt.Fprintf(out, "\nlearned definition (%d clauses, %.2fs):\n", def.Len(), elapsed.Seconds())
 	if def.IsEmpty() {
 		fmt.Fprintln(out, "  (nothing learned)")
@@ -268,6 +295,7 @@ func run(o options, out io.Writer) error {
 				"seed":         o.seed,
 				"subset_inds":  o.subsetINDs,
 			},
+			Env:            obs.CaptureEnv(o.seed),
 			ElapsedSeconds: elapsed.Seconds(),
 			Metrics:        report,
 			Definition:     definitionStats(def, m),
@@ -326,6 +354,33 @@ func definitionStats(def *logic.Definition, m eval.Metrics) *obs.DefinitionStats
 		Recall:    m.Recall,
 		F1:        m.F1,
 	}
+}
+
+// loadProblem resolves the learning problem from the flags: a generated
+// benchmark dataset, or user-supplied files when -schema is set. It fills
+// in o.variant (the default variant, or "user") and returns the dataset
+// label runs and reports display.
+func loadProblem(o *options) (prob *ilp.Problem, pos, neg []logic.Atom, datasetLabel string, err error) {
+	if o.schemaFile != "" {
+		p, err := loadUserProblem(o.schemaFile, o.dataFile, o.posFile, o.negFile, o.targetDecl, o.valueAttrs)
+		if err != nil {
+			return nil, nil, nil, "", err
+		}
+		o.variant = "user"
+		return p, p.Pos, p.Neg, o.dataFile, nil
+	}
+	ds, err := buildDataset(o.dataset)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	if o.variant == "" {
+		o.variant = ds.Variants[0].Name
+	}
+	p, err := ds.Problem(o.variant)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	return p, ds.Pos, ds.Neg, ds.Name, nil
 }
 
 // coverageMode resolves the -coverage flag. The dataset heuristic (UW-CSE

@@ -15,7 +15,9 @@
 // become <phase>_seconds and <phase>_calls, span aggregates become
 // span_<name>_seconds and span_<name>_calls, and elapsed_seconds and the
 // definition_* stats are included. Exit status: 0 when no watched metric
-// regresses, 1 on a regression, 2 on usage or read errors.
+// regresses, 1 on a regression or when a watched metric is present in only
+// one of the two reports, 2 on usage or read errors (including a watched
+// metric absent from both reports).
 package main
 
 import (
@@ -73,10 +75,23 @@ func run(args []string, out, errw io.Writer) int {
 	fmt.Fprintf(out, "old: %s (%s %s %s)\n", fs.Arg(0), oldRep.Tool, oldRep.Dataset, oldRep.Learner)
 	fmt.Fprintf(out, "new: %s (%s %s %s)\n\n", fs.Arg(1), newRep.Tool, newRep.Dataset, newRep.Learner)
 	fmt.Fprintf(out, "%-36s %14s %14s %8s\n", "metric", "old", "new", "ratio")
-	var regressions []string
+	var regressions, missing []string
 	seen := make(map[string]bool)
 	for _, d := range deltas {
 		seen[d.Name] = true
+		if watched[d.Name] && (!d.InOld || !d.InNew) {
+			// A watched metric present in only one report is a reportable
+			// difference, not a usage error: the run stopped (or started)
+			// emitting it. Gate on it explicitly rather than letting the
+			// absent side read as a zero.
+			side := "old"
+			if !d.InNew {
+				side = "new"
+			}
+			fmt.Fprintf(errw, "obsreport: watched metric %q missing from the %s report (old=%s new=%s)\n",
+				d.Name, side, num(d.Old), num(d.New))
+			missing = append(missing, d.Name)
+		}
 		regressed := watched[d.Name] && d.Ratio > *threshold
 		if regressed {
 			regressions = append(regressions, d.Name)
@@ -99,6 +114,10 @@ func run(args []string, out, errw io.Writer) int {
 			fmt.Fprintf(errw, "obsreport: watched metric %q absent from both reports\n", name)
 			return 2
 		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(out, "\nMISSING: %s absent from one report\n", strings.Join(missing, ", "))
+		return 1
 	}
 	if len(regressions) > 0 {
 		fmt.Fprintf(out, "\nREGRESSION: %s exceeded %.2fx the baseline\n",

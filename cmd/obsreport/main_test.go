@@ -99,3 +99,43 @@ func TestUsageAndReadErrorsExitTwo(t *testing.T) {
 		t.Errorf("unknown watched metric: exit = %d, want 2", code)
 	}
 }
+
+func TestWatchedMetricMissingFromOneReportExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json",
+		map[string]int64{"coverage_tests": 100, "bottom_clauses": 12}, 1.0)
+	newP := writeReport(t, dir, "new.json",
+		map[string]int64{"coverage_tests": 100}, 1.0)
+
+	// Watched metric vanished from the new report: exit 1 with a message
+	// naming the metric and the side it is missing from.
+	var out, errw strings.Builder
+	code := run([]string{"-watch", "bottom_clauses", oldP, newP}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(errw.String(), `watched metric "bottom_clauses" missing from the new report`) {
+		t.Errorf("stderr lacks the missing-metric message:\n%s", errw.String())
+	}
+	if !strings.Contains(out.String(), "MISSING: bottom_clauses") {
+		t.Errorf("stdout lacks the MISSING line:\n%s", out.String())
+	}
+
+	// Same pair the other way around: missing from the old report.
+	out.Reset()
+	errw.Reset()
+	code = run([]string{"-watch", "bottom_clauses", newP, oldP}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("reversed exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(errw.String(), `missing from the old report`) {
+		t.Errorf("stderr lacks the old-side message:\n%s", errw.String())
+	}
+
+	// Unwatched metrics may appear or vanish freely.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-watch", "coverage_tests", oldP, newP}, &out, &errw); code != 0 {
+		t.Errorf("unwatched missing metric gated: exit = %d, want 0", code)
+	}
+}

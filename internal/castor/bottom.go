@@ -47,6 +47,14 @@ func BottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, params i
 // on every call, which the stored-procedure deployment of §7.5.2 avoids
 // (together with recompiling the plan per call, handled by the learner).
 func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, params ilp.Params) *logic.Clause {
+	return groundBottomClause(prob, plan, e, params, nil)
+}
+
+// groundBottomClause is GroundBottomClause with an optional provenance
+// hook: a non-nil indsFired collects, per IND (by its String rendering),
+// how many partner tuples its hops pulled into the clause. Collection is
+// observation only — the constructed clause is identical either way.
+func groundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, params ilp.Params, indsFired map[string]int64) *logic.Clause {
 	fetch := func(tuples []relstore.Tuple) []relstore.Tuple { return tuples }
 	if !params.UseStoredProc {
 		fetch = copyTuples
@@ -133,8 +141,12 @@ func GroundBottomClause(prob *ilp.Problem, plan *relstore.Plan, e logic.Atom, pa
 				}
 				joined := fetch(partner.TuplesWith(req))
 				scanned += int64(len(joined))
+				partner.AddINDExpansions(int64(len(joined)))
 				if len(joined) > maxINDJoin {
 					joined = joined[:maxINDJoin]
+				}
+				if indsFired != nil && len(joined) > 0 {
+					indsFired[hop.IND.String()] += int64(len(joined))
 				}
 				prel, _ := schema.Relation(hop.Rel)
 				for _, jt := range joined {

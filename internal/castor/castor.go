@@ -112,6 +112,13 @@ type scored struct {
 	posCovered *coverage.Bitset // over the uncovered positives
 	negCovered *coverage.Bitset // over all negatives
 	score      float64
+
+	// Provenance bookkeeping, populated only when the run records it:
+	// provID is the node of this entry once its disposition is known,
+	// provParent/provSeed carry the generating ARMG's context until then.
+	provID     uint64
+	provParent uint64
+	provSeed   string
 }
 
 // maxSeedTries bounds how many seed examples one LearnClause call may
@@ -156,18 +163,47 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 // learnClauseFromSeed runs the beam search of Algorithm 4 for one seed.
 func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, plan *relstore.Plan, uncovered []logic.Atom, seed logic.Atom) *logic.Clause {
 	run := params.Obs
+	prov := run.Prov()
 	sb := run.StartSpan("bottom_clause", obs.F("seed", seed.String()))
 	tb := run.StartPhase(obs.PBottom)
-	bottom := BottomClause(prob, plan, seed, params)
+	var bottom *logic.Clause
+	var bottomINDs []string
+	if prov.Enabled() {
+		// Same construction, with the chase reporting which INDs fired.
+		fired := make(map[string]int64)
+		bottom = ilp.Variablize(prob, groundBottomClause(prob, plan, seed, params, fired))
+		for name := range fired {
+			bottomINDs = append(bottomINDs, name)
+		}
+		sort.Strings(bottomINDs)
+		for _, name := range bottomINDs {
+			prov.INDFired(name, fired[name])
+		}
+	} else {
+		bottom = BottomClause(prob, plan, seed, params)
+	}
 	run.EndPhase(obs.PBottom, tb)
 	sb.Annotate(obs.F("literals", len(bottom.Body)), obs.F("vars", bottom.NumVars()))
 	sb.End()
 	run.Inc(obs.CBottomClauses)
 	run.Add(obs.CBottomLiterals, int64(len(bottom.Body)))
+	rootID := prov.Node(obs.ProvNode{
+		Step: obs.StepSeedBottom, Seed: seed.String(),
+		Clause: clauseString(prov, bottom), Literals: len(bottom.Body),
+		Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispKept, INDs: bottomINDs,
+	})
 	if params.Minimize && len(bottom.Body) <= reduceCutoff {
 		tm := run.StartPhase(obs.PMinimize)
-		bottom = subsume.ReduceR(run, bottom)
+		minimized := subsume.ReduceR(run, bottom)
 		run.EndPhase(obs.PMinimize, tm)
+		if prov.Enabled() && !minimized.Equal(bottom) {
+			rootID = prov.Node(obs.ProvNode{
+				Parents: []uint64{rootID}, Step: obs.StepMinimize, Seed: seed.String(),
+				Clause: minimized.String(), Literals: len(minimized.Body),
+				Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispKept,
+			})
+		}
+		bottom = minimized
 	}
 	if run.Tracing() {
 		run.Emit("castor.bottom",
@@ -187,7 +223,9 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 		return &scored{clause: c, posCovered: pc, negCovered: nc, score: float64(pc.Count() - nc.Count())}
 	}
 
-	beam := []*scored{evaluate(bottom, nil)}
+	root := evaluate(bottom, nil)
+	root.provID = rootID
+	beam := []*scored{root}
 	k := params.Sample
 	if k < 1 {
 		k = 1
@@ -226,25 +264,54 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 		// whose negative cover already pins it at or below bestScore would
 		// not enter the beam, so its scan is abandoned.
 		var cands []coverage.Candidate
+		var cmeta []candProv // aligned with cands; built only when recording
 		for _, b := range beam {
 			for _, e := range sample {
 				g := ARMG(tester, plan, b.clause, e, params)
 				if g == nil || g.Equal(b.clause) {
+					if g != nil && prov.Enabled() {
+						prov.Node(obs.ProvNode{
+							Parents: []uint64{b.provID}, Step: obs.StepARMG, Seed: e.String(),
+							Clause: g.String(), Literals: len(g.Body),
+							Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispPrunedDuplicate,
+						})
+					}
 					continue
 				}
 				if !g.IsSafe() {
 					continue // §7.3.2: unsafe candidates are discarded
 				}
 				cands = append(cands, coverage.Candidate{Clause: g, KnownPos: b.posCovered, KnownNeg: b.negCovered})
+				if prov.Enabled() {
+					cmeta = append(cmeta, candProv{parent: b.provID, seed: e.String()})
+				}
 			}
 		}
 		var next []*scored
-		for _, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore)) {
+		for ci, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore)) {
 			if s.Pruned {
+				if prov.Enabled() {
+					// Scoring was abandoned mid-scan: the counts are unknown.
+					prov.Node(obs.ProvNode{
+						Parents: []uint64{cmeta[ci].parent}, Step: obs.StepARMG, Seed: cmeta[ci].seed,
+						Clause: s.Clause.String(), Literals: len(s.Clause.Body),
+						Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispPrunedBudget,
+					})
+				}
 				continue
 			}
 			if sc := float64(s.P - s.N); sc > bestScore {
-				next = append(next, &scored{clause: s.Clause, posCovered: s.Pos, negCovered: s.Neg, score: sc})
+				ns := &scored{clause: s.Clause, posCovered: s.Pos, negCovered: s.Neg, score: sc}
+				if prov.Enabled() {
+					ns.provParent, ns.provSeed = cmeta[ci].parent, cmeta[ci].seed
+				}
+				next = append(next, ns)
+			} else if prov.Enabled() {
+				prov.Node(obs.ProvNode{
+					Parents: []uint64{cmeta[ci].parent}, Step: obs.StepARMG, Seed: cmeta[ci].seed,
+					Clause: s.Clause.String(), Literals: len(s.Clause.Body),
+					Pos: s.P, Neg: s.N, Score: float64(s.P - s.N), Disposition: obs.DispPrunedScore,
+				})
 			}
 		}
 		if len(next) == 0 {
@@ -253,6 +320,21 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 		}
 		// Keep the N best, ties in discovery order for determinism.
 		sort.SliceStable(next, func(i, j int) bool { return next[i].score > next[j].score })
+		if prov.Enabled() {
+			// Dispositions are final only after the width trim.
+			for i, b := range next {
+				disp := obs.DispKept
+				if i >= width {
+					disp = obs.DispPrunedScore
+				}
+				b.provID = prov.Node(obs.ProvNode{
+					Parents: []uint64{b.provParent}, Step: obs.StepARMG, Seed: b.provSeed,
+					Clause: b.clause.String(), Literals: len(b.clause.Body),
+					Pos: b.posCovered.Count(), Neg: b.negCovered.Count(),
+					Score: b.score, Disposition: disp,
+				})
+			}
+		}
 		if len(next) > width {
 			next = next[:width]
 		}
@@ -280,15 +362,47 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 	run.EndPhase(obs.PNegReduce, tn)
 	sn.Annotate(obs.F("kept", len(reduced.Body)))
 	sn.End()
+	finalID := best.provID
+	if prov.Enabled() && !reduced.Equal(best.clause) {
+		finalID = prov.Node(obs.ProvNode{
+			Parents: []uint64{finalID}, Step: obs.StepNegativeReduction, Seed: seed.String(),
+			Clause: reduced.String(), Literals: len(reduced.Body),
+			Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispKept,
+		})
+	}
 	if params.Minimize && len(reduced.Body) <= reduceCutoff {
 		tm := run.StartPhase(obs.PMinimize)
-		reduced = subsume.ReduceR(run, reduced)
+		minimized := subsume.ReduceR(run, reduced)
 		run.EndPhase(obs.PMinimize, tm)
+		if prov.Enabled() && !minimized.Equal(reduced) {
+			prov.Node(obs.ProvNode{
+				Parents: []uint64{finalID}, Step: obs.StepMinimize, Seed: seed.String(),
+				Clause: minimized.String(), Literals: len(minimized.Body),
+				Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispKept,
+			})
+		}
+		reduced = minimized
 	}
 	if len(reduced.Body) == 0 {
 		return nil
 	}
 	return reduced
+}
+
+// candProv is the provenance context of one scoring-batch candidate: the
+// beam entry it generalizes and the example it generalized toward.
+type candProv struct {
+	parent uint64
+	seed   string
+}
+
+// clauseString renders c only when the recorder is live, so uninstrumented
+// runs build no strings.
+func clauseString(p *obs.Prov, c *logic.Clause) string {
+	if !p.Enabled() {
+		return ""
+	}
+	return c.String()
 }
 
 // --- deterministic PRNG + sampling ---

@@ -95,3 +95,122 @@ func TestIntrospectionServerDuringLearn(t *testing.T) {
 		t.Errorf("/metrics missing the learn span aggregate:\n%s", body)
 	}
 }
+
+// TestConcurrentLearnsDoNotCrossContaminate runs two Learn calls with two
+// distinct *obs.Run/registry/server stacks concurrently in one process and
+// polls both /progress and /metrics while they race (meaningful under
+// -race): each server must only ever see its own run's spans and counters,
+// and the learned definitions must match a sequential baseline.
+func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
+	type stack struct {
+		reg  *obs.Registry
+		prog *obs.Progress
+		srv  *httptest.Server
+	}
+	mk := func() *stack {
+		reg := obs.NewRegistry()
+		prog := obs.NewProgress(reg)
+		return &stack{reg: reg, prog: prog, srv: httptest.NewServer(obs.NewHandler(reg, prog))}
+	}
+	a, b := mk(), mk()
+	defer a.srv.Close()
+	defer b.srv.Close()
+
+	learn := func(s *stack, worldSize int) (string, error) {
+		w := testfix.NewWorld(worldSize)
+		prob := w.ProblemOriginal()
+		params := ilp.Defaults()
+		params.Obs = obs.NewRun(nil, s.reg).WithSpans(s.prog)
+		def, err := New().Learn(prob, params)
+		if err != nil {
+			return "", err
+		}
+		return def.String(), nil
+	}
+
+	// Sequential baselines first, on fresh stacks.
+	base8, err := learn(mk(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base6, err := learn(mk(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		def string
+		err error
+	}
+	da := make(chan result, 1)
+	db := make(chan result, 1)
+	go func() { d, err := learn(a, 8); da <- result{d, err} }()
+	go func() { d, err := learn(b, 6); db <- result{d, err} }()
+
+	// Poll both servers while the runs race.
+	poll := func(s *stack) {
+		resp, err := http.Get(s.srv.URL + "/progress")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var snap obs.Snapshot
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Errorf("mid-run /progress is not valid JSON: %v", err)
+		}
+		resp.Body.Close()
+		if snap.SpansStarted < snap.SpansCompleted {
+			t.Errorf("started %d < completed %d", snap.SpansStarted, snap.SpansCompleted)
+		}
+		mresp, err := http.Get(s.srv.URL + "/metrics")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, mresp.Body)
+		mresp.Body.Close()
+	}
+	var ra, rb *result
+	for ra == nil || rb == nil {
+		select {
+		case r := <-da:
+			ra = &r
+		case r := <-db:
+			rb = &r
+		default:
+			poll(a)
+			poll(b)
+		}
+	}
+	if ra.err != nil || rb.err != nil {
+		t.Fatal(ra.err, rb.err)
+	}
+	if ra.def != base8 {
+		t.Errorf("concurrent run A learned a different definition:\nbase: %s\ngot:  %s", base8, ra.def)
+	}
+	if rb.def != base6 {
+		t.Errorf("concurrent run B learned a different definition:\nbase: %s\ngot:  %s", base6, rb.def)
+	}
+
+	// Each run's spans balance within its own stack — a cross-posted span
+	// would leave one side unbalanced.
+	for name, s := range map[string]*stack{"A": a, "B": b} {
+		snap := s.prog.Snapshot()
+		if len(snap.ActiveSpans) != 0 {
+			t.Errorf("run %s: spans still open: %+v", name, snap.ActiveSpans)
+		}
+		if snap.SpansStarted != snap.SpansCompleted {
+			t.Errorf("run %s: started %d != completed %d", name, snap.SpansStarted, snap.SpansCompleted)
+		}
+		// Exactly one learn span each: the other run's spans never leaked in.
+		resp, err := http.Get(s.srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !strings.Contains(string(body), `sirl_span_calls{span="learn"} 1`) {
+			t.Errorf("run %s: /metrics does not show exactly one learn span:\n%s", name, body)
+		}
+	}
+}

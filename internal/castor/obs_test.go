@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/ilp"
+	"repro/internal/logic"
 	"repro/internal/obs"
 	"repro/internal/testfix"
 )
@@ -68,6 +69,109 @@ func TestObservationDoesNotChangeLearning(t *testing.T) {
 	for _, want := range []string{"castor.seed", "castor.bottom", "castor.beam", "castor.clause", "covering.iteration", "covering.done"} {
 		if events[want] == 0 {
 			t.Errorf("trace has no %q event (saw %v)", want, events)
+		}
+	}
+}
+
+// TestProvenanceDoesNotChangeLearning: recording the full search graph must
+// leave the learned definition byte-identical, and the graph must contain a
+// lineage path from a seed bottom clause to every clause of the final
+// definition.
+func TestProvenanceDoesNotChangeLearning(t *testing.T) {
+	learn := func(run *obs.Run) *logic.Definition {
+		w := testfix.NewWorld(8)
+		prob := w.ProblemOriginal()
+		params := ilp.Defaults()
+		params.Obs = run
+		def, err := New().Learn(prob, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return def
+	}
+
+	plain := learn(nil)
+
+	var buf bytes.Buffer
+	prov := obs.NewProvenance(&buf, obs.ProvOptions{})
+	def := learn(obs.NewRun(nil, obs.NewRegistry()).WithProvenance(prov))
+	if err := prov.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.String() != def.String() {
+		t.Errorf("provenance recording changed the learned definition:\noff: %s\non:  %s", plain, def)
+	}
+
+	// Parse the graph.
+	type node struct {
+		ID      uint64   `json:"id"`
+		Parents []uint64 `json:"parents"`
+		Step    string   `json:"step"`
+		Clause  string   `json:"clause"`
+	}
+	nodes := map[uint64]node{}
+	selects := map[string]uint64{} // clause → producing node
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &kind); err != nil {
+			t.Fatalf("provenance line %q does not parse: %v", sc.Text(), err)
+		}
+		switch kind.Kind {
+		case "node":
+			var n node
+			if err := json.Unmarshal(sc.Bytes(), &n); err != nil {
+				t.Fatal(err)
+			}
+			nodes[n.ID] = n
+		case "select":
+			var s struct {
+				Node   uint64 `json:"node"`
+				Clause string `json:"clause"`
+			}
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				t.Fatal(err)
+			}
+			selects[s.Clause] = s.Node
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) == 0 {
+		t.Fatal("provenance stream has no nodes")
+	}
+
+	// Every final clause must resolve through a select record to a node
+	// whose ancestor chain reaches a seed bottom clause.
+	for _, c := range def.Clauses {
+		id, ok := selects[c.String()]
+		if !ok || id == 0 {
+			t.Errorf("no select record resolves clause %s", c)
+			continue
+		}
+		cur, hops := id, 0
+		for {
+			n, ok := nodes[cur]
+			if !ok {
+				t.Errorf("clause %s: lineage hits missing node %d", c, cur)
+				break
+			}
+			if n.Step == obs.StepSeedBottom {
+				break // reached the root of this clause's search
+			}
+			if len(n.Parents) == 0 {
+				t.Errorf("clause %s: lineage dead-ends at non-seed node %d (%s)", c, cur, n.Step)
+				break
+			}
+			cur = n.Parents[0]
+			if hops++; hops > 10_000 {
+				t.Fatalf("clause %s: lineage does not terminate", c)
+			}
 		}
 	}
 }

@@ -70,6 +70,8 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	nextVar := head.Arity()
 	tbeam := run.StartPhase(obs.PBeam)
 	defer run.EndPhase(obs.PBeam, tbeam)
+	prov := run.Prov()
+	var provID uint64 // node of the clause as grown so far
 
 	p := len(uncovered) // the most general clause covers everything
 	n := len(prob.Neg)
@@ -138,6 +140,14 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 				obs.F("pos", best.p), obs.F("neg", best.n))
 		}
 		clause = extend(clause, best.atom)
+		if prov.Enabled() {
+			provID = prov.Node(obs.ProvNode{
+				Parents: []uint64{provID}, Step: obs.StepGreedyExtension,
+				Seed:   best.atom.String(),
+				Clause: clause.String(), Literals: len(clause.Body),
+				Pos: best.p, Neg: best.n, Score: best.gain, Disposition: obs.DispKept,
+			})
+		}
 		for v, d := range best.newVars {
 			varDomains[v] = d
 		}

@@ -59,6 +59,7 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 // extension.
 func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, uncovered []logic.Atom) *logic.Clause {
 	run := params.Obs
+	prov := run.Prov()
 	k := params.Sample
 	if k < 2 {
 		k = 2
@@ -67,6 +68,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	if len(sample) < 2 {
 		return nil
 	}
+	satIDs := make(map[string]uint64) // example key → seed_bottom node
 	saturate := func(e logic.Atom) *logic.Clause {
 		sb := run.StartSpan("bottom_clause", obs.F("seed", e.String()))
 		tb := run.StartPhase(obs.PBottom)
@@ -76,6 +78,15 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		sb.End()
 		run.Inc(obs.CBottomClauses)
 		run.Add(obs.CBottomLiterals, int64(len(sat.Body)))
+		if prov.Enabled() {
+			if _, ok := satIDs[e.Key()]; !ok {
+				satIDs[e.Key()] = prov.Node(obs.ProvNode{
+					Step: obs.StepSeedBottom, Seed: e.String(),
+					Clause: sat.String(), Literals: len(sat.Body),
+					Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispKept,
+				})
+			}
+		}
 		return sat
 	}
 
@@ -92,6 +103,11 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	// concurrently. No bound here — AcceptClause needs exact counts while
 	// best is still unknown.
 	var pairs []coverage.Candidate
+	type pairProv struct {
+		parents []uint64
+		seed    string
+	}
+	var pmeta []pairProv // aligned with pairs; built only when recording
 	for i := 0; i < len(sample); i++ {
 		for j := i + 1; j < len(sample); j++ {
 			g := RLGG(saturate(sample[i]), saturate(sample[j]))
@@ -100,6 +116,12 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			}
 			g = tidy(run, g)
 			pairs = append(pairs, coverage.Candidate{Clause: g})
+			if prov.Enabled() {
+				pmeta = append(pmeta, pairProv{
+					parents: []uint64{satIDs[sample[i].Key()], satIDs[sample[j].Key()]},
+					seed:    sample[j].String(),
+				})
+			}
 			if run.Tracing() {
 				run.Emit("golem.rlgg",
 					obs.F("pair", []string{sample[i].String(), sample[j].String()}),
@@ -107,11 +129,26 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			}
 		}
 	}
-	for _, s := range tester.ScoreBatch(pairs, uncovered, prob.Neg, coverage.NoBound) {
-		if !ilp.AcceptClause(params, s.P, s.N) {
-			continue
+	var bestID uint64
+	for pi, s := range tester.ScoreBatch(pairs, uncovered, prob.Neg, coverage.NoBound) {
+		accepted := ilp.AcceptClause(params, s.P, s.N)
+		sc := s.P - s.N
+		better := accepted && (best == nil || sc > best.score)
+		if prov.Enabled() {
+			disp := obs.DispPrunedScore
+			if better {
+				disp = obs.DispKept
+			}
+			id := prov.Node(obs.ProvNode{
+				Parents: pmeta[pi].parents, Step: obs.StepRLGG, Seed: pmeta[pi].seed,
+				Clause: s.Clause.String(), Literals: len(s.Clause.Body),
+				Pos: s.P, Neg: s.N, Score: float64(sc), Disposition: disp,
+			})
+			if better {
+				bestID = id
+			}
 		}
-		if sc := s.P - s.N; best == nil || sc > best.score {
+		if better {
 			best = &cand{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc}
 		}
 	}
@@ -136,11 +173,32 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		g = tidy(run, g)
 		batch := []coverage.Candidate{{Clause: g, KnownPos: best.pos, KnownNeg: best.neg}}
 		s := tester.ScoreBatch(batch, uncovered, prob.Neg, best.score)[0]
-		if s.Pruned || !ilp.AcceptClause(params, s.P, s.N) {
+		node := func(pos, neg int, score float64, disp string) uint64 {
+			return prov.Node(obs.ProvNode{
+				Parents: []uint64{bestID, satIDs[e.Key()]}, Step: obs.StepGreedyExtension,
+				Seed: e.String(), Clause: s.Clause.String(), Literals: len(s.Clause.Body),
+				Pos: pos, Neg: neg, Score: score, Disposition: disp,
+			})
+		}
+		if s.Pruned {
+			if prov.Enabled() {
+				node(-1, -1, -1, obs.DispPrunedBudget)
+			}
+			continue
+		}
+		if !ilp.AcceptClause(params, s.P, s.N) {
+			if prov.Enabled() {
+				node(s.P, s.N, float64(s.P-s.N), obs.DispPrunedScore)
+			}
 			continue
 		}
 		if sc := s.P - s.N; sc > best.score {
 			best = &cand{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc}
+			if prov.Enabled() {
+				bestID = node(s.P, s.N, float64(sc), obs.DispKept)
+			}
+		} else if prov.Enabled() {
+			node(s.P, s.N, float64(sc), obs.DispPrunedScore)
 		}
 	}
 	se.Annotate(obs.F("score", best.score))

@@ -57,6 +57,9 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 			break
 		}
 		run.Inc(obs.CClausesAccepted)
+		if prov := run.Prov(); prov.Enabled() {
+			prov.Selected(c.String(), p, n)
+		}
 		if run.Tracing() {
 			run.Emit("covering.accepted",
 				obs.F("clause", c.String()), obs.F("pos", p), obs.F("neg", n),

@@ -34,10 +34,15 @@ type Tester struct {
 
 // NewTester builds a tester for the problem. As a side effect it attaches
 // params.Obs to the problem's instance, so store-level scans during this
-// learner's run report into the same registry (every learner builds its
-// tester first).
+// learner's run report into the same registry, and registers the
+// instance's per-relation access statistics as the registry's store
+// source, so /metrics and run reports expose them (every learner builds
+// its tester first).
 func NewTester(prob *Problem, params Params) *Tester {
 	prob.Instance.SetObs(params.Obs)
+	if reg := params.Obs.Registry(); reg != nil {
+		reg.SetStoreSource(prob.Instance.StoreStats)
+	}
 	t := &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*subsume.Compiled)}
 	var cache *coverage.Cache
 	if !params.DisableCoverageCache {

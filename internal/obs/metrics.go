@@ -22,6 +22,58 @@ type Registry struct {
 
 	spanMu sync.Mutex
 	spans  map[string]*spanTotals
+
+	storeMu  sync.Mutex
+	storeSrc func() map[string]StoreStat
+}
+
+// StoreStat is the access-statistics snapshot of one relation of the
+// relational store: how often and how hard its table was probed. The
+// store keeps the live counters (it owns the tables); the registry only
+// pulls a snapshot at report time through the source callback, so obs
+// does not depend on relstore.
+type StoreStat struct {
+	// Lookups counts candidate-tuple fetches (one per evaluated literal
+	// probe or frontier scan).
+	Lookups int64 `json:"lookups"`
+	// TuplesScanned counts tuples examined by those fetches.
+	TuplesScanned int64 `json:"tuples_scanned"`
+	// IndexHits counts lookups answered through a constant hash index.
+	IndexHits int64 `json:"index_hits"`
+	// INDExpansions counts tuples pulled into bottom clauses by IND
+	// chasing (§7.1) with this relation as the chase target.
+	INDExpansions int64 `json:"ind_expansions"`
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s StoreStat) Add(t StoreStat) StoreStat {
+	return StoreStat{
+		Lookups:       s.Lookups + t.Lookups,
+		TuplesScanned: s.TuplesScanned + t.TuplesScanned,
+		IndexHits:     s.IndexHits + t.IndexHits,
+		INDExpansions: s.INDExpansions + t.INDExpansions,
+	}
+}
+
+// SetStoreSource registers the callback snapshots pull per-relation store
+// statistics from (relstore.Instance.StoreStats, wired by ilp.NewTester).
+// A nil source detaches; registering twice keeps the latest, so the
+// registry follows the instance of the most recent Learn call.
+func (g *Registry) SetStoreSource(src func() map[string]StoreStat) {
+	g.storeMu.Lock()
+	g.storeSrc = src
+	g.storeMu.Unlock()
+}
+
+// storeSnapshot invokes the registered source, or returns nil.
+func (g *Registry) storeSnapshot() map[string]StoreStat {
+	g.storeMu.Lock()
+	src := g.storeSrc
+	g.storeMu.Unlock()
+	if src == nil {
+		return nil
+	}
+	return src()
 }
 
 // spanTotals accumulates one span kind.
@@ -105,6 +157,9 @@ type Report struct {
 	Counters map[string]int64     `json:"counters"`
 	Phases   map[string]PhaseStat `json:"phases"`
 	Spans    map[string]PhaseStat `json:"spans,omitempty"`
+	// Store holds per-relation store access statistics, when a store
+	// source is registered (relations with all-zero stats are omitted).
+	Store map[string]StoreStat `json:"relstore,omitempty"`
 }
 
 // Snapshot captures the registry's current state.
@@ -130,6 +185,14 @@ func (g *Registry) Snapshot() Report {
 		}
 	}
 	g.spanMu.Unlock()
+	if store := g.storeSnapshot(); len(store) > 0 {
+		r.Store = make(map[string]StoreStat, len(store))
+		for rel, s := range store {
+			if s != (StoreStat{}) {
+				r.Store[rel] = s
+			}
+		}
+	}
 	return r
 }
 
@@ -170,6 +233,18 @@ func (r Report) WriteSummary(w io.Writer) {
 				continue
 			}
 			fmt.Fprintf(w, "%-28s %12.3f %10d\n", n, s.Seconds, s.Calls)
+		}
+	}
+	if len(r.Store) > 0 {
+		fmt.Fprintf(w, "%-28s %12s %14s %12s %14s\n", "relation", "lookups", "tuples_scanned", "index_hits", "ind_expansions")
+		names = names[:0]
+		for n := range r.Store {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			s := r.Store[n]
+			fmt.Fprintf(w, "%-28s %12d %14d %12d %14d\n", n, s.Lookups, s.TuplesScanned, s.IndexHits, s.INDExpansions)
 		}
 	}
 	fmt.Fprintf(w, "%-28s %12s\n", "counter", "value")
@@ -218,6 +293,23 @@ func (r Report) WritePrometheus(w io.Writer) {
 	}
 	writeLabeled("sirl_phase", "phase", r.Phases)
 	writeLabeled("sirl_span", "span", r.Spans)
+	if len(r.Store) > 0 {
+		rels := make([]string, 0, len(r.Store))
+		for rel := range r.Store {
+			rels = append(rels, rel)
+		}
+		sort.Strings(rels)
+		writeStore := func(family string, get func(StoreStat) int64) {
+			fmt.Fprintf(w, "# TYPE sirl_relstore_%s counter\n", family)
+			for _, rel := range rels {
+				fmt.Fprintf(w, "sirl_relstore_%s{rel=%q} %d\n", family, rel, get(r.Store[rel]))
+			}
+		}
+		writeStore("lookups", func(s StoreStat) int64 { return s.Lookups })
+		writeStore("tuples_scanned", func(s StoreStat) int64 { return s.TuplesScanned })
+		writeStore("index_hits", func(s StoreStat) int64 { return s.IndexHits })
+		writeStore("ind_expansions", func(s StoreStat) int64 { return s.INDExpansions })
+	}
 }
 
 // FlatMetrics flattens the report into one name → value table — the
@@ -236,6 +328,20 @@ func (r Report) FlatMetrics() map[string]float64 {
 	for n, s := range r.Spans {
 		out["span_"+n+"_seconds"] = s.Seconds
 		out["span_"+n+"_calls"] = float64(s.Calls)
+	}
+	var total StoreStat
+	for rel, s := range r.Store {
+		out["relstore_"+rel+"_lookups"] = float64(s.Lookups)
+		out["relstore_"+rel+"_tuples_scanned"] = float64(s.TuplesScanned)
+		out["relstore_"+rel+"_index_hits"] = float64(s.IndexHits)
+		out["relstore_"+rel+"_ind_expansions"] = float64(s.INDExpansions)
+		total = total.Add(s)
+	}
+	if len(r.Store) > 0 {
+		out["relstore_lookups"] = float64(total.Lookups)
+		out["relstore_tuples_scanned"] = float64(total.TuplesScanned)
+		out["relstore_index_hits"] = float64(total.IndexHits)
+		out["relstore_ind_expansions"] = float64(total.INDExpansions)
 	}
 	return out
 }

@@ -199,6 +199,7 @@ type Run struct {
 	tracer Tracer
 	reg    *Registry
 	spans  SpanSink
+	prov   *Prov
 
 	// spanMu guards cur, the innermost open span (see span.go).
 	spanMu sync.Mutex

@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"time"
 )
@@ -29,12 +31,50 @@ type RunReport struct {
 	// Params are the learner parameters the run used, as flat name→value
 	// pairs (clause length, beam width, sample size, worker count, …).
 	Params map[string]any `json:"params,omitempty"`
+	// Env records the reproducibility context the run executed under.
+	Env *RunEnv `json:"env,omitempty"`
 	// ElapsedSeconds is the end-to-end wall time of the run.
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Metrics is the registry snapshot: counters, phases, span aggregates.
 	Metrics Report `json:"metrics"`
 	// Definition summarizes the learned theory, when the tool learned one.
 	Definition *DefinitionStats `json:"definition,omitempty"`
+}
+
+// RunEnv is the reproducibility context of one run: enough to rerun the
+// same binary configuration and attribute a metric shift to code versus
+// machine shape.
+type RunEnv struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// GitCommit is the vcs.revision baked into the binary's build info;
+	// empty for builds outside a checkout (go test binaries, go run).
+	GitCommit string `json:"git_commit,omitempty"`
+	// Seed is the run's RNG seed.
+	Seed int64 `json:"seed"`
+}
+
+// CaptureEnv snapshots the current process's reproducibility context.
+func CaptureEnv(seed int64) *RunEnv {
+	env := &RunEnv{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Seed:       seed,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				env.GitCommit = s.Value
+			}
+		}
+	}
+	return env
 }
 
 // DefinitionStats summarizes a learned definition and its evaluation.
@@ -90,6 +130,11 @@ type MetricDelta struct {
 	// Ratio is New/Old; +Inf when Old is zero and New is not, 1 when both
 	// are zero.
 	Ratio float64
+	// InOld and InNew report which reports actually carried the metric —
+	// a metric absent from one side reads as 0, which gates must tell
+	// apart from a real zero.
+	InOld bool
+	InNew bool
 }
 
 // DiffRunReports flattens both reports' metrics (see Report.FlatMetrics),
@@ -107,7 +152,9 @@ func DiffRunReports(old, new *RunReport) []MetricDelta {
 	}
 	out := make([]MetricDelta, 0, len(names))
 	for n := range names {
-		d := MetricDelta{Name: n, Old: om[n], New: nm[n]}
+		_, inOld := om[n]
+		_, inNew := nm[n]
+		d := MetricDelta{Name: n, Old: om[n], New: nm[n], InOld: inOld, InNew: inNew}
 		switch {
 		case d.Old != 0:
 			d.Ratio = d.New / d.Old

@@ -71,7 +71,7 @@ func (r *Run) WithSpans(sink SpanSink) *Run {
 	if r == nil {
 		return &Run{spans: sink}
 	}
-	return &Run{tracer: r.tracer, reg: r.reg, spans: sink}
+	return &Run{tracer: r.tracer, reg: r.reg, spans: sink, prov: r.prov}
 }
 
 // StartSpan opens a span named name under the innermost open span of the

@@ -77,9 +77,10 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 // state is one node of the search: a subset of bottom-clause literal
 // indexes, kept sorted for canonical identity.
 type state struct {
-	picks []int
-	p, n  int
-	score float64
+	picks  []int
+	p, n   int
+	score  float64
+	provID uint64 // provenance node of this state's clause, 0 when off
 }
 
 func (s *state) key() string {
@@ -93,10 +94,19 @@ func (s *state) key() string {
 // learnClause saturates the first uncovered example and searches subsets of
 // the bottom clause top-down.
 func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, uncovered []logic.Atom) *logic.Clause {
+	prov := params.Obs.Prov()
 	seed := uncovered[0]
 	bottom := ilp.BottomClause(prob, seed, params.Depth, params.MaxRecall)
 	if len(bottom.Body) == 0 {
 		return nil
+	}
+	var bottomID uint64
+	if prov.Enabled() {
+		bottomID = prov.Node(obs.ProvNode{
+			Step: obs.StepSeedBottom, Seed: seed.String(),
+			Clause: bottom.String(), Literals: len(bottom.Body),
+			Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispKept,
+		})
 	}
 	build := func(picks []int) *logic.Clause {
 		body := make([]logic.Atom, len(picks))
@@ -121,7 +131,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		return true
 	}
 
-	root := &state{}
+	root := &state{provID: bottomID}
 	if !evaluate(root) {
 		return nil
 	}
@@ -169,7 +179,23 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 				continue
 			}
 			if !evaluate(child) {
+				if prov.Enabled() {
+					c := build(child.picks)
+					prov.Node(obs.ProvNode{
+						Parents: []uint64{cur.provID}, Step: obs.StepBeamRefine, Seed: seed.String(),
+						Clause: c.String(), Literals: len(c.Body),
+						Pos: child.p, Neg: -1, Score: -1, Disposition: obs.DispPrunedScore,
+					})
+				}
 				continue // specializing further only shrinks coverage
+			}
+			if prov.Enabled() {
+				c := build(child.picks)
+				child.provID = prov.Node(obs.ProvNode{
+					Parents: []uint64{cur.provID}, Step: obs.StepBeamRefine, Seed: seed.String(),
+					Clause: c.String(), Literals: len(c.Body),
+					Pos: child.p, Neg: child.n, Score: child.score, Disposition: obs.DispKept,
+				})
 			}
 			children = append(children, child)
 		}

@@ -53,6 +53,7 @@ func (l *Learner) Learn(prob *ilp.Problem, params ilp.Params) (*logic.Definition
 // learnClause runs the beam search over ARMGs of the seed's bottom clause.
 func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.Tester, rng *rand, uncovered []logic.Atom) *logic.Clause {
 	run := params.Obs
+	prov := run.Prov()
 	seed := uncovered[0]
 	sb := run.StartSpan("bottom_clause", obs.F("seed", seed.String()))
 	tb := run.StartPhase(obs.PBottom)
@@ -66,18 +67,32 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		run.Emit("progolem.bottom",
 			obs.F("seed", seed.String()), obs.F("literals", len(bottom.Body)))
 	}
+	var rootID uint64
+	if prov.Enabled() {
+		rootID = prov.Node(obs.ProvNode{
+			Step: obs.StepSeedBottom, Seed: seed.String(),
+			Clause: bottom.String(), Literals: len(bottom.Body),
+			Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispKept,
+		})
+	}
 
 	type scored struct {
 		clause   *logic.Clause
 		pos, neg *coverage.Bitset
 		score    float64
+
+		provID     uint64 // provenance node once the disposition is known
+		provParent uint64
+		provSeed   string
 	}
 	evaluate := func(c *logic.Clause) scored {
 		pc := tester.CoveredSet(c, uncovered, nil)
 		nc := tester.CoveredSet(c, prob.Neg, nil)
 		return scored{clause: c, pos: pc, neg: nc, score: float64(pc.Count() - nc.Count())}
 	}
-	beam := []scored{evaluate(bottom)}
+	root := evaluate(bottom)
+	root.provID = rootID
+	beam := []scored{root}
 	k := params.Sample
 	if k < 1 {
 		k = 1
@@ -102,22 +117,54 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		// then scores concurrently, abandoning candidates that provably
 		// cannot beat the current best (they would not enter the beam).
 		var cands []coverage.Candidate
+		type candProv struct {
+			parent uint64
+			seed   string
+		}
+		var cmeta []candProv // aligned with cands; built only when recording
 		for _, b := range beam {
 			for _, e := range sample {
 				g := ARMG(tester, b.clause, e)
 				if g == nil || g.Equal(b.clause) {
+					if g != nil && prov.Enabled() {
+						prov.Node(obs.ProvNode{
+							Parents: []uint64{b.provID}, Step: obs.StepARMG, Seed: e.String(),
+							Clause: g.String(), Literals: len(g.Body),
+							Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispPrunedDuplicate,
+						})
+					}
 					continue
 				}
 				cands = append(cands, coverage.Candidate{Clause: g, KnownPos: b.pos, KnownNeg: b.neg})
+				if prov.Enabled() {
+					cmeta = append(cmeta, candProv{parent: b.provID, seed: e.String()})
+				}
 			}
 		}
 		var newCands []scored
-		for _, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore)) {
+		for ci, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore)) {
 			if s.Pruned {
+				if prov.Enabled() {
+					prov.Node(obs.ProvNode{
+						Parents: []uint64{cmeta[ci].parent}, Step: obs.StepARMG, Seed: cmeta[ci].seed,
+						Clause: s.Clause.String(), Literals: len(s.Clause.Body),
+						Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispPrunedBudget,
+					})
+				}
 				continue
 			}
 			if sc := float64(s.P - s.N); sc > bestScore {
-				newCands = append(newCands, scored{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc})
+				ns := scored{clause: s.Clause, pos: s.Pos, neg: s.Neg, score: sc}
+				if prov.Enabled() {
+					ns.provParent, ns.provSeed = cmeta[ci].parent, cmeta[ci].seed
+				}
+				newCands = append(newCands, ns)
+			} else if prov.Enabled() {
+				prov.Node(obs.ProvNode{
+					Parents: []uint64{cmeta[ci].parent}, Step: obs.StepARMG, Seed: cmeta[ci].seed,
+					Clause: s.Clause.String(), Literals: len(s.Clause.Body),
+					Pos: s.P, Neg: s.N, Score: float64(s.P - s.N), Disposition: obs.DispPrunedScore,
+				})
 			}
 		}
 		if len(newCands) == 0 {
@@ -126,6 +173,21 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		}
 		// Keep the N highest-scoring candidates, ties in discovery order.
 		sort.SliceStable(newCands, func(i, j int) bool { return newCands[i].score > newCands[j].score })
+		if prov.Enabled() {
+			// Dispositions are final only after the width trim.
+			for i := range newCands {
+				b := &newCands[i]
+				disp := obs.DispKept
+				if i >= width {
+					disp = obs.DispPrunedScore
+				}
+				b.provID = prov.Node(obs.ProvNode{
+					Parents: []uint64{b.provParent}, Step: obs.StepARMG, Seed: b.provSeed,
+					Clause: b.clause.String(), Literals: len(b.clause.Body),
+					Pos: b.pos.Count(), Neg: b.neg.Count(), Score: b.score, Disposition: disp,
+				})
+			}
+		}
 		if len(newCands) > width {
 			newCands = newCands[:width]
 		}
@@ -151,6 +213,13 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 	run.EndPhase(obs.PNegReduce, tn)
 	sn.Annotate(obs.F("kept", len(reduced.Body)))
 	sn.End()
+	if prov.Enabled() && !reduced.Equal(best.clause) {
+		prov.Node(obs.ProvNode{
+			Parents: []uint64{best.provID}, Step: obs.StepNegativeReduction, Seed: seed.String(),
+			Clause: reduced.String(), Literals: len(reduced.Body),
+			Pos: -1, Neg: -1, Score: -1, Disposition: obs.DispKept,
+		})
+	}
 	if len(reduced.Body) == 0 {
 		return nil
 	}

@@ -55,6 +55,37 @@ func (i *Instance) SatisfyBody(body []logic.Atom, init logic.Substitution) bool 
 	return found
 }
 
+// WitnessBody returns the first substitution (in the solver's
+// deterministic enumeration order) extending init that maps every body
+// atom onto a tuple of the instance, or nil when none exists. It is
+// SatisfyBody returning its evidence: `castor explain` renders the result
+// as the matching substitution of a coverage witness.
+func (i *Instance) WitnessBody(body []logic.Atom, init logic.Substitution) logic.Substitution {
+	if init == nil {
+		init = logic.NewSubstitution()
+	}
+	init = init.Clone() // the solver binds in place
+	var witness logic.Substitution
+	ctx := evalCtx{nodes: i.budget()}
+	i.forEachSolution(body, init, &ctx, func(s logic.Substitution) bool {
+		witness = s.Clone() // s is trail-managed; freeze the first solution
+		return false
+	})
+	ctx.flush(i.obs)
+	return witness
+}
+
+// CoverageWitness returns the substitution under which clause c covers
+// the ground example atom e — the head match extended to a full body
+// embedding — or nil when c does not cover e.
+func (i *Instance) CoverageWitness(c *logic.Clause, e logic.Atom) logic.Substitution {
+	s, ok := logic.MatchAtoms(c.Head, e, logic.NewSubstitution())
+	if !ok {
+		return nil
+	}
+	return i.WitnessBody(c.Body, s)
+}
+
 // CoversExample reports whether clause c covers the ground example atom e
 // relative to the instance: some θ maps c's head onto e and c's body into
 // the instance. This is the coverage test of Definition 3.1.

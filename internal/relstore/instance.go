@@ -3,6 +3,7 @@ package relstore
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -35,6 +36,38 @@ type Table struct {
 	seen    map[string]int     // tuple key → index in tuples
 	byCol   []map[string][]int // column → value → tuple indexes
 	indexed bool
+	stats   tableStats
+}
+
+// tableStats are the cumulative access statistics of one table. Atomic
+// because coverage workers probe tables concurrently; always on, because
+// each probe already walks a candidate list and one atomic add per fetch
+// is noise next to it.
+type tableStats struct {
+	lookups       atomic.Int64 // candidate-tuple fetches
+	scanned       atomic.Int64 // tuples examined by those fetches
+	indexHits     atomic.Int64 // fetches answered through a hash index
+	indExpansions atomic.Int64 // tuples chased in through INDs (§7.1)
+}
+
+// Stats returns a snapshot of the table's access statistics.
+func (t *Table) Stats() obs.StoreStat {
+	return obs.StoreStat{
+		Lookups:       t.stats.lookups.Load(),
+		TuplesScanned: t.stats.scanned.Load(),
+		IndexHits:     t.stats.indexHits.Load(),
+		INDExpansions: t.stats.indExpansions.Load(),
+	}
+}
+
+// AddINDExpansions records n tuples pulled into a bottom clause by IND
+// chasing with this table as the chase target. The chase itself lives in
+// the learner; the count lives here so it lands in the same per-relation
+// snapshot as the probe statistics.
+func (t *Table) AddINDExpansions(n int64) {
+	if n > 0 {
+		t.stats.indExpansions.Add(n)
+	}
 }
 
 func newTable(rel *Relation, indexed bool) *Table {
@@ -98,7 +131,9 @@ func (t *Table) MatchingIndexes(col int, v string) []int {
 // TuplesWith returns the tuples matching every (column, value) requirement.
 // With indexes it starts from the most selective bound column.
 func (t *Table) TuplesWith(req map[int]string) []Tuple {
+	t.stats.lookups.Add(1)
 	if len(req) == 0 {
+		t.stats.scanned.Add(int64(len(t.tuples)))
 		return t.tuples
 	}
 	// Pick the most selective column (deterministically: smallest candidate
@@ -114,8 +149,13 @@ func (t *Table) TuplesWith(req map[int]string) []Tuple {
 			bestCol, bestLen = col, n
 		}
 	}
+	if t.indexed {
+		t.stats.indexHits.Add(1)
+	}
+	probe := t.MatchingIndexes(bestCol, req[bestCol])
+	t.stats.scanned.Add(int64(len(probe)))
 	var out []Tuple
-	for _, idx := range t.MatchingIndexes(bestCol, req[bestCol]) {
+	for _, idx := range probe {
 		tp := t.tuples[idx]
 		ok := true
 		for col, v := range req {
@@ -134,6 +174,13 @@ func (t *Table) TuplesWith(req map[int]string) []Tuple {
 // TuplesContaining returns indexes of tuples holding value v in any column,
 // deduplicated, in tuple order.
 func (t *Table) TuplesContaining(v string) []Tuple {
+	t.stats.lookups.Add(1)
+	if t.indexed {
+		t.stats.indexHits.Add(1)
+	} else {
+		// One full scan per column when no index exists.
+		t.stats.scanned.Add(int64(len(t.tuples) * t.rel.Arity()))
+	}
 	seen := make(map[int]bool)
 	var idxs []int
 	for col := 0; col < t.rel.Arity(); col++ {
@@ -143,6 +190,9 @@ func (t *Table) TuplesContaining(v string) []Tuple {
 				idxs = append(idxs, i)
 			}
 		}
+	}
+	if t.indexed {
+		t.stats.scanned.Add(int64(len(idxs)))
 	}
 	// Restore insertion order for determinism.
 	sortInts(idxs)
@@ -216,6 +266,30 @@ func (i *Instance) MustInsert(rel string, values ...string) {
 
 // Table returns the table of a relation, or nil if unknown.
 func (i *Instance) Table(rel string) *Table { return i.tables[rel] }
+
+// StoreStats snapshots the per-relation access statistics of every table
+// that has been probed at least once (untouched relations are omitted).
+// Safe to call while coverage workers run: each field is read atomically,
+// so a snapshot is per-field consistent, not cross-field.
+func (i *Instance) StoreStats() map[string]obs.StoreStat {
+	out := make(map[string]obs.StoreStat, len(i.tables))
+	for name, t := range i.tables {
+		if s := t.Stats(); s != (obs.StoreStat{}) {
+			out[name] = s
+		}
+	}
+	return out
+}
+
+// ResetStoreStats zeroes the access statistics of every table.
+func (i *Instance) ResetStoreStats() {
+	for _, t := range i.tables {
+		t.stats.lookups.Store(0)
+		t.stats.scanned.Store(0)
+		t.stats.indexHits.Store(0)
+		t.stats.indExpansions.Store(0)
+	}
+}
 
 // NumTuples returns the total number of tuples across all relations.
 func (i *Instance) NumTuples() int {

@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 )
@@ -211,4 +212,32 @@ func (p *Plan) ClassOf(rel string) int {
 		return ci
 	}
 	return -1
+}
+
+// Explain renders the compiled plan as an EXPLAIN-style text report: the
+// inclusion classes, then, per relation in schema order, the IND hops
+// bottom-clause construction will chase out of it, with the column
+// positions each hop joins on. What the text shows is exactly what
+// GroundBottomClause executes — the plan is the stored procedure.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	rels := p.schema.Relations()
+	fmt.Fprintf(&b, "plan: %d relations, %d INDs, %d inclusion classes\n",
+		len(rels), len(p.schema.INDs()), len(p.classes))
+	for ci, members := range p.classes {
+		fmt.Fprintf(&b, "class %d: %s\n", ci, strings.Join(members, ", "))
+	}
+	for _, r := range rels {
+		hops := p.partners[r.Name]
+		fmt.Fprintf(&b, "%s\n", r)
+		if len(hops) == 0 {
+			b.WriteString("  no IND hops: frontier scan only\n")
+			continue
+		}
+		for _, h := range hops {
+			fmt.Fprintf(&b, "  chase %s via %s: cols %v -> %s cols %v\n",
+				h.Rel, h.IND, h.SrcPos, h.Rel, h.DstPos)
+		}
+	}
+	return b.String()
 }

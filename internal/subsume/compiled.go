@@ -1,6 +1,8 @@
 package subsume
 
 import (
+	"strings"
+
 	"repro/internal/logic"
 	"repro/internal/obs"
 )
@@ -127,12 +129,55 @@ func (cd *Compiled) SubsumesBodyR(run *obs.Run, cBody []logic.Atom, init logic.S
 	return cd.match(run, nil, cBody, init)
 }
 
+// Witness is Subsumes returning the witnessing substitution: the mapping
+// from c's variables to the target symbols they landed on. Target-clause
+// variables (skolemized during compilation) are reported under their
+// original names as variable terms; everything else is a constant. The
+// second return is false — and the substitution nil — when c does not
+// subsume the target.
+func (cd *Compiled) Witness(c *logic.Clause) (logic.Substitution, bool) {
+	m := &matcher{cd: cd, nodes: matchBudget}
+	if !m.run(&c.Head, c.Body, nil) {
+		return nil, false
+	}
+	return m.witness(), true
+}
+
+// WitnessBody is SubsumesBody returning the witnessing substitution for
+// the source body's variables (init entries are not repeated in it).
+func (cd *Compiled) WitnessBody(cBody []logic.Atom, init logic.Substitution) (logic.Substitution, bool) {
+	m := &matcher{cd: cd, nodes: matchBudget}
+	if !m.run(nil, cBody, init) {
+		return nil, false
+	}
+	return m.witness(), true
+}
+
+// witness externalizes the final substitution of a successful match.
+func (m *matcher) witness() logic.Substitution {
+	out := make(logic.Substitution, m.vars.Len())
+	for slot := int32(0); slot < int32(m.vars.Len()); slot++ {
+		sym, bound := m.subst.Value(slot)
+		if !bound {
+			continue
+		}
+		name := m.cd.syms.Name(sym)
+		if strings.HasPrefix(name, skolemPrefix) {
+			out[m.vars.Name(slot)] = logic.Var(name[len(skolemPrefix):])
+		} else {
+			out[m.vars.Name(slot)] = logic.Const(name)
+		}
+	}
+	return out
+}
+
 // matcher is the per-probe search state of one compiled match: interned
 // source literals, a slot-indexed substitution with a trail, and one live
 // candidate domain per open source literal, narrowed on bind and restored
 // from the domain trail on backtrack.
 type matcher struct {
 	cd        *Compiled
+	vars      *logic.VarSlots
 	lits      []logic.IAtom
 	subst     *logic.Subst
 	occ       [][]occEntry // slot → occurrences in source body
@@ -183,6 +228,7 @@ func (m *matcher) report(run *obs.Run) {
 
 func (m *matcher) run(head *logic.Atom, body []logic.Atom, init logic.Substitution) bool {
 	vars := logic.NewVarSlots()
+	m.vars = vars
 	var headLit logic.IAtom
 	if head != nil {
 		hl, ok := m.internSource(*head, vars, init)

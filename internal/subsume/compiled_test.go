@@ -127,3 +127,76 @@ func TestCompiledConcurrentProbes(t *testing.T) {
 		t.Fatal(e)
 	}
 }
+
+// TestWitness: a successful probe can report the substitution it found,
+// with target-clause variables externalized under their original names.
+func TestWitness(t *testing.T) {
+	// Ground target: p(a) :- q(a,b).
+	ground := &logic.Clause{
+		Head: logic.GroundAtom("p", "a"),
+		Body: []logic.Atom{logic.GroundAtom("q", "a", "b")},
+	}
+	src := &logic.Clause{
+		Head: logic.NewAtom("p", logic.Var("X")),
+		Body: []logic.Atom{logic.NewAtom("q", logic.Var("X"), logic.Var("Y"))},
+	}
+	s, ok := Compile(ground).Witness(src)
+	if !ok {
+		t.Fatalf("source should subsume the ground target")
+	}
+	if got := s["X"]; got.IsVar || got.Name != "a" {
+		t.Fatalf("X bound to %v, want constant a", got)
+	}
+	if got := s["Y"]; got.IsVar || got.Name != "b" {
+		t.Fatalf("Y bound to %v, want constant b", got)
+	}
+
+	// Variablized target: p(U,V) :- q(U,W), r(W,V). The skolemized target
+	// variables must come back as variables named U/V/W.
+	varTgt := &logic.Clause{
+		Head: logic.NewAtom("p", logic.Var("U"), logic.Var("V")),
+		Body: []logic.Atom{
+			logic.NewAtom("q", logic.Var("U"), logic.Var("W")),
+			logic.NewAtom("r", logic.Var("W"), logic.Var("V")),
+		},
+	}
+	src2 := &logic.Clause{
+		Head: logic.NewAtom("p", logic.Var("X"), logic.Var("Y")),
+		Body: []logic.Atom{logic.NewAtom("q", logic.Var("X"), logic.Var("Z"))},
+	}
+	s2, ok := Compile(varTgt).Witness(src2)
+	if !ok {
+		t.Fatalf("source should subsume the variablized target")
+	}
+	want := map[string]string{"X": "U", "Y": "V", "Z": "W"}
+	for v, tgt := range want {
+		got, bound := s2[v]
+		if !bound || !got.IsVar || got.Name != tgt {
+			t.Fatalf("%s bound to %v, want variable %s", v, got, tgt)
+		}
+	}
+
+	// Non-subsuming pair: nil witness, false.
+	bad := &logic.Clause{
+		Head: logic.NewAtom("p", logic.Var("X")),
+		Body: []logic.Atom{logic.NewAtom("missing", logic.Var("X"))},
+	}
+	if s3, ok := Compile(ground).Witness(bad); ok || s3 != nil {
+		t.Fatalf("non-subsuming pair returned a witness: %v", s3)
+	}
+
+	// WitnessBody with an init binding: init entries resolve before
+	// interning and are not repeated in the witness.
+	s4, ok := CompileBody([]logic.Atom{logic.GroundAtom("q", "a", "b")}).
+		WitnessBody([]logic.Atom{logic.NewAtom("q", logic.Var("X"), logic.Var("Y"))},
+			logic.Substitution{"X": logic.Const("a")})
+	if !ok {
+		t.Fatalf("body should map under init")
+	}
+	if got := s4["Y"]; got.IsVar || got.Name != "b" {
+		t.Fatalf("Y bound to %v, want constant b", got)
+	}
+	if _, repeated := s4["X"]; repeated {
+		t.Fatalf("init binding X leaked into the witness")
+	}
+}
