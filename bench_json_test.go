@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/relstore"
 )
 
@@ -25,14 +26,18 @@ type benchEntry struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// benchDocument is the top-level BENCH_castor.json shape.
+// benchDocument is the top-level BENCH_castor.json shape. CPUs is the
+// effective GOMAXPROCS the suite ran under — the CI bench-smoke matrix
+// emits one document per setting, so scaling curves (not just single-core
+// numbers) are the regression surface.
 type benchDocument struct {
-	Suite      string       `json:"suite"`
-	GoVersion  string       `json:"go_version"`
-	GOOS       string       `json:"goos"`
-	GOARCH     string       `json:"goarch"`
-	CPUs       int          `json:"cpus"`
-	Benchmarks []benchEntry `json:"benchmarks"`
+	Suite        string       `json:"suite"`
+	GoVersion    string       `json:"go_version"`
+	GOOS         string       `json:"goos"`
+	GOARCH       string       `json:"goarch"`
+	CPUs         int          `json:"cpus"`
+	RSSPeakBytes int64        `json:"rss_peak_bytes"`
+	Benchmarks   []benchEntry `json:"benchmarks"`
 }
 
 // TestEmitBenchJSON is skipped unless BENCH_JSON names an output path. It
@@ -56,6 +61,10 @@ func TestEmitBenchJSON(t *testing.T) {
 		for metric, v := range r.Extra {
 			e.Metrics[metric] = v
 		}
+		// mem_bytes/op is the heap bytes each op allocates (the benchmark
+		// helpers call b.ReportAllocs), the per-scenario memory regression
+		// surface next to the document-level RSS peak.
+		e.Metrics["mem_bytes/op"] = float64(r.AllocedBytesPerOp())
 		return e
 	}
 
@@ -64,12 +73,12 @@ func TestEmitBenchJSON(t *testing.T) {
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		CPUs:      runtime.GOMAXPROCS(0),
 	}
 	doc.Benchmarks = append(doc.Benchmarks,
 		measure("CandidateScoring/serial", func(b *testing.B) { benchScoreBatch(b, prob, cands, 1, true) }),
-		measure("CandidateScoring/parallel", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.NumCPU(), true) }),
-		measure("CandidateScoring/cached", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.NumCPU(), false) }),
+		measure("CandidateScoring/parallel", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.GOMAXPROCS(0), true) }),
+		measure("CandidateScoring/cached", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.GOMAXPROCS(0), false) }),
 	)
 	for _, shape := range subsumptionShapes() {
 		shape := shape
@@ -79,8 +88,12 @@ func TestEmitBenchJSON(t *testing.T) {
 	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
 	doc.Benchmarks = append(doc.Benchmarks,
 		measure("BottomClause/serial", func(b *testing.B) { benchBottomClause(b, prob, plan, 1) }),
-		measure("BottomClause/parallel", func(b *testing.B) { benchBottomClause(b, prob, plan, runtime.NumCPU()) }),
+		measure("BottomClause/parallel", func(b *testing.B) { benchBottomClause(b, prob, plan, runtime.GOMAXPROCS(0)) }),
 	)
+
+	// RSS after the whole suite: the process's high-water resident set,
+	// the "RSS tracked in BENCH" hook of the roadmap.
+	doc.RSSPeakBytes = obs.ReadRSS()
 
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

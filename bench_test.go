@@ -207,6 +207,7 @@ func benchScoreBatch(b *testing.B, prob *ilp.Problem, cands []coverage.Candidate
 	// Warm the saturation cache so both variants time scoring, not
 	// bottom-clause construction.
 	tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		scores := tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
@@ -226,8 +227,8 @@ func BenchmarkCandidateScoring(b *testing.B) {
 	prob := benchUWCSEProblem(b, true)
 	cands := buildScoringCandidates(b, prob)
 	b.Run("serial", func(b *testing.B) { benchScoreBatch(b, prob, cands, 1, true) })
-	b.Run("parallel", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.NumCPU(), true) })
-	b.Run("cached", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.NumCPU(), false) })
+	b.Run("parallel", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.GOMAXPROCS(0), true) })
+	b.Run("cached", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.GOMAXPROCS(0), false) })
 }
 
 // subsumptionShape is one (source body, target body) pair exercising a
@@ -311,6 +312,7 @@ func benchSubsumptionCompiled(b *testing.B, shape subsumptionShape) {
 	reg := obs.NewRegistry()
 	run := obs.NewRun(nil, reg)
 	cd := subsume.CompileBody(shape.dBody)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if got := cd.SubsumesBodyR(run, shape.cBody, nil); got != shape.want {
@@ -354,6 +356,7 @@ func benchBottomClause(b *testing.B, prob *ilp.Problem, plan *relstore.Plan, wor
 	params.Obs = obs.NewRun(nil, reg)
 	prob.Instance.ResetStoreStats()
 	var lits int
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bc := castor.GroundBottomClause(prob, plan, prob.Pos[i%len(prob.Pos)], params)
@@ -379,7 +382,7 @@ func BenchmarkBottomClause(b *testing.B) {
 	for _, c := range []struct {
 		name    string
 		workers int
-	}{{"serial", 1}, {"parallel", runtime.NumCPU()}} {
+	}{{"serial", 1}, {"parallel", runtime.GOMAXPROCS(0)}} {
 		b.Run(c.name, func(b *testing.B) { benchBottomClause(b, prob, plan, c.workers) })
 	}
 }

@@ -41,9 +41,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/castor"
@@ -75,7 +77,13 @@ type options struct {
 	traceFile, metricsFile string
 	chromeFile, reportFile string
 	httpAddr               string
+	httpIdle               time.Duration
 	cpuProfile, memProfile string
+
+	flightFile       string
+	watchdogStall    time.Duration
+	watchdogSelftest bool
+	sampleResources  time.Duration
 
 	provFile     string
 	provMaxNodes int64
@@ -113,7 +121,12 @@ func main() {
 	flag.StringVar(&o.metricsFile, "metrics", "", "write the JSON metrics report to this file")
 	flag.StringVar(&o.chromeFile, "chrometrace", "", "write a Chrome trace-event (Perfetto) span trace to this file")
 	flag.StringVar(&o.reportFile, "report", "", "write the JSON run report (for cmd/obsreport) to this file")
-	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /progress and /debug/pprof/ on this address (e.g. :6060)")
+	flag.StringVar(&o.httpAddr, "http", "", "serve /metrics, /progress, /debug/flightrecorder and /debug/pprof/ on this address (e.g. :6060)")
+	flag.DurationVar(&o.httpIdle, "http-idle", 0, "keep the -http server alive this long after the run finishes")
+	flag.StringVar(&o.flightFile, "flightrecorder", "", "write flight-recorder dumps (JSONL) to this file (default: stderr on dump)")
+	flag.DurationVar(&o.watchdogStall, "watchdog-stall", 0, "trip the stall watchdog after this long without heartbeat progress (0 = off)")
+	flag.BoolVar(&o.watchdogSelftest, "watchdog-selftest", false, "hold the run idle after learning until the watchdog trips once (CI/debugging)")
+	flag.DurationVar(&o.sampleResources, "sample-resources", 0, "sample RSS/heap/goroutines every interval into gauges and the flight recorder (0 = off)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.StringVar(&o.provFile, "provenance", "", "write the candidate search graph (JSONL) to this file")
@@ -142,9 +155,22 @@ func run(o options, out io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	// Instrumentation: counters always (they also feed the summary), event
-	// sinks only where asked.
+	// Instrumentation: counters always (they also feed the summary), the
+	// flight recorder always (it is the crash-evidence layer; ~1.5MB),
+	// event sinks only where asked.
 	reg := obs.NewRegistry()
+	fr := obs.NewFlightRecorder(0)
+	fr.SetDumpPath(o.flightFile)
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+	go func() {
+		// SIGQUIT dumps the ring and keeps running (like a JVM thread
+		// dump), so an operator can probe a live learn repeatedly.
+		for range sigq {
+			fr.DumpNow("sigquit") //nolint:errcheck // best-effort operator dump
+		}
+	}()
 	var tracers []obs.Tracer
 	if o.verbose {
 		tracers = append(tracers, obs.NewTextSink(os.Stderr))
@@ -174,14 +200,35 @@ func run(o options, out io.Writer) error {
 	if o.httpAddr != "" {
 		prog := obs.NewProgress(reg)
 		spanSinks = append(spanSinks, prog)
-		srv, err := obs.StartServer(o.httpAddr, reg, prog)
+		srv, err := obs.StartServer(o.httpAddr, reg, prog, fr)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "introspection server on http://%s/ (/metrics /progress /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(out, "introspection server on http://%s/ (/metrics /progress /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
 	}
-	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).WithSpans(obs.MultiSpanSink(spanSinks...))
+	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).
+		WithSpans(obs.MultiSpanSink(spanSinks...)).
+		WithFlightRecorder(fr)
+	if o.sampleResources > 0 {
+		smp := obs.StartSampler(obsRun, o.sampleResources)
+		defer smp.Stop()
+	}
+	var wd *obs.Watchdog
+	if o.watchdogStall > 0 {
+		wd = obs.StartWatchdog(obsRun, o.watchdogStall, func(si obs.StallInfo) {
+			fmt.Fprintf(os.Stderr, "watchdog: no heartbeat progress for %s (trip %d); live spans:\n",
+				si.Stalled.Round(time.Millisecond), si.Trips)
+			if len(si.Spans) == 0 {
+				fmt.Fprintln(os.Stderr, "  (no open spans)")
+			}
+			for _, s := range si.Spans {
+				fmt.Fprintf(os.Stderr, "  %s (open %.2fs, id %d)\n", s.Name, s.ElapsedSeconds, s.ID)
+			}
+			fr.DumpNow("watchdog") //nolint:errcheck // best-effort stall dump
+		})
+		defer wd.Stop()
+	}
 	var prov *obs.Prov
 	if o.provFile != "" {
 		p, err := obs.CreateProvenanceFile(o.provFile,
@@ -277,6 +324,20 @@ func run(o options, out io.Writer) error {
 			return err
 		}
 	}
+	if o.watchdogSelftest && wd != nil {
+		// Deterministic trip for CI: the run is idle now, so the heartbeat
+		// counter stops and the watchdog must fire within ~1.25× the stall.
+		fmt.Fprintln(out, "watchdog-selftest: holding idle until the watchdog trips")
+		deadline := time.Now().Add(10*o.watchdogStall + 5*time.Second)
+		for wd.Trips() == 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if wd.Trips() == 0 {
+			return fmt.Errorf("watchdog-selftest: watchdog did not trip within %s", 10*o.watchdogStall+5*time.Second)
+		}
+		fmt.Fprintf(out, "watchdog-selftest: tripped (trips=%d)\n", wd.Trips())
+	}
+	obsRun.Sample() // final resource sample, so every report carries RSS/heap gauges
 	report := reg.Snapshot()
 	if o.reportFile != "" {
 		rr := &obs.RunReport{
@@ -330,6 +391,18 @@ func run(o options, out io.Writer) error {
 		runtime.GC() // materialize up-to-date heap statistics
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			return err
+		}
+	}
+	if o.httpAddr != "" && o.httpIdle > 0 {
+		fmt.Fprintf(out, "idling %s for introspection (SIGQUIT or /debug/flightrecorder to dump)\n", o.httpIdle)
+		time.Sleep(o.httpIdle)
+	}
+	if o.flightFile != "" {
+		// End-of-run dump: the file always holds the final window (any
+		// earlier watchdog/sigquit marks are still in the ring, so nothing
+		// is lost by the rewrite).
+		if err := fr.DumpNow("run_end"); err != nil {
+			return fmt.Errorf("writing flight recorder dump: %w", err)
 		}
 	}
 	return nil

@@ -22,9 +22,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -43,9 +45,12 @@ func main() {
 	metricsFile := flag.String("metrics", "", "write the JSON metrics report to this file")
 	chromeFile := flag.String("chrometrace", "", "write a Chrome trace-event (Perfetto) span trace to this file")
 	reportFile := flag.String("report", "", "write the JSON run report (for cmd/obsreport) to this file")
-	httpAddr := flag.String("http", "", "serve /metrics, /progress and /debug/pprof/ on this address (e.g. :6060)")
+	httpAddr := flag.String("http", "", "serve /metrics, /progress, /debug/flightrecorder and /debug/pprof/ on this address (e.g. :6060)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file")
+	flightFile := flag.String("flightrecorder", "", "write flight-recorder dumps (JSONL) to this file (default: stderr on dump)")
+	watchdogStall := flag.Duration("watchdog-stall", 0, "trip the stall watchdog after this long without heartbeat progress (0 = off)")
+	sampleResources := flag.Duration("sample-resources", 0, "sample RSS/heap/goroutines every interval into gauges and the flight recorder (0 = off)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -61,14 +66,27 @@ func main() {
 	}
 
 	var reg *obs.Registry
+	var fr *obs.FlightRecorder
 	var tracers []obs.Tracer
 	var spanSinks []obs.SpanSink
 	var traceSink *obs.JSONLSink
 	var chromeSink *obs.ChromeTraceSink
 	observing := *verbose || *traceFile != "" || *metricsFile != "" ||
-		*chromeFile != "" || *reportFile != "" || *httpAddr != ""
+		*chromeFile != "" || *reportFile != "" || *httpAddr != "" ||
+		*flightFile != "" || *watchdogStall > 0 || *sampleResources > 0
 	if observing {
 		reg = obs.NewRegistry()
+		fr = obs.NewFlightRecorder(0)
+		fr.SetDumpPath(*flightFile)
+		sigq := make(chan os.Signal, 1)
+		signal.Notify(sigq, syscall.SIGQUIT)
+		defer signal.Stop(sigq)
+		go func() {
+			// Dump and keep running, like a JVM thread dump.
+			for range sigq {
+				fr.DumpNow("sigquit") //nolint:errcheck // best-effort operator dump
+			}
+		}()
 		if *verbose {
 			tracers = append(tracers, obs.NewTextSink(os.Stderr))
 		}
@@ -92,23 +110,41 @@ func main() {
 		if *httpAddr != "" {
 			prog := obs.NewProgress(reg)
 			spanSinks = append(spanSinks, prog)
-			srv, err := obs.StartServer(*httpAddr, reg, prog)
+			srv, err := obs.StartServer(*httpAddr, reg, prog, fr)
 			if err != nil {
 				fatal(err)
 			}
 			defer srv.Close()
-			fmt.Printf("introspection server on http://%s/ (/metrics /progress /debug/pprof/)\n", srv.Addr())
+			fmt.Printf("introspection server on http://%s/ (/metrics /progress /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
 		}
 	}
 
 	start := time.Now()
+	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).
+		WithSpans(obs.MultiSpanSink(spanSinks...)).
+		WithFlightRecorder(fr)
+	if *sampleResources > 0 {
+		smp := obs.StartSampler(obsRun, *sampleResources)
+		defer smp.Stop()
+	}
+	if *watchdogStall > 0 {
+		wd := obs.StartWatchdog(obsRun, *watchdogStall, func(si obs.StallInfo) {
+			fmt.Fprintf(os.Stderr, "watchdog: no heartbeat progress for %s (trip %d); live spans:\n",
+				si.Stalled.Round(time.Millisecond), si.Trips)
+			for _, s := range si.Spans {
+				fmt.Fprintf(os.Stderr, "  %s (open %.2fs, id %d)\n", s.Name, s.ElapsedSeconds, s.ID)
+			}
+			fr.DumpNow("watchdog") //nolint:errcheck // best-effort stall dump
+		})
+		defer wd.Stop()
+	}
 	cfg := experiments.Config{
 		Scale:       *scale,
 		Folds:       *folds,
 		Parallelism: *par,
 		Seed:        *seed,
 		Out:         os.Stdout,
-		Obs:         obs.NewRun(obs.MultiTracer(tracers...), reg).WithSpans(obs.MultiSpanSink(spanSinks...)),
+		Obs:         obsRun,
 	}
 
 	runners := map[string]func() error{
@@ -153,6 +189,7 @@ func main() {
 		}
 	}
 	if reg != nil {
+		obsRun.Sample() // final resource sample, so reports carry RSS/heap gauges
 		report := reg.Snapshot()
 		if *reportFile != "" {
 			rr := &obs.RunReport{
@@ -196,6 +233,11 @@ func main() {
 		defer f.Close()
 		runtime.GC() // materialize up-to-date heap statistics
 		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	if *flightFile != "" {
+		if err := fr.DumpNow("run_end"); err != nil {
 			fatal(err)
 		}
 	}

@@ -9,15 +9,23 @@
 //	obsreport old.json new.json                       # full diff table
 //	obsreport -watch elapsed_seconds,coverage_tests \
 //	          -threshold 1.10 old.json new.json       # gate: new ≤ 1.10×old
+//	obsreport -watch 'elapsed_seconds=1.5,hist_subsumption_probe_p99=2.0' \
+//	          old.json new.json                       # per-metric thresholds
 //
 // Metric names are the flattened namespace of the run report: counters
 // keep their report names (coverage_tests, subsumption_nodes, …), phases
 // become <phase>_seconds and <phase>_calls, span aggregates become
-// span_<name>_seconds and span_<name>_calls, and elapsed_seconds and the
-// definition_* stats are included. Exit status: 0 when no watched metric
-// regresses, 1 on a regression or when a watched metric is present in only
-// one of the two reports, 2 on usage or read errors (including a watched
-// metric absent from both reports).
+// span_<name>_seconds and span_<name>_calls, histogram percentiles become
+// hist_<name>_p50/_p95/_p99/_count, gauges (rss_peak_bytes, …) keep their
+// names, and elapsed_seconds and the definition_* stats are included. A
+// -watch entry may carry its own threshold as name=ratio; entries without
+// one use -threshold. Exit status: 0 when no watched metric regresses, 1
+// on a regression or when a watched metric is present in only one of the
+// two reports, 2 on usage or read errors — including a watched metric
+// absent from both reports, and a metric whose family differs between the
+// reports (say a counter in one and a histogram percentile in the other):
+// such values are not comparable, and obsreport refuses to diff them
+// rather than silently passing.
 package main
 
 import (
@@ -39,11 +47,11 @@ func main() {
 func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	watch := fs.String("watch", "", "comma-separated metrics to gate on (empty: report only, never fail)")
-	threshold := fs.Float64("threshold", 1.10, "max allowed new/old ratio for watched metrics")
+	watch := fs.String("watch", "", "comma-separated metrics to gate on, each optionally name=threshold (empty: report only, never fail)")
+	threshold := fs.Float64("threshold", 1.10, "max allowed new/old ratio for watched metrics without their own =threshold")
 	all := fs.Bool("all", false, "print unchanged metrics too")
 	fs.Usage = func() {
-		fmt.Fprintln(errw, "usage: obsreport [-watch m1,m2] [-threshold 1.10] [-all] old.json new.json")
+		fmt.Fprintln(errw, "usage: obsreport [-watch m1,m2=1.5] [-threshold 1.10] [-all] old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -64,22 +72,44 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 
-	watched := make(map[string]bool)
+	// watched maps each gated metric to its allowed new/old ratio: the
+	// entry's own name=threshold when given, the global -threshold
+	// otherwise.
+	watched := make(map[string]float64)
 	for _, w := range strings.Split(*watch, ",") {
-		if w = strings.TrimSpace(w); w != "" {
-			watched[w] = true
+		if w = strings.TrimSpace(w); w == "" {
+			continue
 		}
+		name, thr := w, *threshold
+		if eq := strings.IndexByte(w, '='); eq >= 0 {
+			name = strings.TrimSpace(w[:eq])
+			if _, err := fmt.Sscanf(strings.TrimSpace(w[eq+1:]), "%g", &thr); err != nil || name == "" {
+				fmt.Fprintf(errw, "obsreport: bad -watch entry %q (want name or name=threshold)\n", w)
+				return 2
+			}
+		}
+		watched[name] = thr
 	}
+	isWatched := func(name string) bool { _, ok := watched[name]; return ok }
 
 	deltas := obs.DiffRunReports(oldRep, newRep)
 	fmt.Fprintf(out, "old: %s (%s %s %s)\n", fs.Arg(0), oldRep.Tool, oldRep.Dataset, oldRep.Learner)
 	fmt.Fprintf(out, "new: %s (%s %s %s)\n\n", fs.Arg(1), newRep.Tool, newRep.Dataset, newRep.Learner)
 	fmt.Fprintf(out, "%-36s %14s %14s %8s\n", "metric", "old", "new", "ratio")
-	var regressions, missing []string
+	var regressions, missing, mismatched []string
 	seen := make(map[string]bool)
 	for _, d := range deltas {
 		seen[d.Name] = true
-		if watched[d.Name] && (!d.InOld || !d.InNew) {
+		if d.FamilyMismatch() {
+			// Same flat name, different metric family in each report — the
+			// values mean different things, so comparing (or gating) them
+			// would be garbage. This is a schema error, not a regression.
+			fmt.Fprintf(errw, "obsreport: metric %q is a %s in the old report but a %s in the new — not comparable\n",
+				d.Name, d.FamilyOld, d.FamilyNew)
+			mismatched = append(mismatched, d.Name)
+			continue
+		}
+		if isWatched(d.Name) && (!d.InOld || !d.InNew) {
 			// A watched metric present in only one report is a reportable
 			// difference, not a usage error: the run stopped (or started)
 			// emitting it. Gate on it explicitly rather than letting the
@@ -92,18 +122,18 @@ func run(args []string, out, errw io.Writer) int {
 				d.Name, side, num(d.Old), num(d.New))
 			missing = append(missing, d.Name)
 		}
-		regressed := watched[d.Name] && d.Ratio > *threshold
+		regressed := isWatched(d.Name) && d.Ratio > watched[d.Name]
 		if regressed {
 			regressions = append(regressions, d.Name)
 		}
-		if !*all && d.Old == d.New && !watched[d.Name] {
+		if !*all && d.Old == d.New && !isWatched(d.Name) {
 			continue // unchanged and unwatched: noise in the default view
 		}
 		mark := " "
 		switch {
 		case regressed:
 			mark = "!"
-		case watched[d.Name]:
+		case isWatched(d.Name):
 			mark = "*"
 		}
 		fmt.Fprintf(out, "%-36s %14s %14s %7s %s\n",
@@ -115,18 +145,23 @@ func run(args []string, out, errw io.Writer) int {
 			return 2
 		}
 	}
+	if len(mismatched) > 0 {
+		fmt.Fprintf(out, "\nSCHEMA MISMATCH: %s changed metric family between the reports\n",
+			strings.Join(mismatched, ", "))
+		return 2
+	}
 	if len(missing) > 0 {
 		fmt.Fprintf(out, "\nMISSING: %s absent from one report\n", strings.Join(missing, ", "))
 		return 1
 	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(out, "\nREGRESSION: %s exceeded %.2fx the baseline\n",
-			strings.Join(regressions, ", "), *threshold)
+		fmt.Fprintf(out, "\nREGRESSION: %s exceeded their thresholds against the baseline\n",
+			strings.Join(regressions, ", "))
 		return 1
 	}
 	if len(watched) > 0 {
-		fmt.Fprintf(out, "\nok: all %d watched metrics within %.2fx of the baseline\n",
-			len(watched), *threshold)
+		fmt.Fprintf(out, "\nok: all %d watched metrics within threshold of the baseline\n",
+			len(watched))
 	}
 	return 0
 }

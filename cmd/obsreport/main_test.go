@@ -100,6 +100,100 @@ func TestUsageAndReadErrorsExitTwo(t *testing.T) {
 	}
 }
 
+// writeReportFull is writeReport with histograms and gauges too.
+func writeReportFull(t *testing.T, dir, name string, m obs.Report, elapsed float64) string {
+	t.Helper()
+	b, err := json.Marshal(obs.RunReport{Tool: "castor", ElapsedSeconds: elapsed, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPerMetricThresholds(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReportFull(t, dir, "old.json", obs.Report{
+		Counters:   map[string]int64{"coverage_tests": 100},
+		Histograms: map[string]obs.HistStat{"subsumption_probe": {Count: 10, P50: 0.001, P95: 0.002, P99: 0.004}},
+	}, 1.0)
+	newP := writeReportFull(t, dir, "new.json", obs.Report{
+		Counters:   map[string]int64{"coverage_tests": 115},
+		Histograms: map[string]obs.HistStat{"subsumption_probe": {Count: 10, P50: 0.001, P95: 0.002, P99: 0.006}},
+	}, 1.0)
+
+	// Global threshold 1.10 would fail both; per-metric overrides admit the
+	// counter at 1.2× and the p99 at 2×.
+	var out, errw strings.Builder
+	code := run([]string{"-watch", "coverage_tests=1.2,hist_subsumption_probe_p99=2.0", oldP, newP}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	// Tighten just the histogram percentile: only it regresses.
+	out.Reset()
+	errw.Reset()
+	code = run([]string{"-watch", "coverage_tests=1.2,hist_subsumption_probe_p99=1.2", oldP, newP}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: hist_subsumption_probe_p99") ||
+		strings.Contains(out.String(), "REGRESSION: coverage_tests") {
+		t.Errorf("wrong regression set:\n%s", out.String())
+	}
+	// Malformed threshold: usage error.
+	if code := run([]string{"-watch", "coverage_tests=abc", oldP, newP}, &out, &errw); code != 2 {
+		t.Errorf("bad threshold: exit = %d, want 2", code)
+	}
+}
+
+func TestFamilyMismatchExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	// "subsumption_probe_ns" is a counter in the old report but a gauge in
+	// the new: same flat name, different family — a schema mismatch the
+	// gate must refuse to compare, watched or not.
+	oldP := writeReportFull(t, dir, "old.json", obs.Report{
+		Counters: map[string]int64{"subsumption_probe_ns": 5000},
+	}, 1.0)
+	newP := writeReportFull(t, dir, "new.json", obs.Report{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{"subsumption_probe_ns": 5000},
+	}, 1.0)
+	var out, errw strings.Builder
+	code := run([]string{oldP, newP}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(errw.String(), `metric "subsumption_probe_ns" is a counter in the old report but a gauge in the new`) {
+		t.Errorf("stderr lacks the mismatch explanation:\n%s", errw.String())
+	}
+	if !strings.Contains(out.String(), "SCHEMA MISMATCH: subsumption_probe_ns") {
+		t.Errorf("stdout lacks the SCHEMA MISMATCH line:\n%s", out.String())
+	}
+}
+
+func TestHistogramPercentilesAndGaugesDiff(t *testing.T) {
+	dir := t.TempDir()
+	rep := obs.Report{
+		Counters:   map[string]int64{"coverage_tests": 10},
+		Histograms: map[string]obs.HistStat{"coverage_batch": {Count: 4, P50: 0.002, P95: 0.008, P99: 0.016}},
+		Gauges:     map[string]float64{"rss_peak_bytes": 1 << 30},
+	}
+	p := writeReportFull(t, dir, "run.json", rep, 1.0)
+	var out, errw strings.Builder
+	code := run([]string{"-watch", "hist_coverage_batch_p95,rss_peak_bytes", p, p}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	for _, want := range []string{"hist_coverage_batch_p95", "rss_peak_bytes"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("diff table missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestWatchedMetricMissingFromOneReportExitsOne(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeReport(t, dir, "old.json",

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/ilp"
 	"repro/internal/obs"
@@ -21,10 +22,11 @@ import (
 func TestIntrospectionServerDuringLearn(t *testing.T) {
 	reg := obs.NewRegistry()
 	prog := obs.NewProgress(reg)
-	srv := httptest.NewServer(obs.NewHandler(reg, prog))
+	fr := obs.NewFlightRecorder(2048)
+	srv := httptest.NewServer(obs.NewHandler(reg, prog, fr))
 	defer srv.Close()
 
-	run := obs.NewRun(nil, reg).WithSpans(prog)
+	run := obs.NewRun(nil, reg).WithSpans(prog).WithFlightRecorder(fr)
 	w := testfix.NewWorld(8)
 	prob := w.ProblemOriginal()
 	params := ilp.Defaults()
@@ -56,6 +58,20 @@ func TestIntrospectionServerDuringLearn(t *testing.T) {
 				t.Fatalf("mid-run /progress is not valid JSON: %v", err)
 			}
 			resp.Body.Close()
+			// Dump the flight recorder while spans are still being recorded
+			// into it — the seqlock ring must stay consistent (and clean
+			// under -race).
+			fresp, err := http.Get(srv.URL + "/debug/flightrecorder")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fbody, _ := io.ReadAll(fresp.Body)
+			fresp.Body.Close()
+			for _, line := range strings.Split(strings.TrimSpace(string(fbody)), "\n") {
+				if !json.Valid([]byte(line)) {
+					t.Fatalf("mid-run flight dump line is not JSON: %q", line)
+				}
+			}
 			if snap.SpansStarted < snap.SpansCompleted {
 				t.Fatalf("started %d < completed %d", snap.SpansStarted, snap.SpansCompleted)
 			}
@@ -97,20 +113,24 @@ func TestIntrospectionServerDuringLearn(t *testing.T) {
 }
 
 // TestConcurrentLearnsDoNotCrossContaminate runs two Learn calls with two
-// distinct *obs.Run/registry/server stacks concurrently in one process and
-// polls both /progress and /metrics while they race (meaningful under
-// -race): each server must only ever see its own run's spans and counters,
-// and the learned definitions must match a sequential baseline.
+// distinct *obs.Run/registry/server stacks concurrently in one process —
+// each with its own flight recorder, stall watchdog and resource sampler
+// running — and polls /progress, /metrics and /debug/flightrecorder while
+// they race (meaningful under -race): each server must only ever see its
+// own run's spans and counters, and the learned definitions must match a
+// sequential baseline.
 func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
 	type stack struct {
 		reg  *obs.Registry
 		prog *obs.Progress
+		fr   *obs.FlightRecorder
 		srv  *httptest.Server
 	}
 	mk := func() *stack {
 		reg := obs.NewRegistry()
 		prog := obs.NewProgress(reg)
-		return &stack{reg: reg, prog: prog, srv: httptest.NewServer(obs.NewHandler(reg, prog))}
+		fr := obs.NewFlightRecorder(1024)
+		return &stack{reg: reg, prog: prog, fr: fr, srv: httptest.NewServer(obs.NewHandler(reg, prog, fr))}
 	}
 	a, b := mk(), mk()
 	defer a.srv.Close()
@@ -120,7 +140,13 @@ func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
 		w := testfix.NewWorld(worldSize)
 		prob := w.ProblemOriginal()
 		params := ilp.Defaults()
-		params.Obs = obs.NewRun(nil, s.reg).WithSpans(s.prog)
+		params.Obs = obs.NewRun(nil, s.reg).WithSpans(s.prog).WithFlightRecorder(s.fr)
+		// A tight stall interval so the watchdog goroutine actively ticks
+		// (and may trip) during the learn; trips must not perturb learning.
+		wd := obs.StartWatchdog(params.Obs, 25*time.Millisecond, nil)
+		defer wd.Stop()
+		smp := obs.StartSampler(params.Obs, 5*time.Millisecond)
+		defer smp.Stop()
 		def, err := New().Learn(prob, params)
 		if err != nil {
 			return "", err
@@ -169,6 +195,13 @@ func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
 		}
 		io.Copy(io.Discard, mresp.Body)
 		mresp.Body.Close()
+		fresp, err := http.Get(s.srv.URL + "/debug/flightrecorder")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		io.Copy(io.Discard, fresp.Body)
+		fresp.Body.Close()
 	}
 	var ra, rb *result
 	for ra == nil || rb == nil {

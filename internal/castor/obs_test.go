@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"repro/internal/ilp"
 	"repro/internal/logic"
@@ -70,6 +71,62 @@ func TestObservationDoesNotChangeLearning(t *testing.T) {
 		if events[want] == 0 {
 			t.Errorf("trace has no %q event (saw %v)", want, events)
 		}
+	}
+}
+
+// TestRuntimeHealthStackDoesNotChangeLearning: the full runtime-health
+// stack — flight recorder, stall watchdog, resource sampler, latency
+// histograms — must leave the learned definition byte-identical to an
+// unobserved run, while actually populating its distributions and gauges.
+func TestRuntimeHealthStackDoesNotChangeLearning(t *testing.T) {
+	learn := func(run *obs.Run) string {
+		w := testfix.NewWorld(8)
+		prob := w.ProblemOriginal()
+		params := ilp.Defaults()
+		// Subsumption-mode coverage so both latency histograms
+		// (coverage_batch and subsumption_probe) are on the hot path.
+		params.CoverageMode = ilp.CoverageSubsumption
+		params.Obs = run
+		def, err := New().Learn(prob, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return def.String()
+	}
+
+	plain := learn(nil)
+
+	reg := obs.NewRegistry()
+	fr := obs.NewFlightRecorder(4096)
+	run := obs.NewRun(nil, reg).WithFlightRecorder(fr)
+	wd := obs.StartWatchdog(run, 20*time.Millisecond, nil)
+	smp := obs.StartSampler(run, 5*time.Millisecond)
+	observed := learn(run)
+	smp.Stop()
+	wd.Stop()
+
+	if plain != observed {
+		t.Errorf("runtime-health stack changed the learned definition:\noff: %s\non:  %s", plain, observed)
+	}
+
+	rep := reg.Snapshot()
+	for _, name := range []string{"subsumption_probe", "coverage_batch"} {
+		hs, ok := rep.Histograms[name]
+		if !ok || hs.Count == 0 {
+			t.Errorf("histogram %s empty over a full Castor run (report: %v)", name, rep.Histograms)
+			continue
+		}
+		if hs.P50 <= 0 || hs.P99 < hs.P50 {
+			t.Errorf("histogram %s percentiles inconsistent: %+v", name, hs)
+		}
+	}
+	for _, g := range []string{obs.GRSSBytes, obs.GRSSPeakBytes, obs.GSamples} {
+		if rep.Gauges[g] <= 0 {
+			t.Errorf("gauge %s = %g, want > 0", g, rep.Gauges[g])
+		}
+	}
+	if len(fr.Snapshot()) == 0 {
+		t.Error("flight recorder stayed empty over a full Castor run")
 	}
 }
 

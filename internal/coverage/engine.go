@@ -3,6 +3,7 @@ package coverage
 import (
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -26,6 +27,9 @@ type Engine struct {
 	workers int
 	cache   *Cache // nil disables memoization
 	run     *obs.Run
+	// batchHist is the pre-resolved coverage-batch latency histogram, nil
+	// on unobserved runs (no name lookup, no clock read on the nop path).
+	batchHist *obs.Histogram
 }
 
 // NewEngine builds an engine. workers < 1 is treated as sequential; a nil
@@ -34,7 +38,11 @@ func NewEngine(cover CoverFunc, workers int, cache *Cache, run *obs.Run) *Engine
 	if workers < 1 {
 		workers = 1
 	}
-	return &Engine{cover: cover, workers: workers, cache: cache, run: run}
+	en := &Engine{cover: cover, workers: workers, cache: cache, run: run}
+	if reg := run.Registry(); reg != nil {
+		en.batchHist = reg.Histogram("coverage_batch")
+	}
+	return en
 }
 
 // CoveredSet tests the clause against every example. known, when non-nil,
@@ -50,6 +58,9 @@ func (en *Engine) CoveredSet(c *logic.Clause, examples []logic.Atom, known *Bits
 	start := en.run.StartPhase(obs.PCoverage)
 	out := en.coveredSet(c, examples, known, en.workers)
 	en.run.EndPhase(obs.PCoverage, start)
+	if en.batchHist != nil && !start.IsZero() {
+		en.batchHist.Observe(time.Since(start))
+	}
 	if sp != nil {
 		sp.Annotate(obs.F("covered", out.Count()))
 		sp.End()
@@ -93,6 +104,7 @@ func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset
 	if workers <= 1 || n < 2 {
 		out := New(n)
 		for i, e := range examples {
+			en.run.Heartbeat()
 			if known.Get(i) || en.cover(c, e) {
 				out.Set(i)
 			}
@@ -112,6 +124,7 @@ func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset
 			// time to the coverage phase.
 			obs.WithPhaseLabel("coverage_testing", func() {
 				for i := range next {
+					en.run.Heartbeat()
 					buf[i] = known.Get(i) || en.cover(c, examples[i])
 				}
 			})
@@ -225,6 +238,7 @@ func (en *Engine) scoreOne(cand Candidate, pos, neg []logic.Atom, bound, workers
 	n, skipped := 0, int64(0)
 	complete := true
 	for i, e := range neg {
+		en.run.Heartbeat()
 		if cand.KnownNeg.Get(i) {
 			s.Neg.Set(i)
 			n++

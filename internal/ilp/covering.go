@@ -22,6 +22,7 @@ func Cover(prob *Problem, params Params, tester *Tester, learn LearnClauseFunc) 
 	def := logic.NewDefinition(prob.Target.Name)
 	uncovered := append([]logic.Atom(nil), prob.Pos...)
 	for len(uncovered) > 0 {
+		run.Heartbeat()
 		if params.MaxClauses > 0 && def.Len() >= params.MaxClauses {
 			break
 		}

@@ -2,6 +2,7 @@ package ilp
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/coverage"
 	"repro/internal/logic"
@@ -21,6 +22,10 @@ type Tester struct {
 	params Params
 	run    *obs.Run // from params.Obs; nil observes nothing
 	engine *coverage.Engine
+	// probeHist is the pre-resolved subsumption-probe latency histogram,
+	// nil on unobserved runs, so the hot path pays no name lookup and no
+	// clock read when nobody is watching.
+	probeHist *obs.Histogram
 
 	// SatFn overrides how ground bottom clauses are built for
 	// subsumption-mode coverage. Castor installs its IND-chasing
@@ -40,10 +45,11 @@ type Tester struct {
 // its tester first).
 func NewTester(prob *Problem, params Params) *Tester {
 	prob.Instance.SetObs(params.Obs)
+	t := &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*subsume.Compiled)}
 	if reg := params.Obs.Registry(); reg != nil {
 		reg.SetStoreSource(prob.Instance.StoreStats)
+		t.probeHist = reg.Histogram("subsumption_probe")
 	}
-	t := &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*subsume.Compiled)}
 	var cache *coverage.Cache
 	if !params.DisableCoverageCache {
 		cache = coverage.NewCache(0)
@@ -62,7 +68,14 @@ func (t *Tester) Covers(c *logic.Clause, e logic.Atom) bool {
 	t.run.Inc(obs.CCoverageTests)
 	switch t.params.CoverageMode {
 	case CoverageSubsumption:
-		return t.saturation(e).SubsumesR(t.run, c)
+		cd := t.saturation(e)
+		if t.probeHist == nil {
+			return cd.SubsumesR(t.run, c)
+		}
+		start := time.Now()
+		ok := cd.SubsumesR(t.run, c)
+		t.probeHist.Observe(time.Since(start))
+		return ok
 	default:
 		return t.prob.Instance.CoversExample(c, e)
 	}

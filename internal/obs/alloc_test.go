@@ -1,6 +1,9 @@
 package obs
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // TestNilRunFastPathAllocs pins the contract the learner hot paths rely
 // on: with observability off (nil *Run), every instrumentation call is a
@@ -9,16 +12,24 @@ import "testing"
 // below are the ones that run uninstrumented.
 func TestNilRunFastPathAllocs(t *testing.T) {
 	var r *Run
+	var fr *FlightRecorder
 	cases := map[string]func(){
-		"Emit":     func() { r.Emit("covering.accepted") },
-		"Inc":      func() { r.Inc(CCoverageTests) },
-		"Add":      func() { r.Add(CTuplesScanned, 42) },
-		"Phase":    func() { r.EndPhase(PCoverage, r.StartPhase(PCoverage)) },
-		"Span":     func() { r.StartSpan("learn").End() },
-		"Annotate": func() { r.StartSpan("learn").Annotate() },
-		"Tracing":  func() { _ = r.Tracing() },
-		"Spanning": func() { _ = r.Spanning() },
-		"Registry": func() { _ = r.Registry() },
+		"Emit":          func() { r.Emit("covering.accepted") },
+		"Inc":           func() { r.Inc(CCoverageTests) },
+		"Add":           func() { r.Add(CTuplesScanned, 42) },
+		"Phase":         func() { r.EndPhase(PCoverage, r.StartPhase(PCoverage)) },
+		"Span":          func() { r.StartSpan("learn").End() },
+		"Annotate":      func() { r.StartSpan("learn").Annotate() },
+		"Tracing":       func() { _ = r.Tracing() },
+		"Spanning":      func() { _ = r.Spanning() },
+		"Registry":      func() { _ = r.Registry() },
+		"Observe":       func() { r.Observe("subsumption_probe", time.Millisecond) },
+		"Heartbeat":     func() { r.Heartbeat() },
+		"Sample":        func() { r.Sample() },
+		"Flight":        func() { _ = r.Flight() },
+		"FlightRecord":  func() { fr.Record(FKMark, "m", 0, 0) },
+		"StartWatchdog": func() { StartWatchdog(r, time.Second, nil).Stop() },
+		"StartSampler":  func() { StartSampler(r, time.Second).Stop() },
 	}
 	for name, f := range cases {
 		if allocs := testing.AllocsPerRun(1000, f); allocs != 0 {

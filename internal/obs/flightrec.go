@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the crash-evidence layer: a fixed-size ring of
+// the most recent observability events (span begins/ends, counter
+// movement, watchdog and resource-sampler observations), recorded
+// continuously at near-zero cost and dumped as JSONL when something goes
+// wrong — a SIGQUIT, a watchdog stall, a panic inside Learn, or an
+// operator hitting /debug/flightrecorder. A killed 10-minute HIV learn
+// then leaves its last seconds of behaviour behind instead of nothing.
+//
+// Every slot field is an atomic and each slot carries a sequence number
+// (odd while a write is in flight), so recording takes no locks and a
+// dump taken mid-write simply skips the unstable slot. Names are interned
+// to small IDs through a read-mostly table; after the vocabulary warms up
+// (span kinds, counter names) the record path performs no allocation.
+
+// FlightKind classifies one flight-recorder record.
+type FlightKind uint32
+
+const (
+	// FKSpanStart marks a span opening; Value is the span ID, Aux the
+	// parent span ID.
+	FKSpanStart FlightKind = iota + 1
+	// FKSpanEnd marks a span closing; Value is the duration in ns, Aux the
+	// span ID.
+	FKSpanEnd
+	// FKCounter is a counter delta observed by the resource sampler; Value
+	// is the delta since the previous sample, Aux the new total.
+	FKCounter
+	// FKWatchdog is a watchdog stall detection; Value is the stalled
+	// interval in ns, Aux the trip count.
+	FKWatchdog
+	// FKSample is one resource-sampler measurement; Value is the measured
+	// quantity (bytes, count).
+	FKSample
+	// FKMark is a free-form marker (dump reasons, run boundaries).
+	FKMark
+)
+
+// flightKindNames are the JSONL kind strings, indexed by FlightKind.
+var flightKindNames = [...]string{"", "span_start", "span_end", "counter", "watchdog_stall", "sample", "mark"}
+
+// String returns the record-schema name of the kind.
+func (k FlightKind) String() string {
+	if int(k) < len(flightKindNames) {
+		return flightKindNames[k]
+	}
+	return "unknown"
+}
+
+// flightSlot is one ring entry. seq is even when the slot is stable; a
+// writer makes it odd, stores the fields, then makes it even again, so a
+// concurrent dump detects and skips in-flight slots.
+type flightSlot struct {
+	seq  atomic.Uint64
+	t    atomic.Int64  // unix ns
+	kind atomic.Uint32 // FlightKind
+	name atomic.Uint32 // interned name ID
+	val  atomic.Int64
+	aux  atomic.Int64
+}
+
+// FlightRecorder is the ring. A nil *FlightRecorder is the nop default:
+// Record and DumpNow on nil return immediately.
+type FlightRecorder struct {
+	slots  []flightSlot
+	cursor atomic.Uint64
+
+	names  sync.Map // string → uint32, read-mostly
+	nameMu sync.Mutex
+	byID   []string // ID → string; index 0 reserved for ""
+
+	dumpMu   sync.Mutex
+	dumpPath string
+	dumps    atomic.Int64
+}
+
+// DefaultFlightSlots is the ring size used when NewFlightRecorder is
+// given a non-positive size: at typical span/sample rates this holds the
+// last tens of seconds of a heavy learn in ~1.5MB.
+const DefaultFlightSlots = 16384
+
+// NewFlightRecorder builds a ring with n slots (DefaultFlightSlots when
+// n <= 0).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightSlots
+	}
+	return &FlightRecorder{slots: make([]flightSlot, n), byID: []string{""}}
+}
+
+// SetDumpPath names the file DumpNow (re)writes. An empty path makes
+// DumpNow write to stderr.
+func (f *FlightRecorder) SetDumpPath(path string) {
+	if f == nil {
+		return
+	}
+	f.dumpMu.Lock()
+	f.dumpPath = path
+	f.dumpMu.Unlock()
+}
+
+// nameID interns a record name. The sync.Map fast path is lock-free once
+// the vocabulary (span kinds, counter names, sampler fields) has been
+// seen once.
+func (f *FlightRecorder) nameID(name string) uint32 {
+	if name == "" {
+		return 0
+	}
+	if id, ok := f.names.Load(name); ok {
+		return id.(uint32)
+	}
+	f.nameMu.Lock()
+	defer f.nameMu.Unlock()
+	if id, ok := f.names.Load(name); ok {
+		return id.(uint32)
+	}
+	id := uint32(len(f.byID))
+	f.byID = append(f.byID, name)
+	f.names.Store(name, id)
+	return id
+}
+
+// nameOf resolves an interned ID for dumping.
+func (f *FlightRecorder) nameOf(id uint32) string {
+	f.nameMu.Lock()
+	defer f.nameMu.Unlock()
+	if int(id) < len(f.byID) {
+		return f.byID[id]
+	}
+	return "unknown"
+}
+
+// Record appends one record, overwriting the oldest. Safe for concurrent
+// use from any goroutine; nil-safe.
+func (f *FlightRecorder) Record(kind FlightKind, name string, val, aux int64) {
+	if f == nil {
+		return
+	}
+	f.record(time.Now().UnixNano(), kind, f.nameID(name), val, aux)
+}
+
+// record is Record with the clock read and interning already done (span
+// hooks reuse the span's own timestamp).
+func (f *FlightRecorder) record(tns int64, kind FlightKind, nameID uint32, val, aux int64) {
+	idx := f.cursor.Add(1) - 1
+	s := &f.slots[idx%uint64(len(f.slots))]
+	s.seq.Add(1) // odd: write in flight
+	s.t.Store(tns)
+	s.kind.Store(uint32(kind))
+	s.name.Store(nameID)
+	s.val.Store(val)
+	s.aux.Store(aux)
+	s.seq.Add(1) // even: stable
+}
+
+// FlightRecord is the decoded JSONL form of one record.
+type FlightRecord struct {
+	// T is the record's wall-clock time in unix nanoseconds.
+	T int64 `json:"t_ns"`
+	// Kind is the record type (span_start, span_end, counter,
+	// watchdog_stall, sample, mark).
+	Kind string `json:"kind"`
+	// Name is the span kind, counter, or sampler field the record is about.
+	Name string `json:"name,omitempty"`
+	// Value is the kind-specific payload: span ID, duration ns, counter
+	// delta, stalled ns, or measured quantity.
+	Value int64 `json:"value,omitempty"`
+	// Aux is the kind-specific secondary payload: parent span ID, span ID,
+	// counter total, or trip count.
+	Aux int64 `json:"aux,omitempty"`
+}
+
+// Snapshot returns the stable records currently in the ring, oldest
+// first. Slots being written during the scan are skipped.
+func (f *FlightRecorder) Snapshot() []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	n := uint64(len(f.slots))
+	cur := f.cursor.Load()
+	start := uint64(0)
+	if cur > n {
+		start = cur - n
+	}
+	out := make([]FlightRecord, 0, cur-start)
+	for i := start; i < cur; i++ {
+		s := &f.slots[i%n]
+		seq1 := s.seq.Load()
+		if seq1%2 != 0 {
+			continue // write in flight
+		}
+		r := FlightRecord{
+			T:     s.t.Load(),
+			Kind:  FlightKind(s.kind.Load()).String(),
+			Name:  f.nameOf(s.name.Load()),
+			Value: s.val.Load(),
+			Aux:   s.aux.Load(),
+		}
+		if s.seq.Load() != seq1 {
+			continue // overwritten mid-read
+		}
+		if r.Kind == "" || r.Kind == "unknown" {
+			continue // never written (cursor raced ahead of the writer)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteJSONL writes the current ring contents as JSONL: one meta line
+// (ring geometry, dump time), then one line per record, oldest first.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	recs := f.Snapshot()
+	bw := bufio.NewWriter(w)
+	meta := struct {
+		Kind    string `json:"kind"`
+		When    int64  `json:"t_ns"`
+		Slots   int    `json:"slots"`
+		Records int    `json:"records"`
+		Dumps   int64  `json:"dumps"`
+	}{Kind: "flight_meta", When: time.Now().UnixNano(), Records: len(recs)}
+	if f != nil {
+		meta.Slots = len(f.slots)
+		meta.Dumps = f.dumps.Load()
+	}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpNow writes the ring to the configured dump path (stderr when none
+// is set), recording the reason as a mark first so the dump explains
+// itself. Dumps serialize; each rewrites the file from scratch, so the
+// file always holds the latest window. Nil-safe.
+func (f *FlightRecorder) DumpNow(reason string) error {
+	if f == nil {
+		return nil
+	}
+	f.Record(FKMark, "dump:"+reason, 0, 0)
+	f.dumps.Add(1)
+	f.dumpMu.Lock()
+	defer f.dumpMu.Unlock()
+	if f.dumpPath == "" {
+		fmt.Fprintf(os.Stderr, "flight recorder dump (%s):\n", reason)
+		return f.WriteJSONL(os.Stderr)
+	}
+	file, err := os.Create(f.dumpPath)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteJSONL(file); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}

@@ -10,13 +10,14 @@ import (
 
 // NewHandler builds the introspection mux the -http flag serves:
 //
-//	/metrics        Prometheus text exposition of the registry
-//	/progress       JSON snapshot of live spans + counter deltas
-//	/debug/pprof/*  the standard pprof handlers
+//	/metrics               Prometheus text exposition of the registry
+//	/progress              JSON snapshot of live spans + counter deltas
+//	/debug/flightrecorder  JSONL dump of the flight-recorder ring
+//	/debug/pprof/*         the standard pprof handlers
 //
-// Either argument may be nil; the corresponding endpoint then reports an
+// Any argument may be nil; the corresponding endpoint then reports an
 // empty state rather than disappearing, so scrapers see a stable surface.
-func NewHandler(reg *Registry, prog *Progress) http.Handler {
+func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -25,9 +26,10 @@ func NewHandler(reg *Registry, prog *Progress) http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "sirl introspection server")
-		fmt.Fprintln(w, "  /metrics       Prometheus counters, phase and span timings")
-		fmt.Fprintln(w, "  /progress      live span stack and counter deltas (JSON)")
-		fmt.Fprintln(w, "  /debug/pprof/  CPU, heap, goroutine profiles")
+		fmt.Fprintln(w, "  /metrics               Prometheus counters, latency histograms, gauges")
+		fmt.Fprintln(w, "  /progress              live span stack and counter deltas (JSON)")
+		fmt.Fprintln(w, "  /debug/flightrecorder  flight-recorder ring dump (JSONL)")
+		fmt.Fprintln(w, "  /debug/pprof/          CPU, heap, goroutine profiles")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", metricsContentType)
@@ -47,6 +49,10 @@ func NewHandler(reg *Registry, prog *Progress) http.Handler {
 		}
 		enc.Encode(prog.Snapshot()) //nolint:errcheck
 	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fr.WriteJSONL(w) //nolint:errcheck // best-effort HTTP response; nil-safe
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -63,12 +69,12 @@ type Server struct {
 
 // StartServer listens on addr (e.g. ":6060", "localhost:0") and serves the
 // introspection handler in a background goroutine until Close.
-func StartServer(addr string, reg *Registry, prog *Progress) (*Server, error) {
+func StartServer(addr string, reg *Registry, prog *Progress, fr *FlightRecorder) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{l: l, srv: &http.Server{Handler: NewHandler(reg, prog)}}
+	s := &Server{l: l, srv: &http.Server{Handler: NewHandler(reg, prog, fr)}}
 	go s.srv.Serve(l) //nolint:errcheck // always returns ErrServerClosed after Close
 	return s, nil
 }

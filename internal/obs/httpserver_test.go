@@ -17,8 +17,10 @@ func TestMetricsEndpointRendersEveryCounter(t *testing.T) {
 	run := NewRun(nil, reg)
 	run.EndPhase(PCoverage, run.StartPhase(PCoverage))
 	run.StartSpan("learn").End()
+	run.Observe("subsumption_probe", 3*time.Millisecond)
+	run.Sample()
 
-	srv := httptest.NewServer(NewHandler(reg, nil))
+	srv := httptest.NewServer(NewHandler(reg, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -31,9 +33,14 @@ func TestMetricsEndpointRendersEveryCounter(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	text := string(body)
 	for c := Counter(0); c < numCounters; c++ {
-		want := fmt.Sprintf("sirl_%s ", c)
-		if !strings.Contains(text, want) {
+		if !strings.Contains(text, fmt.Sprintf("sirl_%s ", c)) {
 			t.Errorf("/metrics missing counter %q", c)
+		}
+		if !strings.Contains(text, fmt.Sprintf("# HELP sirl_%s ", c)) {
+			t.Errorf("/metrics missing HELP for counter %q", c)
+		}
+		if !strings.Contains(text, fmt.Sprintf("# TYPE sirl_%s counter", c)) {
+			t.Errorf("/metrics missing TYPE for counter %q", c)
 		}
 	}
 	if !strings.Contains(text, "sirl_coverage_tests 7") {
@@ -44,8 +51,61 @@ func TestMetricsEndpointRendersEveryCounter(t *testing.T) {
 			t.Errorf("/metrics missing phase %q", p)
 		}
 	}
+	// Accumulated wall-time tables are point-in-time totals, not monotone
+	// scrape series: they must be gauges, their call counts counters.
+	for _, want := range []string{
+		"# HELP sirl_phase_seconds ", "# TYPE sirl_phase_seconds gauge",
+		"# HELP sirl_phase_calls ", "# TYPE sirl_phase_calls counter",
+		"# HELP sirl_span_seconds ", "# TYPE sirl_span_seconds gauge",
+		"# HELP sirl_span_calls ", "# TYPE sirl_span_calls counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
 	if !strings.Contains(text, `sirl_span_calls{span="learn"} 1`) {
 		t.Error("/metrics missing the span aggregate family")
+	}
+	// Latency distributions export as one histogram family with a name
+	// label: cumulative buckets, sum and count.
+	for _, want := range []string{
+		"# TYPE sirl_duration_seconds histogram",
+		`sirl_duration_seconds_bucket{name="subsumption_probe",le="+Inf"} 1`,
+		`sirl_duration_seconds_count{name="subsumption_probe"} 1`,
+		`sirl_duration_seconds_count{name="span_learn"} 1`,
+		`sirl_duration_seconds_count{name="phase_coverage_testing"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Resource-sampler gauges are TYPE gauge.
+	for _, want := range []string{"# TYPE sirl_rss_bytes gauge", "sirl_rss_peak_bytes "} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Every family must carry a HELP line (Prometheus lint requirement).
+	seenHelp := map[string]bool{}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			seenHelp[strings.Fields(rest)[0]] = true
+		}
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fam := line[:strings.IndexAny(line, "{ ")]
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(fam, suffix); ok && seenHelp[base] {
+				fam = base
+				break
+			}
+		}
+		if !seenHelp[fam] {
+			t.Errorf("/metrics family %q has no # HELP line", fam)
+		}
 	}
 }
 
@@ -58,7 +118,7 @@ func TestProgressEndpoint(t *testing.T) {
 	child := run.StartSpan("beam_round")
 	run.Inc(CCoverageTests)
 
-	srv := httptest.NewServer(NewHandler(reg, prog))
+	srv := httptest.NewServer(NewHandler(reg, prog, nil))
 	defer srv.Close()
 	get := func() Snapshot {
 		resp, err := http.Get(srv.URL + "/progress")
@@ -125,7 +185,7 @@ func TestProgressElapsedSeconds(t *testing.T) {
 }
 
 func TestHandlerIndexAndPprof(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(NewRegistry(), NewProgress(nil)))
+	srv := httptest.NewServer(NewHandler(NewRegistry(), NewProgress(nil), NewFlightRecorder(8)))
 	defer srv.Close()
 	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
 		resp, err := http.Get(srv.URL + path)
@@ -148,9 +208,9 @@ func TestHandlerIndexAndPprof(t *testing.T) {
 }
 
 func TestHandlerNilBackends(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(nil, nil))
+	srv := httptest.NewServer(NewHandler(nil, nil, nil))
 	defer srv.Close()
-	for _, path := range []string{"/metrics", "/progress"} {
+	for _, path := range []string{"/metrics", "/progress", "/debug/flightrecorder"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -163,8 +223,47 @@ func TestHandlerNilBackends(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderEndpoint(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	run := (*Run)(nil).WithFlightRecorder(fr)
+	run.StartSpan("learn").End()
+
+	srv := httptest.NewServer(NewHandler(nil, nil, fr))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("dump has %d lines, want meta + span_start + span_end:\n%s", len(lines), body)
+	}
+	kinds := make([]string, len(lines))
+	for i, line := range lines {
+		var rec struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v (%q)", i, err, line)
+		}
+		kinds[i] = rec.Kind
+	}
+	if kinds[0] != "flight_meta" {
+		t.Errorf("first line kind = %q, want flight_meta", kinds[0])
+	}
+	joined := strings.Join(kinds, ",")
+	if !strings.Contains(joined, "span_start") || !strings.Contains(joined, "span_end") {
+		t.Errorf("dump kinds = %v, want span_start and span_end", kinds)
+	}
+}
+
 func TestStartServer(t *testing.T) {
-	srv, err := StartServer("localhost:0", NewRegistry(), nil)
+	srv, err := StartServer("localhost:0", NewRegistry(), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

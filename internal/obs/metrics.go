@@ -19,9 +19,19 @@ type Registry struct {
 	counters   [numCounters]atomic.Int64
 	phaseNS    [numPhases]atomic.Int64
 	phaseCalls [numPhases]atomic.Int64
+	phaseHist  [numPhases]Histogram
 
 	spanMu sync.Mutex
 	spans  map[string]*spanTotals
+
+	// histMu guards the named-histogram table; the histograms themselves
+	// are lock-free, so hot paths resolve once and observe without locks.
+	histMu sync.Mutex
+	hists  map[string]*Histogram
+
+	// gaugeMu guards the last-value gauges (resource sampler output).
+	gaugeMu sync.Mutex
+	gauges  map[string]float64
 
 	storeMu  sync.Mutex
 	storeSrc func() map[string]StoreStat
@@ -76,13 +86,16 @@ func (g *Registry) storeSnapshot() map[string]StoreStat {
 	return src()
 }
 
-// spanTotals accumulates one span kind.
+// spanTotals accumulates one span kind: totals for the aggregate tables,
+// a histogram for the duration distribution.
 type spanTotals struct {
 	ns    int64
 	calls int64
+	hist  Histogram
 }
 
-// addSpan folds one finished span into the per-kind aggregates.
+// addSpan folds one finished span into the per-kind aggregates and its
+// duration histogram.
 func (g *Registry) addSpan(name string, d time.Duration) {
 	g.spanMu.Lock()
 	if g.spans == nil {
@@ -96,6 +109,63 @@ func (g *Registry) addSpan(name string, d time.Duration) {
 	t.ns += int64(d)
 	t.calls++
 	g.spanMu.Unlock()
+	t.hist.Observe(d)
+}
+
+// Histogram returns (creating on first use) the named latency histogram.
+// The returned histogram records lock-free; hot paths should call this
+// once and keep the pointer.
+func (g *Registry) Histogram(name string) *Histogram {
+	g.histMu.Lock()
+	defer g.histMu.Unlock()
+	if g.hists == nil {
+		g.hists = make(map[string]*Histogram)
+	}
+	h := g.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		g.hists[name] = h
+	}
+	return h
+}
+
+// SetGauge sets a last-value gauge (resource sampler output).
+func (g *Registry) SetGauge(name string, v float64) {
+	g.gaugeMu.Lock()
+	if g.gauges == nil {
+		g.gauges = make(map[string]float64)
+	}
+	g.gauges[name] = v
+	g.gaugeMu.Unlock()
+}
+
+// MaxGauge raises the gauge to v if v is larger (peak tracking).
+func (g *Registry) MaxGauge(name string, v float64) {
+	g.gaugeMu.Lock()
+	if g.gauges == nil {
+		g.gauges = make(map[string]float64)
+	}
+	if v > g.gauges[name] {
+		g.gauges[name] = v
+	}
+	g.gaugeMu.Unlock()
+}
+
+// AddGauge adds v to the gauge (sampler pass counting).
+func (g *Registry) AddGauge(name string, v float64) {
+	g.gaugeMu.Lock()
+	if g.gauges == nil {
+		g.gauges = make(map[string]float64)
+	}
+	g.gauges[name] += v
+	g.gaugeMu.Unlock()
+}
+
+// Gauge returns the gauge's current value (0 when unset).
+func (g *Registry) Gauge(name string) float64 {
+	g.gaugeMu.Lock()
+	defer g.gaugeMu.Unlock()
+	return g.gauges[name]
 }
 
 // SpanTime returns the accumulated wall time of the span kind.
@@ -127,7 +197,7 @@ func (g *Registry) PhaseTime(p Phase) time.Duration {
 	return time.Duration(g.phaseNS[p].Load())
 }
 
-// Reset zeroes every counter, timer and span aggregate.
+// Reset zeroes every counter, timer, span aggregate, histogram and gauge.
 func (g *Registry) Reset() {
 	for i := range g.counters {
 		g.counters[i].Store(0)
@@ -135,10 +205,17 @@ func (g *Registry) Reset() {
 	for i := range g.phaseNS {
 		g.phaseNS[i].Store(0)
 		g.phaseCalls[i].Store(0)
+		g.phaseHist[i].reset()
 	}
 	g.spanMu.Lock()
 	g.spans = nil
 	g.spanMu.Unlock()
+	g.histMu.Lock()
+	g.hists = nil
+	g.histMu.Unlock()
+	g.gaugeMu.Lock()
+	g.gauges = nil
+	g.gaugeMu.Unlock()
 }
 
 // PhaseStat is the report entry of one timed phase.
@@ -157,6 +234,14 @@ type Report struct {
 	Counters map[string]int64     `json:"counters"`
 	Phases   map[string]PhaseStat `json:"phases"`
 	Spans    map[string]PhaseStat `json:"spans,omitempty"`
+	// Histograms holds duration distributions: phases under
+	// phase_<name>, span kinds under span_<name>, ad-hoc latencies
+	// (subsumption_probe) under their own names. Empty histograms are
+	// omitted.
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+	// Gauges holds last-value measurements, chiefly the resource
+	// sampler's rss/heap/goroutine readings and peaks.
+	Gauges map[string]float64 `json:"gauges,omitempty"`
 	// Store holds per-relation store access statistics, when a store
 	// source is registered (relations with all-zero stats are omitted).
 	Store map[string]StoreStat `json:"relstore,omitempty"`
@@ -177,14 +262,41 @@ func (g *Registry) Snapshot() Report {
 			Calls:   g.phaseCalls[p].Load(),
 		}
 	}
+	hists := make(map[string]HistStat)
+	for p := Phase(0); p < numPhases; p++ {
+		if g.phaseHist[p].Count() > 0 {
+			hists["phase_"+p.String()] = g.phaseHist[p].Snapshot()
+		}
+	}
 	g.spanMu.Lock()
 	if len(g.spans) > 0 {
 		r.Spans = make(map[string]PhaseStat, len(g.spans))
 		for name, t := range g.spans {
 			r.Spans[name] = PhaseStat{Seconds: time.Duration(t.ns).Seconds(), Calls: t.calls}
+			if t.hist.Count() > 0 {
+				hists["span_"+name] = t.hist.Snapshot()
+			}
 		}
 	}
 	g.spanMu.Unlock()
+	g.histMu.Lock()
+	for name, h := range g.hists {
+		if h.Count() > 0 {
+			hists[name] = h.Snapshot()
+		}
+	}
+	g.histMu.Unlock()
+	if len(hists) > 0 {
+		r.Histograms = hists
+	}
+	g.gaugeMu.Lock()
+	if len(g.gauges) > 0 {
+		r.Gauges = make(map[string]float64, len(g.gauges))
+		for name, v := range g.gauges {
+			r.Gauges[name] = v
+		}
+	}
+	g.gaugeMu.Unlock()
 	if store := g.storeSnapshot(); len(store) > 0 {
 		r.Store = make(map[string]StoreStat, len(store))
 		for rel, s := range store {
@@ -235,6 +347,33 @@ func (r Report) WriteSummary(w io.Writer) {
 			fmt.Fprintf(w, "%-28s %12.3f %10d\n", n, s.Seconds, s.Calls)
 		}
 	}
+	if len(r.Histograms) > 0 {
+		fmt.Fprintf(w, "%-28s %10s %10s %10s %10s\n", "latency", "count", "p50", "p95", "p99")
+		names = names[:0]
+		for n := range r.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			h := r.Histograms[n]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-28s %10d %10s %10s %10s\n", n, h.Count,
+				fmtSeconds(h.P50), fmtSeconds(h.P95), fmtSeconds(h.P99))
+		}
+	}
+	if len(r.Gauges) > 0 {
+		fmt.Fprintf(w, "%-28s %12s\n", "gauge", "value")
+		names = names[:0]
+		for n := range r.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "%-28s %12.0f\n", n, r.Gauges[n])
+		}
+	}
 	if len(r.Store) > 0 {
 		fmt.Fprintf(w, "%-28s %12s %14s %12s %14s\n", "relation", "lookups", "tuples_scanned", "index_hits", "ind_expansions")
 		names = names[:0]
@@ -260,20 +399,48 @@ func (r Report) WriteSummary(w io.Writer) {
 	}
 }
 
+// fmtSeconds renders a duration-in-seconds compactly for the summary
+// table (µs/ms/s picked by magnitude).
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.1fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
 // WritePrometheus renders the report in the Prometheus text exposition
-// format the /metrics endpoint serves: every counter as sirl_<name>, the
-// phase and span tables as sirl_phase_* / sirl_span_* families with a
-// name label. Rows are sorted for stable scrapes.
+// format the /metrics endpoint serves: every counter as sirl_<name>
+// (TYPE counter), the accumulated phase/span wall-time tables as gauges
+// (they are point-in-time totals of a finite run, not monotone scrape
+// series), call counts as counters, duration distributions as one
+// histogram family sirl_duration_seconds with a name label, and sampler
+// gauges as sirl_<name> gauges. Every family carries a # HELP line; rows
+// are sorted for stable scrapes.
 func (r Report) WritePrometheus(w io.Writer) {
 	names := make([]string, 0, len(r.Counters))
 	for n := range r.Counters {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	for _, n := range names {
-		fmt.Fprintf(w, "# TYPE sirl_%s counter\nsirl_%s %d\n", n, n, r.Counters[n])
+	helpFor := func(name string) string {
+		for c := Counter(0); c < numCounters; c++ {
+			if counterNames[c] == name {
+				return counterHelp[c]
+			}
+		}
+		return "Counter " + name + "."
 	}
-	writeLabeled := func(family, label string, stats map[string]PhaseStat) {
+	for _, n := range names {
+		fmt.Fprintf(w, "# HELP sirl_%s %s\n# TYPE sirl_%s counter\nsirl_%s %d\n",
+			n, helpFor(n), n, n, r.Counters[n])
+	}
+	writeLabeled := func(family, label, what string, stats map[string]PhaseStat) {
 		if len(stats) == 0 {
 			return
 		}
@@ -282,68 +449,143 @@ func (r Report) WritePrometheus(w io.Writer) {
 			names = append(names, n)
 		}
 		sort.Strings(names)
-		fmt.Fprintf(w, "# TYPE %s_seconds counter\n", family)
+		fmt.Fprintf(w, "# HELP %s_seconds Accumulated wall time of each %s.\n", family, what)
+		fmt.Fprintf(w, "# TYPE %s_seconds gauge\n", family)
 		for _, n := range names {
 			fmt.Fprintf(w, "%s_seconds{%s=%q} %g\n", family, label, n, stats[n].Seconds)
 		}
+		fmt.Fprintf(w, "# HELP %s_calls How many times each %s ran.\n", family, what)
 		fmt.Fprintf(w, "# TYPE %s_calls counter\n", family)
 		for _, n := range names {
 			fmt.Fprintf(w, "%s_calls{%s=%q} %d\n", family, label, n, stats[n].Calls)
 		}
 	}
-	writeLabeled("sirl_phase", "phase", r.Phases)
-	writeLabeled("sirl_span", "span", r.Spans)
+	writeLabeled("sirl_phase", "phase", "pipeline phase", r.Phases)
+	writeLabeled("sirl_span", "span", "span kind", r.Spans)
+	if len(r.Histograms) > 0 {
+		names = names[:0]
+		for n := range r.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "# HELP sirl_duration_seconds Latency distributions per phase, span kind and probe.")
+		fmt.Fprintln(w, "# TYPE sirl_duration_seconds histogram")
+		for _, n := range names {
+			h := r.Histograms[n]
+			var cum int64
+			for i, v := range h.Buckets {
+				cum += v
+				if v == 0 && i < len(h.Buckets)-1 {
+					continue // keep the exposition compact: cumulative values repeat anyway
+				}
+				le := "+Inf"
+				if i < numHistBuckets {
+					le = fmt.Sprintf("%g", histBound(i))
+				}
+				fmt.Fprintf(w, "sirl_duration_seconds_bucket{name=%q,le=%q} %d\n", n, le, cum)
+			}
+			fmt.Fprintf(w, "sirl_duration_seconds_sum{name=%q} %g\n", n, h.SumSeconds)
+			fmt.Fprintf(w, "sirl_duration_seconds_count{name=%q} %d\n", n, h.Count)
+		}
+	}
+	if len(r.Gauges) > 0 {
+		names = names[:0]
+		for n := range r.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "# HELP sirl_%s Resource-sampler gauge %s.\n# TYPE sirl_%s gauge\nsirl_%s %g\n",
+				n, n, n, n, r.Gauges[n])
+		}
+	}
 	if len(r.Store) > 0 {
 		rels := make([]string, 0, len(r.Store))
 		for rel := range r.Store {
 			rels = append(rels, rel)
 		}
 		sort.Strings(rels)
-		writeStore := func(family string, get func(StoreStat) int64) {
-			fmt.Fprintf(w, "# TYPE sirl_relstore_%s counter\n", family)
+		writeStore := func(family, help string, get func(StoreStat) int64) {
+			fmt.Fprintf(w, "# HELP sirl_relstore_%s %s\n# TYPE sirl_relstore_%s counter\n", family, help, family)
 			for _, rel := range rels {
 				fmt.Fprintf(w, "sirl_relstore_%s{rel=%q} %d\n", family, rel, get(r.Store[rel]))
 			}
 		}
-		writeStore("lookups", func(s StoreStat) int64 { return s.Lookups })
-		writeStore("tuples_scanned", func(s StoreStat) int64 { return s.TuplesScanned })
-		writeStore("index_hits", func(s StoreStat) int64 { return s.IndexHits })
-		writeStore("ind_expansions", func(s StoreStat) int64 { return s.INDExpansions })
+		writeStore("lookups", "Candidate-tuple fetches per relation.", func(s StoreStat) int64 { return s.Lookups })
+		writeStore("tuples_scanned", "Tuples examined per relation.", func(s StoreStat) int64 { return s.TuplesScanned })
+		writeStore("index_hits", "Lookups answered through a constant index.", func(s StoreStat) int64 { return s.IndexHits })
+		writeStore("ind_expansions", "Tuples pulled in by IND chasing.", func(s StoreStat) int64 { return s.INDExpansions })
 	}
 }
 
 // FlatMetrics flattens the report into one name → value table — the
 // namespace cmd/obsreport diffs and gates on: counters keep their names,
 // phases become <phase>_seconds/<phase>_calls, spans span_<name>_seconds/
-// span_<name>_calls.
+// span_<name>_calls, histograms hist_<name>_{p50,p95,p99,count}, gauges
+// keep their names.
 func (r Report) FlatMetrics() map[string]float64 {
+	out, _ := r.FlatMetricsWithFamilies()
+	return out
+}
+
+// Metric family names, as reported by FlatMetricsWithFamilies. A flat
+// metric that changes family between two reports (a counter renamed into
+// a histogram, say) is a schema mismatch the report differ must refuse
+// to silently compare.
+const (
+	FamCounter   = "counter"
+	FamPhase     = "phase"
+	FamSpan      = "span"
+	FamHistogram = "histogram"
+	FamGauge     = "gauge"
+	FamStore     = "relstore"
+)
+
+// FlatMetricsWithFamilies is FlatMetrics also reporting which family
+// (counter, phase, span, histogram, gauge, relstore) each flattened
+// metric came from.
+func (r Report) FlatMetricsWithFamilies() (map[string]float64, map[string]string) {
 	out := make(map[string]float64, len(r.Counters)+2*len(r.Phases)+2*len(r.Spans))
+	fam := make(map[string]string, len(out))
+	put := func(name, family string, v float64) {
+		out[name] = v
+		fam[name] = family
+	}
 	for n, v := range r.Counters {
-		out[n] = float64(v)
+		put(n, FamCounter, float64(v))
 	}
 	for n, s := range r.Phases {
-		out[n+"_seconds"] = s.Seconds
-		out[n+"_calls"] = float64(s.Calls)
+		put(n+"_seconds", FamPhase, s.Seconds)
+		put(n+"_calls", FamPhase, float64(s.Calls))
 	}
 	for n, s := range r.Spans {
-		out["span_"+n+"_seconds"] = s.Seconds
-		out["span_"+n+"_calls"] = float64(s.Calls)
+		put("span_"+n+"_seconds", FamSpan, s.Seconds)
+		put("span_"+n+"_calls", FamSpan, float64(s.Calls))
+	}
+	for n, h := range r.Histograms {
+		put("hist_"+n+"_p50", FamHistogram, h.P50)
+		put("hist_"+n+"_p95", FamHistogram, h.P95)
+		put("hist_"+n+"_p99", FamHistogram, h.P99)
+		put("hist_"+n+"_count", FamHistogram, float64(h.Count))
+	}
+	for n, v := range r.Gauges {
+		put(n, FamGauge, v)
 	}
 	var total StoreStat
 	for rel, s := range r.Store {
-		out["relstore_"+rel+"_lookups"] = float64(s.Lookups)
-		out["relstore_"+rel+"_tuples_scanned"] = float64(s.TuplesScanned)
-		out["relstore_"+rel+"_index_hits"] = float64(s.IndexHits)
-		out["relstore_"+rel+"_ind_expansions"] = float64(s.INDExpansions)
+		put("relstore_"+rel+"_lookups", FamStore, float64(s.Lookups))
+		put("relstore_"+rel+"_tuples_scanned", FamStore, float64(s.TuplesScanned))
+		put("relstore_"+rel+"_index_hits", FamStore, float64(s.IndexHits))
+		put("relstore_"+rel+"_ind_expansions", FamStore, float64(s.INDExpansions))
 		total = total.Add(s)
 	}
 	if len(r.Store) > 0 {
-		out["relstore_lookups"] = float64(total.Lookups)
-		out["relstore_tuples_scanned"] = float64(total.TuplesScanned)
-		out["relstore_index_hits"] = float64(total.IndexHits)
-		out["relstore_ind_expansions"] = float64(total.INDExpansions)
+		put("relstore_lookups", FamStore, float64(total.Lookups))
+		put("relstore_tuples_scanned", FamStore, float64(total.TuplesScanned))
+		put("relstore_index_hits", FamStore, float64(total.IndexHits))
+		put("relstore_ind_expansions", FamStore, float64(total.INDExpansions))
 	}
-	return out
+	return out, fam
 }
 
 // metricsContentType is the exposition-format content type of /metrics.

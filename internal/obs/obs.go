@@ -21,6 +21,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -91,6 +92,10 @@ const (
 	// CClausesRejected counts clauses the covering loop rejected for
 	// failing the minimum condition.
 	CClausesRejected
+	// CWatchdogStalls counts stall-watchdog trips: intervals in which the
+	// run's heartbeat counter made no forward progress for the configured
+	// stall duration.
+	CWatchdogStalls
 
 	numCounters
 )
@@ -119,6 +124,35 @@ var counterNames = [numCounters]string{
 	CCandidateLiterals:          "candidate_literals",
 	CClausesAccepted:            "clauses_accepted",
 	CClausesRejected:            "clauses_rejected",
+	CWatchdogStalls:             "watchdog_stalls",
+}
+
+// counterHelp are the one-line descriptions the /metrics endpoint emits
+// as # HELP lines, in Counter order.
+var counterHelp = [numCounters]string{
+	CCoverageTests:              "Coverage tests executed, over both engines.",
+	CCoverageSkipped:            "Coverage tests skipped via the known-covered shortcut.",
+	CCoverageCacheHits:          "Whole-clause memo-cache hits.",
+	CCoverageCacheMisses:        "Memo-cache lookups that had to evaluate.",
+	CCandidatesScored:           "Candidates evaluated by batched scoring.",
+	CCandidatesPruned:           "Candidates abandoned by the early-termination bound.",
+	CSaturationHits:             "Ground-bottom-clause cache hits.",
+	CSaturationMisses:           "Ground bottom clauses built on demand.",
+	CSubsumptionCalls:           "Top-level theta-subsumption engine calls.",
+	CSubsumptionNodes:           "Backtracking nodes explored by the subsumption engine.",
+	CSubsumptionBudgetExhausted: "Subsumption calls cut off by the node budget.",
+	CINDChaseHops:               "IND hops followed during bottom-clause construction.",
+	CTuplesScanned:              "Tuples read from the relational store.",
+	CPlanCompiles:               "Per-schema access-plan compilations.",
+	CReductionSteps:             "Literal-removal attempts during minimization.",
+	CReductionRemoved:           "Literals removed by minimization.",
+	CBottomClauses:              "Bottom clauses constructed.",
+	CBottomLiterals:             "Accumulated body sizes of constructed bottom clauses.",
+	CARMGCalls:                  "ARMG generalization calls.",
+	CCandidateLiterals:          "Candidate literals scored by top-down learners.",
+	CClausesAccepted:            "Clauses accepted by the covering loop.",
+	CClausesRejected:            "Clauses rejected by the minimum condition.",
+	CWatchdogStalls:             "Stall-watchdog trips (no heartbeat progress for the stall interval).",
 }
 
 // String returns the report key of the counter.
@@ -200,6 +234,11 @@ type Run struct {
 	reg    *Registry
 	spans  SpanSink
 	prov   *Prov
+	flight *FlightRecorder
+
+	// beat is the stall-watchdog heartbeat: span begins/ends and the
+	// learner hot paths bump it, StartWatchdog watches it (see watchdog.go).
+	beat atomic.Int64
 
 	// spanMu guards cur, the innermost open span (see span.go).
 	spanMu sync.Mutex
@@ -251,6 +290,51 @@ func (r *Run) Add(c Counter, delta int64) {
 	r.reg.counters[c].Add(delta)
 }
 
+// Heartbeat signals forward progress to the stall watchdog. Hot paths
+// (per-example coverage tests, subsumption node batches, covering
+// iterations) call it unconditionally: on a nil run it is one pointer
+// test, otherwise one atomic add.
+func (r *Run) Heartbeat() {
+	if r == nil {
+		return
+	}
+	r.beat.Add(1)
+}
+
+// Observe records a duration into the named registry histogram. Span and
+// phase distributions are recorded automatically; Observe is for ad-hoc
+// latencies (hot paths should resolve the histogram once via
+// Registry.Histogram instead of paying the name lookup per call).
+func (r *Run) Observe(name string, d time.Duration) {
+	if r == nil || r.reg == nil {
+		return
+	}
+	r.reg.Histogram(name).Observe(d)
+}
+
+// WithFlightRecorder returns a run that additionally records span events
+// into the flight recorder (samplers and watchdogs attached to the run
+// find it there too). The receiver is not modified; a nil recorder
+// returns the receiver unchanged, and a nil receiver with a live
+// recorder returns a flight-only run, so flag wiring stays unconditional.
+func (r *Run) WithFlightRecorder(f *FlightRecorder) *Run {
+	if f == nil {
+		return r
+	}
+	if r == nil {
+		return &Run{flight: f}
+	}
+	return &Run{tracer: r.tracer, reg: r.reg, spans: r.spans, prov: r.prov, flight: f}
+}
+
+// Flight returns the run's flight recorder, or nil.
+func (r *Run) Flight() *FlightRecorder {
+	if r == nil {
+		return nil
+	}
+	return r.flight
+}
+
 // StartPhase begins timing a phase. Without a registry it returns the
 // zero time and skips the clock read entirely; EndPhase understands that.
 func (r *Run) StartPhase(p Phase) time.Time {
@@ -261,11 +345,14 @@ func (r *Run) StartPhase(p Phase) time.Time {
 }
 
 // EndPhase accumulates the elapsed wall time of a phase started with
-// StartPhase.
+// StartPhase, and feeds the phase's duration histogram so reports carry
+// the distribution, not just the total.
 func (r *Run) EndPhase(p Phase, start time.Time) {
 	if r == nil || r.reg == nil || start.IsZero() {
 		return
 	}
-	r.reg.phaseNS[p].Add(int64(time.Since(start)))
+	d := time.Since(start)
+	r.reg.phaseNS[p].Add(int64(d))
 	r.reg.phaseCalls[p].Add(1)
+	r.reg.phaseHist[p].Observe(d)
 }

@@ -135,14 +135,27 @@ type MetricDelta struct {
 	// apart from a real zero.
 	InOld bool
 	InNew bool
+	// FamilyOld and FamilyNew name the metric family (Fam* constants) the
+	// value came from in each report. When both sides carry the metric but
+	// the families differ — a name that was a counter in one report and a
+	// histogram percentile in the other — the values are not comparable and
+	// gates must treat the delta as a schema mismatch, not a regression.
+	FamilyOld string
+	FamilyNew string
+}
+
+// FamilyMismatch reports whether the metric exists in both reports under
+// different families, making its values incomparable.
+func (d MetricDelta) FamilyMismatch() bool {
+	return d.InOld && d.InNew && d.FamilyOld != d.FamilyNew
 }
 
 // DiffRunReports flattens both reports' metrics (see Report.FlatMetrics),
 // adds elapsed_seconds and the definition stats when present, and returns
 // one delta per metric name appearing in either, sorted by name.
 func DiffRunReports(old, new *RunReport) []MetricDelta {
-	om := flatten(old)
-	nm := flatten(new)
+	om, of := flatten(old)
+	nm, nf := flatten(new)
 	names := make(map[string]struct{}, len(om)+len(nm))
 	for n := range om {
 		names[n] = struct{}{}
@@ -154,7 +167,10 @@ func DiffRunReports(old, new *RunReport) []MetricDelta {
 	for n := range names {
 		_, inOld := om[n]
 		_, inNew := nm[n]
-		d := MetricDelta{Name: n, Old: om[n], New: nm[n], InOld: inOld, InNew: inNew}
+		d := MetricDelta{
+			Name: n, Old: om[n], New: nm[n], InOld: inOld, InNew: inNew,
+			FamilyOld: of[n], FamilyNew: nf[n],
+		}
 		switch {
 		case d.Old != 0:
 			d.Ratio = d.New / d.Old
@@ -169,19 +185,24 @@ func DiffRunReports(old, new *RunReport) []MetricDelta {
 	return out
 }
 
-// flatten merges a report's metric namespaces into one table.
-func flatten(r *RunReport) map[string]float64 {
-	out := r.Metrics.FlatMetrics()
-	out["elapsed_seconds"] = r.ElapsedSeconds
-	if d := r.Definition; d != nil {
-		out["definition_clauses"] = float64(d.Clauses)
-		out["definition_literals"] = float64(d.Literals)
-		out["definition_tp"] = float64(d.TP)
-		out["definition_fp"] = float64(d.FP)
-		out["definition_fn"] = float64(d.FN)
-		out["definition_precision"] = d.Precision
-		out["definition_recall"] = d.Recall
-		out["definition_f1"] = d.F1
+// flatten merges a report's metric namespaces into one table, tagging
+// each metric with its family.
+func flatten(r *RunReport) (map[string]float64, map[string]string) {
+	out, fam := r.Metrics.FlatMetricsWithFamilies()
+	put := func(name string, v float64) {
+		out[name] = v
+		fam[name] = "report"
 	}
-	return out
+	put("elapsed_seconds", r.ElapsedSeconds)
+	if d := r.Definition; d != nil {
+		put("definition_clauses", float64(d.Clauses))
+		put("definition_literals", float64(d.Literals))
+		put("definition_tp", float64(d.TP))
+		put("definition_fp", float64(d.FP))
+		put("definition_fn", float64(d.FN))
+		put("definition_precision", d.Precision)
+		put("definition_recall", d.Recall)
+		put("definition_f1", d.F1)
+	}
+	return out, fam
 }

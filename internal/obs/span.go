@@ -57,7 +57,7 @@ type SpanSink interface {
 // Spanning reports whether StartSpan would record anything. Hot loops can
 // guard expensive field construction with it, like Tracing for Emit.
 func (r *Run) Spanning() bool {
-	return r != nil && (r.reg != nil || r.spans != nil)
+	return r != nil && (r.reg != nil || r.spans != nil || r.flight != nil)
 }
 
 // WithSpans returns a run that additionally records spans into sink. The
@@ -71,14 +71,14 @@ func (r *Run) WithSpans(sink SpanSink) *Run {
 	if r == nil {
 		return &Run{spans: sink}
 	}
-	return &Run{tracer: r.tracer, reg: r.reg, spans: sink, prov: r.prov}
+	return &Run{tracer: r.tracer, reg: r.reg, spans: sink, prov: r.prov, flight: r.flight}
 }
 
 // StartSpan opens a span named name under the innermost open span of the
 // run. It returns nil — and does nothing — when the run observes nothing,
 // so uninstrumented paths pay one pointer test.
 func (r *Run) StartSpan(name string, fields ...Field) *Span {
-	if r == nil || (r.reg == nil && r.spans == nil) {
+	if r == nil || (r.reg == nil && r.spans == nil && r.flight == nil) {
 		return nil
 	}
 	s := &Span{run: r, ID: spanIDs.Add(1), Name: name, Start: time.Now(), Fields: fields}
@@ -89,6 +89,10 @@ func (r *Run) StartSpan(name string, fields ...Field) *Span {
 	}
 	r.cur = s
 	r.spanMu.Unlock()
+	r.beat.Add(1) // span progress doubles as a watchdog heartbeat
+	if f := r.flight; f != nil {
+		f.record(s.Start.UnixNano(), FKSpanStart, f.nameID(name), int64(s.ID), int64(s.ParentID))
+	}
 	if r.spans != nil {
 		r.spans.SpanStart(s)
 	}
@@ -119,6 +123,10 @@ func (s *Span) End() {
 		r.cur = s.parent
 	}
 	r.spanMu.Unlock()
+	r.beat.Add(1) // span progress doubles as a watchdog heartbeat
+	if f := r.flight; f != nil {
+		f.Record(FKSpanEnd, s.Name, int64(d), int64(s.ID))
+	}
 	if r.reg != nil {
 		r.reg.addSpan(s.Name, d)
 	}

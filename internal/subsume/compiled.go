@@ -188,6 +188,9 @@ type matcher struct {
 	open      []int32
 	nodes     int
 	exhausted bool
+	// obsRun feeds the stall watchdog from inside long probes; nil (the
+	// Witness paths and unobserved runs) costs one pointer test per batch.
+	obsRun *obs.Run
 }
 
 // occEntry is one occurrence of a variable slot in the source body.
@@ -208,7 +211,7 @@ type domSave struct {
 // connected by unbound variables, and search each component with forward
 // pruning over incremental domains.
 func (cd *Compiled) match(run *obs.Run, head *logic.Atom, body []logic.Atom, init logic.Substitution) bool {
-	m := &matcher{cd: cd, nodes: matchBudget}
+	m := &matcher{cd: cd, nodes: matchBudget, obsRun: run}
 	ok := m.run(head, body, init)
 	m.report(run)
 	return ok
@@ -488,6 +491,11 @@ func (m *matcher) search(openCount int) bool {
 		if m.nodes < 0 {
 			m.exhausted = true
 			break
+		}
+		if m.nodes&4095 == 0 {
+			// A pathological probe can spin here for seconds; let the stall
+			// watchdog see forward progress once per node batch.
+			m.obsRun.Heartbeat()
 		}
 		smark := m.subst.Mark()
 		dmark := len(m.domTrail)
