@@ -2,23 +2,28 @@ package sirl_test
 
 // Machine-readable benchmark emitter. `BENCH_JSON=BENCH_castor.json go test
 // -run TestEmitBenchJSON` runs a curated subset of the benchmarks through
-// testing.Benchmark and writes one JSON document with ns/op plus the custom
-// per-op metrics (covtests/op, covhits/op, nodes/op, ...) each benchmark
-// reports. The format is documented in DESIGN.md and consumed by the CI
-// observability job; cmd/obsreport diffs run reports, this file covers the
-// microbenchmark side.
+// testing.Benchmark and writes one JSON file holding one document per
+// GOMAXPROCS setting (BENCH_PROCS, comma-separated; default: the current
+// setting), each with ns/op plus the custom per-op metrics (covtests/op,
+// covhits/op, nodes/op, ...) the benchmarks report. Parallel entries carry
+// a parallel_speedup extra — serial ns/op over parallel ns/op within the
+// same document — so the scaling curve, not just single-core numbers, is
+// the regression surface. The format is documented in DESIGN.md and
+// consumed by the CI bench-smoke job via `obsreport -bench`.
 
 import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/obs"
 	"repro/internal/relstore"
 )
 
-// benchEntry is one benchmark result in the BENCH_castor.json document.
+// benchEntry is one benchmark result within a document.
 type benchEntry struct {
 	Name    string             `json:"name"`
 	Iters   int                `json:"iters"`
@@ -26,18 +31,40 @@ type benchEntry struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// benchDocument is the top-level BENCH_castor.json shape. CPUs is the
-// effective GOMAXPROCS the suite ran under — the CI bench-smoke matrix
-// emits one document per setting, so scaling curves (not just single-core
-// numbers) are the regression surface.
+// benchDocument is one GOMAXPROCS setting's results. CPUs is the effective
+// GOMAXPROCS the document's benchmarks ran under.
 type benchDocument struct {
-	Suite        string       `json:"suite"`
-	GoVersion    string       `json:"go_version"`
-	GOOS         string       `json:"goos"`
-	GOARCH       string       `json:"goarch"`
 	CPUs         int          `json:"cpus"`
 	RSSPeakBytes int64        `json:"rss_peak_bytes"`
 	Benchmarks   []benchEntry `json:"benchmarks"`
+}
+
+// benchFile is the top-level BENCH_castor.json shape: environment
+// identification plus one document per GOMAXPROCS setting.
+type benchFile struct {
+	Suite     string          `json:"suite"`
+	GoVersion string          `json:"go_version"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	Documents []benchDocument `json:"documents"`
+}
+
+// benchProcs parses BENCH_PROCS into the GOMAXPROCS settings to emit
+// documents for; unset means one document at the current setting.
+func benchProcs(t *testing.T) []int {
+	env := os.Getenv("BENCH_PROCS")
+	if env == "" {
+		return []int{runtime.GOMAXPROCS(0)}
+	}
+	var procs []int
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			t.Fatalf("BENCH_PROCS=%q: each field must be a positive integer", env)
+		}
+		procs = append(procs, n)
+	}
+	return procs
 }
 
 // TestEmitBenchJSON is skipped unless BENCH_JSON names an output path. It
@@ -51,6 +78,7 @@ func TestEmitBenchJSON(t *testing.T) {
 
 	prob := benchUWCSEProblem(t, true)
 	cands := buildScoringCandidates(t, prob)
+	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
 
 	measure := func(name string, f func(*testing.B)) benchEntry {
 		r := testing.Benchmark(f)
@@ -68,34 +96,43 @@ func TestEmitBenchJSON(t *testing.T) {
 		return e
 	}
 
-	doc := benchDocument{
+	file := benchFile{
 		Suite:     "castor",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.GOMAXPROCS(0),
 	}
-	doc.Benchmarks = append(doc.Benchmarks,
-		measure("CandidateScoring/serial", func(b *testing.B) { benchScoreBatch(b, prob, cands, 1, true) }),
-		measure("CandidateScoring/parallel", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.GOMAXPROCS(0), true) }),
-		measure("CandidateScoring/cached", func(b *testing.B) { benchScoreBatch(b, prob, cands, runtime.GOMAXPROCS(0), false) }),
-	)
-	for _, shape := range subsumptionShapes() {
-		shape := shape
-		doc.Benchmarks = append(doc.Benchmarks,
-			measure("Subsumption/"+shape.name+"/compiled", func(b *testing.B) { benchSubsumptionCompiled(b, shape) }))
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range benchProcs(t) {
+		runtime.GOMAXPROCS(procs)
+		doc := benchDocument{CPUs: procs}
+
+		serial := measure("CandidateScoring/serial", func(b *testing.B) { benchScoreBatch(b, prob, cands, 1, true) })
+		par := measure("CandidateScoring/parallel", func(b *testing.B) { benchScoreBatch(b, prob, cands, procs, true) })
+		par.Metrics["parallel_speedup"] = serial.NsPerOp / par.NsPerOp
+		doc.Benchmarks = append(doc.Benchmarks, serial, par,
+			measure("CandidateScoring/cached", func(b *testing.B) { benchScoreBatch(b, prob, cands, procs, false) }),
+		)
+		for _, shape := range subsumptionShapes() {
+			shape := shape
+			doc.Benchmarks = append(doc.Benchmarks,
+				measure("Subsumption/"+shape.name+"/compiled", func(b *testing.B) { benchSubsumptionCompiled(b, shape) }))
+		}
+		bcSerial := measure("BottomClause/serial", func(b *testing.B) { benchBottomClause(b, prob, plan, 1) })
+		bcPar := measure("BottomClause/parallel", func(b *testing.B) { benchBottomClause(b, prob, plan, procs) })
+		bcPar.Metrics["parallel_speedup"] = bcSerial.NsPerOp / bcPar.NsPerOp
+		doc.Benchmarks = append(doc.Benchmarks, bcSerial, bcPar)
+
+		// RSS after the document's suite: the process's high-water resident
+		// set, the "RSS tracked in BENCH" hook of the roadmap. Monotone
+		// across documents (it is a high-water mark), still recorded per
+		// document so single-document CI runs stay comparable.
+		doc.RSSPeakBytes = obs.ReadRSS()
+		file.Documents = append(file.Documents, doc)
 	}
-	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
-	doc.Benchmarks = append(doc.Benchmarks,
-		measure("BottomClause/serial", func(b *testing.B) { benchBottomClause(b, prob, plan, 1) }),
-		measure("BottomClause/parallel", func(b *testing.B) { benchBottomClause(b, prob, plan, runtime.GOMAXPROCS(0)) }),
-	)
 
-	// RSS after the whole suite: the process's high-water resident set,
-	// the "RSS tracked in BENCH" hook of the roadmap.
-	doc.RSSPeakBytes = obs.ReadRSS()
-
-	out, err := json.MarshalIndent(doc, "", "  ")
+	out, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,5 +140,5 @@ func TestEmitBenchJSON(t *testing.T) {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %d benchmark entries to %s", len(doc.Benchmarks), path)
+	t.Logf("wrote %d documents to %s", len(file.Documents), path)
 }

@@ -206,11 +206,11 @@ func benchScoreBatch(b *testing.B, prob *ilp.Problem, cands []coverage.Candidate
 	tester := ilp.NewTester(prob, params)
 	// Warm the saturation cache so both variants time scoring, not
 	// bottom-clause construction.
-	tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
+	tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		scores := tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound)
+		scores := tester.ScoreBatch(cands, prob.Pos, prob.Neg, coverage.NoBound, 0)
 		if len(scores) != len(cands) {
 			b.Fatalf("scores = %d, want %d", len(scores), len(cands))
 		}

@@ -1,0 +1,212 @@
+package main
+
+// Benchmark-file gating (-bench): instead of run reports, compare two
+// BENCH_castor.json files — the multi-document shape TestEmitBenchJSON
+// writes, one document per GOMAXPROCS setting — and gate CI on scaling
+// regressions. Watch entries name a benchmark and one of its metrics and
+// pick a direction:
+//
+//	obsreport -bench -cpus 8 \
+//	    -watch 'CandidateScoring/parallel.ns_per_op=1.15,CandidateScoring/parallel.parallel_speedup>=0.9' \
+//	    baseline.json current.json
+//
+//	name.metric=r     current ≤ r × baseline   (lower is better: timings, allocs)
+//	name.metric>=r    current ≥ r × baseline   (higher is better: parallel_speedup)
+//	name.metric@>=v   current ≥ v              (absolute floor, baseline ignored)
+//
+// metric is ns_per_op or any key of the entry's metrics map. -cpus selects
+// the document with that cpus value from each file; omitted, each file
+// must hold exactly one document. Exit status matches the report mode: 0
+// clean, 1 when a gate fails or a watched metric is missing from one
+// side, 2 on usage errors, unreadable files, a missing document, or a
+// watched metric absent from both files.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// benchEntry / benchFile mirror the emitter's JSON shape (bench_json_test.go).
+type benchEntry struct {
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type benchDoc struct {
+	CPUs       int          `json:"cpus"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchFileDoc struct {
+	Suite     string     `json:"suite"`
+	Documents []benchDoc `json:"documents"`
+}
+
+// benchGate is one parsed -watch entry in bench mode.
+type benchGate struct {
+	bench, metric string
+	op            string // "max-ratio", "min-ratio", "abs-min"
+	bound         float64
+}
+
+func (g benchGate) key() string { return g.bench + "." + g.metric }
+
+// parseBenchGates splits the -watch string into gates. Every entry must
+// carry an explicit bound — bench mode has no implicit threshold.
+func parseBenchGates(watch string) ([]benchGate, error) {
+	var gates []benchGate
+	for _, w := range strings.Split(watch, ",") {
+		if w = strings.TrimSpace(w); w == "" {
+			continue
+		}
+		var key, val, op string
+		switch {
+		case strings.Contains(w, "@>="):
+			op = "abs-min"
+			i := strings.Index(w, "@>=")
+			key, val = w[:i], w[i+3:]
+		case strings.Contains(w, ">="):
+			op = "min-ratio"
+			i := strings.Index(w, ">=")
+			key, val = w[:i], w[i+2:]
+		case strings.Contains(w, "="):
+			op = "max-ratio"
+			i := strings.Index(w, "=")
+			key, val = w[:i], w[i+1:]
+		default:
+			return nil, fmt.Errorf("bad -watch entry %q (want name.metric=r, name.metric>=r or name.metric@>=v)", w)
+		}
+		g := benchGate{op: op}
+		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%g", &g.bound); err != nil {
+			return nil, fmt.Errorf("bad bound in -watch entry %q", w)
+		}
+		// The metric is everything after the last dot; benchmark names
+		// themselves contain slashes but no dots.
+		dot := strings.LastIndex(key, ".")
+		if dot <= 0 || dot == len(key)-1 {
+			return nil, fmt.Errorf("bad -watch entry %q (want name.metric)", w)
+		}
+		g.bench, g.metric = strings.TrimSpace(key[:dot]), strings.TrimSpace(key[dot+1:])
+		gates = append(gates, g)
+	}
+	return gates, nil
+}
+
+// loadBenchDoc reads a benchmark file and selects its cpus document. cpus
+// ≤ 0 means "the only document".
+func loadBenchDoc(path string, cpus int) (*benchDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFileDoc
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(f.Documents) == 0 {
+		return nil, fmt.Errorf("%s: no documents (regenerate with the multi-document emitter)", path)
+	}
+	if cpus <= 0 {
+		if len(f.Documents) > 1 {
+			return nil, fmt.Errorf("%s: %d documents; pick one with -cpus", path, len(f.Documents))
+		}
+		return &f.Documents[0], nil
+	}
+	for i := range f.Documents {
+		if f.Documents[i].CPUs == cpus {
+			return &f.Documents[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%s: no document with cpus=%d", path, cpus)
+}
+
+// metricValue resolves a gate's metric in one document.
+func metricValue(doc *benchDoc, bench, metric string) (float64, bool) {
+	for _, b := range doc.Benchmarks {
+		if b.Name != bench {
+			continue
+		}
+		if metric == "ns_per_op" {
+			return b.NsPerOp, true
+		}
+		v, ok := b.Metrics[metric]
+		return v, ok
+	}
+	return 0, false
+}
+
+// runBench is the -bench entry point, called from run with flags parsed.
+func runBench(watch string, cpus int, oldPath, newPath string, out, errw io.Writer) int {
+	gates, err := parseBenchGates(watch)
+	if err != nil {
+		fmt.Fprintln(errw, "obsreport:", err)
+		return 2
+	}
+	oldDoc, err := loadBenchDoc(oldPath, cpus)
+	if err != nil {
+		fmt.Fprintln(errw, "obsreport:", err)
+		return 2
+	}
+	newDoc, err := loadBenchDoc(newPath, cpus)
+	if err != nil {
+		fmt.Fprintln(errw, "obsreport:", err)
+		return 2
+	}
+
+	fmt.Fprintf(out, "old: %s (cpus=%d)\n", oldPath, oldDoc.CPUs)
+	fmt.Fprintf(out, "new: %s (cpus=%d)\n\n", newPath, newDoc.CPUs)
+	fmt.Fprintf(out, "%-52s %14s %14s %8s\n", "benchmark.metric", "old", "new", "check")
+	var failures, missing []string
+	for _, g := range gates {
+		ov, inOld := metricValue(oldDoc, g.bench, g.metric)
+		nv, inNew := metricValue(newDoc, g.bench, g.metric)
+		if !inOld && !inNew {
+			fmt.Fprintf(errw, "obsreport: watched benchmark metric %q absent from both files\n", g.key())
+			return 2
+		}
+		// Absolute gates only need the current file; ratio gates need both.
+		if !inNew || (!inOld && g.op != "abs-min") {
+			side := "new"
+			if inNew {
+				side = "old"
+			}
+			fmt.Fprintf(errw, "obsreport: watched benchmark metric %q missing from the %s file\n", g.key(), side)
+			missing = append(missing, g.key())
+			continue
+		}
+		var ok bool
+		var check string
+		switch g.op {
+		case "max-ratio":
+			ok = nv <= g.bound*ov
+			check = fmt.Sprintf("<=%.2fx", g.bound)
+		case "min-ratio":
+			ok = nv >= g.bound*ov
+			check = fmt.Sprintf(">=%.2fx", g.bound)
+		case "abs-min":
+			ok = nv >= g.bound
+			check = fmt.Sprintf(">=%s", num(g.bound))
+		}
+		mark := "*"
+		if !ok {
+			mark = "!"
+			failures = append(failures, g.key())
+		}
+		fmt.Fprintf(out, "%-52s %14s %14s %8s %s\n", g.key(), num(ov), num(nv), check, mark)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(out, "\nMISSING: %s absent from one file\n", strings.Join(missing, ", "))
+		return 1
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(out, "\nREGRESSION: %s failed their gates against the baseline\n",
+			strings.Join(failures, ", "))
+		return 1
+	}
+	fmt.Fprintf(out, "\nok: all %d watched benchmark metrics within bounds\n", len(gates))
+	return 0
+}

@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBenchFile marshals a multi-document benchmark file into dir. docs
+// maps cpus → benchmark name → metric name → value; ns_per_op is a metric
+// name like any other here.
+func writeBenchFile(t *testing.T, dir, name string, docs map[int]map[string]map[string]float64) string {
+	t.Helper()
+	f := benchFileDoc{Suite: "castor"}
+	for cpus, benches := range docs {
+		doc := benchDoc{CPUs: cpus}
+		for bn, metrics := range benches {
+			e := benchEntry{Name: bn, Metrics: map[string]float64{}}
+			for mn, v := range metrics {
+				if mn == "ns_per_op" {
+					e.NsPerOp = v
+				} else {
+					e.Metrics[mn] = v
+				}
+			}
+			doc.Benchmarks = append(doc.Benchmarks, e)
+		}
+		f.Documents = append(f.Documents, doc)
+	}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchGatesPassWithinBounds(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBenchFile(t, dir, "old.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/parallel": {"ns_per_op": 1000, "parallel_speedup": 3.0}},
+	})
+	newP := writeBenchFile(t, dir, "new.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/parallel": {"ns_per_op": 1050, "parallel_speedup": 2.9}},
+	})
+	var out, errw strings.Builder
+	code := run([]string{"-bench", "-cpus", "8", "-watch",
+		"CandidateScoring/parallel.ns_per_op=1.15," +
+			"CandidateScoring/parallel.parallel_speedup>=0.9," +
+			"CandidateScoring/parallel.parallel_speedup@>=1.0",
+		oldP, newP}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "ok: all 3 watched benchmark metrics") {
+		t.Errorf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestBenchSpeedupRegressionExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBenchFile(t, dir, "old.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/parallel": {"parallel_speedup": 3.0}},
+	})
+	// Speedup collapsed: 3.0 → 1.2 fails the >=0.9 ratio gate.
+	newP := writeBenchFile(t, dir, "new.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/parallel": {"parallel_speedup": 1.2}},
+	})
+	var out, errw strings.Builder
+	code := run([]string{"-bench", "-cpus", "8", "-watch",
+		"CandidateScoring/parallel.parallel_speedup>=0.9", oldP, newP}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: CandidateScoring/parallel.parallel_speedup") {
+		t.Errorf("missing regression line:\n%s", out.String())
+	}
+}
+
+func TestBenchAbsoluteFloorFailsBelow(t *testing.T) {
+	dir := t.TempDir()
+	// parallel_speedup < 1.0 means parallel lost to serial outright; the
+	// absolute gate must fail regardless of the baseline's value.
+	oldP := writeBenchFile(t, dir, "old.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/parallel": {"parallel_speedup": 0.8}},
+	})
+	newP := writeBenchFile(t, dir, "new.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/parallel": {"parallel_speedup": 0.95}},
+	})
+	var out, errw strings.Builder
+	code := run([]string{"-bench", "-cpus", "8", "-watch",
+		"CandidateScoring/parallel.parallel_speedup@>=1.0", oldP, newP}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s", code, out.String())
+	}
+}
+
+func TestBenchSlowdownRatioGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBenchFile(t, dir, "old.json", map[int]map[string]map[string]float64{
+		4: {"CandidateScoring/serial": {"ns_per_op": 1000}},
+	})
+	newP := writeBenchFile(t, dir, "new.json", map[int]map[string]map[string]float64{
+		4: {"CandidateScoring/serial": {"ns_per_op": 1300}},
+	})
+	var out, errw strings.Builder
+	code := run([]string{"-bench", "-cpus", "4", "-watch",
+		"CandidateScoring/serial.ns_per_op=1.15", oldP, newP}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("1.3x slowdown against a 1.15 gate: exit = %d, want 1\n%s", code, out.String())
+	}
+}
+
+func TestBenchDocumentSelection(t *testing.T) {
+	dir := t.TempDir()
+	// The cpus=1 document is clean, cpus=8 regresses: -cpus must pick the
+	// right one.
+	mk := func(name string, ns8 float64) string {
+		return writeBenchFile(t, dir, name, map[int]map[string]map[string]float64{
+			1: {"CandidateScoring/serial": {"ns_per_op": 1000}},
+			8: {"CandidateScoring/serial": {"ns_per_op": ns8}},
+		})
+	}
+	oldP := mk("old.json", 1000)
+	newP := mk("new.json", 5000)
+	var out, errw strings.Builder
+	if code := run([]string{"-bench", "-cpus", "1", "-watch",
+		"CandidateScoring/serial.ns_per_op=1.15", oldP, newP}, &out, &errw); code != 0 {
+		t.Fatalf("cpus=1 exit = %d, want 0\n%s%s", code, out.String(), errw.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-bench", "-cpus", "8", "-watch",
+		"CandidateScoring/serial.ns_per_op=1.15", oldP, newP}, &out, &errw); code != 1 {
+		t.Fatalf("cpus=8 exit = %d, want 1\n%s", code, out.String())
+	}
+	// A cpus value in neither file is a usage error, not a silent pass.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-bench", "-cpus", "16", "-watch",
+		"CandidateScoring/serial.ns_per_op=1.15", oldP, newP}, &out, &errw); code != 2 {
+		t.Fatalf("cpus=16 exit = %d, want 2\n%s", code, errw.String())
+	}
+	// Multi-document files without -cpus are ambiguous.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-bench", "-watch",
+		"CandidateScoring/serial.ns_per_op=1.15", oldP, newP}, &out, &errw); code != 2 {
+		t.Fatalf("no -cpus over 2 documents: exit = %d, want 2\n%s", code, errw.String())
+	}
+}
+
+func TestBenchMissingAndMalformedWatches(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeBenchFile(t, dir, "old.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/serial": {"ns_per_op": 1000}},
+	})
+	newP := writeBenchFile(t, dir, "new.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/serial": {"ns_per_op": 1000}},
+	})
+	var out, errw strings.Builder
+	// Absent from both files → exit 2.
+	if code := run([]string{"-bench", "-cpus", "8", "-watch",
+		"NoSuch/bench.ns_per_op=1.1", oldP, newP}, &out, &errw); code != 2 {
+		t.Fatalf("absent metric exit = %d, want 2\n%s", code, errw.String())
+	}
+	// No operator → usage error.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-bench", "-cpus", "8", "-watch",
+		"CandidateScoring/serial.ns_per_op", oldP, newP}, &out, &errw); code != 2 {
+		t.Fatalf("gateless entry exit = %d, want 2\n%s", code, errw.String())
+	}
+	// Metric present only in the baseline → exit 1 (it stopped being
+	// emitted — that is a reportable regression, not a pass).
+	withMetric := writeBenchFile(t, dir, "with.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/parallel": {"parallel_speedup": 3.0}},
+	})
+	without := writeBenchFile(t, dir, "without.json", map[int]map[string]map[string]float64{
+		8: {"CandidateScoring/parallel": {"other": 1.0}},
+	})
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-bench", "-cpus", "8", "-watch",
+		"CandidateScoring/parallel.parallel_speedup>=0.9", withMetric, without}, &out, &errw); code != 1 {
+		t.Fatalf("metric missing from new exit = %d, want 1\n%s", code, errw.String())
+	}
+}

@@ -50,8 +50,11 @@ func run(args []string, out, errw io.Writer) int {
 	watch := fs.String("watch", "", "comma-separated metrics to gate on, each optionally name=threshold (empty: report only, never fail)")
 	threshold := fs.Float64("threshold", 1.10, "max allowed new/old ratio for watched metrics without their own =threshold")
 	all := fs.Bool("all", false, "print unchanged metrics too")
+	bench := fs.Bool("bench", false, "inputs are BENCH json files, not run reports; -watch entries are name.metric gates (see bench.go)")
+	cpus := fs.Int("cpus", 0, "with -bench: select the document with this cpus value (0: the only document)")
 	fs.Usage = func() {
 		fmt.Fprintln(errw, "usage: obsreport [-watch m1,m2=1.5] [-threshold 1.10] [-all] old.json new.json")
+		fmt.Fprintln(errw, "       obsreport -bench [-cpus N] -watch 'name.metric=r,name.metric>=r,name.metric@>=v' old.json new.json")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +63,9 @@ func run(args []string, out, errw io.Writer) int {
 	if fs.NArg() != 2 {
 		fs.Usage()
 		return 2
+	}
+	if *bench {
+		return runBench(*watch, *cpus, fs.Arg(0), fs.Arg(1), out, errw)
 	}
 	oldRep, err := obs.LoadRunReport(fs.Arg(0))
 	if err != nil {

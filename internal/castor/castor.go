@@ -296,7 +296,7 @@ func (l *Learner) learnClauseFromSeed(prob *ilp.Problem, params ilp.Params, test
 			}
 		}
 		var next []*scored
-		for ci, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore)) {
+		for ci, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore), width) {
 			if s.Pruned {
 				if prov.Enabled() {
 					// Scoring was abandoned mid-scan: the counts are unknown.

@@ -1,0 +1,104 @@
+package castor
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/subsume"
+	"repro/internal/testfix"
+)
+
+// TestSharedCompiledProbesDuringConcurrentLearn is the whole-system race
+// check for the compile-once/probe-many design: eight goroutines hammer a
+// single shared subsume.Compiled target — the exact sharing pattern the
+// engine's shard workers use — while a full subsumption-mode Learn with
+// its own 8-worker pool runs in the same process. Probe answers must
+// never wobble from the sequential baseline, and the learned definition
+// must match a serial run. Meaningful under -race: it extends the
+// two-concurrent-Learn isolation test with cross-goroutine sharing of
+// one compilation rather than two disjoint stacks.
+func TestSharedCompiledProbesDuringConcurrentLearn(t *testing.T) {
+	prob := testfix.NewWorld(6).ProblemOriginal()
+	params := ilp.Defaults()
+	params.Sample = 4
+	params.BeamWidth = 2
+	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
+
+	// One shared compilation of the first positive's ground bottom clause.
+	ground := GroundBottomClause(prob, plan, prob.Pos[0], params)
+	cd := subsume.Compile(ground)
+
+	// Probe set: leave-one-literal-out generalizations of the variablized
+	// bottom clause (each subsumes the ground clause it was carved from),
+	// plus a clause over an absent predicate that never can.
+	bottom := BottomClause(prob, plan, prob.Pos[0], params)
+	var probes []*logic.Clause
+	for drop := range bottom.Body {
+		body := make([]logic.Atom, 0, len(bottom.Body)-1)
+		body = append(body, bottom.Body[:drop]...)
+		body = append(body, bottom.Body[drop+1:]...)
+		probes = append(probes, &logic.Clause{Head: bottom.Head, Body: body})
+	}
+	probes = append(probes, &logic.Clause{
+		Head: bottom.Head,
+		Body: []logic.Atom{logic.NewAtom("no_such_relation", logic.Var("X"))},
+	})
+
+	// Sequential baseline answers before any concurrency starts.
+	want := make([]bool, len(probes))
+	for i, p := range probes {
+		want[i] = cd.Subsumes(p)
+	}
+
+	// Serial baseline definition for the concurrent Learn to match.
+	serialParams := params
+	serialParams.CoverageMode = ilp.CoverageSubsumption
+	serialParams.Parallelism = 1
+	baseDef, err := New().Learn(testfix.NewWorld(6).ProblemOriginal(), serialParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	learnParams := serialParams
+	learnParams.Parallelism = 8
+	done := make(chan error, 1)
+	defs := make(chan string, 1)
+	go func() {
+		def, err := New().Learn(testfix.NewWorld(6).ProblemOriginal(), learnParams)
+		if err == nil {
+			defs <- def.String()
+		}
+		done <- err
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := probes[(w+i)%len(probes)]
+				if got := cd.Subsumes(p); got != want[(w+i)%len(probes)] {
+					errs <- fmt.Sprintf("worker %d iter %d: probe answer flipped to %v", w, i, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := <-defs; got != baseDef.String() {
+		t.Errorf("Learn under shared-target probe load diverged:\nbase: %s\ngot:  %s", baseDef, got)
+	}
+}

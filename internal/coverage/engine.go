@@ -2,7 +2,7 @@ package coverage
 
 import (
 	"math"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/logic"
@@ -15,13 +15,25 @@ import (
 // for concurrent use.
 type CoverFunc func(c *logic.Clause, e logic.Atom) bool
 
+// CostFunc estimates the relative cost of testing one example: for
+// subsumption-mode coverage the compiled bottom-clause size, for direct
+// evaluation a store-statistics-derived scan estimate. The estimate only
+// steers shard boundaries — results never depend on it — so it is free to
+// be rough, but it must be safe for concurrent use.
+type CostFunc func(e logic.Atom) int64
+
 // NoBound disables the early-termination bound of ScoreBatch.
 const NoBound = math.MinInt
 
-// Engine evaluates clause coverage: per-example parallelism inside one
-// CoveredSet call (§7.5.3), whole-result memoization keyed by canonical
-// clause form (§7.5.4), and cross-candidate parallel scoring with an
-// early-termination bound.
+// targetShardNS is the expected work one shard should carry once latency
+// data exists: big enough to amortize the cursor and round-trip overhead,
+// small enough to keep the pool load-balanced.
+const targetShardNS = 64_000
+
+// Engine evaluates clause coverage: cost-sharded per-example parallelism
+// inside one batch (§7.5.3), whole-result memoization keyed by canonical
+// clause form (§7.5.4), and cross-candidate batched scoring with a global
+// best-score bound shared by every worker.
 type Engine struct {
 	cover   CoverFunc
 	workers int
@@ -30,6 +42,8 @@ type Engine struct {
 	// batchHist is the pre-resolved coverage-batch latency histogram, nil
 	// on unobserved runs (no name lookup, no clock read on the nop path).
 	batchHist *obs.Histogram
+	// costFn sizes example shards; nil means uniform cost.
+	costFn CostFunc
 }
 
 // NewEngine builds an engine. workers < 1 is treated as sequential; a nil
@@ -45,6 +59,61 @@ func NewEngine(cover CoverFunc, workers int, cache *Cache, run *obs.Run) *Engine
 	return en
 }
 
+// SetCostFn installs the shard-sizing cost model. Call before scoring
+// starts; a nil function falls back to uniform costs.
+func (en *Engine) SetCostFn(fn CostFunc) { en.costFn = fn }
+
+// exampleCosts evaluates the cost model once per example (items reuse
+// these, so a batch never calls the model more than len(examples) times).
+// Returns nil for uniform costs.
+func (en *Engine) exampleCosts(examples []logic.Atom) []int64 {
+	if en.costFn == nil {
+		return nil
+	}
+	out := make([]int64, len(examples))
+	for i, e := range examples {
+		if out[i] = en.costFn(e); out[i] < 1 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// shardCount picks how many shards a round of items should split into:
+// an oversubscription factor over the worker count for load balancing,
+// coarsened when the coverage_batch histogram says individual tests are
+// expensive enough that finer shards would be pure bookkeeping.
+func (en *Engine) shardCount(items int) int {
+	want := en.workers * shardOversub
+	if en.batchHist != nil {
+		if reg := en.run.Registry(); reg != nil {
+			if tests := reg.Get(obs.CCoverageTests); tests > 0 {
+				if avg := en.batchHist.Sum().Nanoseconds() / tests; avg > 0 {
+					perShard := int(targetShardNS / avg)
+					if perShard < 1 {
+						perShard = 1
+					}
+					if coarse := items / perShard; coarse < want {
+						want = coarse
+					}
+				}
+			}
+		}
+	}
+	// Never plan fewer shards than workers while there is enough work:
+	// idle workers were the bug this engine replaces.
+	if want < en.workers {
+		want = en.workers
+	}
+	if want > items {
+		want = items
+	}
+	if want < 1 {
+		want = 1
+	}
+	return want
+}
+
 // CoveredSet tests the clause against every example. known, when non-nil,
 // marks examples already known covered (because the clause generalizes one
 // that covered them) and skips their tests; out-of-range known bits read
@@ -56,7 +125,7 @@ func (en *Engine) CoveredSet(c *logic.Clause, examples []logic.Atom, known *Bits
 		sp = en.run.StartSpan("coverage_batch", obs.F("examples", len(examples)))
 	}
 	start := en.run.StartPhase(obs.PCoverage)
-	out := en.coveredSet(c, examples, known, en.workers)
+	out := en.coveredSet(c, examples, known, nil)
 	en.run.EndPhase(obs.PCoverage, start)
 	if en.batchHist != nil && !start.IsZero() {
 		en.batchHist.Observe(time.Since(start))
@@ -68,11 +137,11 @@ func (en *Engine) CoveredSet(c *logic.Clause, examples []logic.Atom, known *Bits
 	return out
 }
 
-// coveredSet is CoveredSet without the phase timer, with an explicit
-// worker count so ScoreBatch can nest it inside candidate workers.
-func (en *Engine) coveredSet(c *logic.Clause, examples []logic.Atom, known *Bitset, workers int) *Bitset {
+// coveredSet is CoveredSet without the phase timer, with an explicit pool
+// (nil runs inline) so ScoreBatch can reuse its workers.
+func (en *Engine) coveredSet(c *logic.Clause, examples []logic.Atom, known *Bitset, pl *pool) *Bitset {
 	if en.cache == nil {
-		return en.evaluate(c, examples, known, workers)
+		return en.evaluate(c, examples, known, pl)
 	}
 	key := en.cache.Key(c, SetKey(examples))
 	if hit, ok := en.cache.Get(key); ok && hit.Len() == len(examples) {
@@ -80,13 +149,14 @@ func (en *Engine) coveredSet(c *logic.Clause, examples []logic.Atom, known *Bits
 		return hit
 	}
 	en.run.Inc(obs.CCoverageCacheMisses)
-	out := en.evaluate(c, examples, known, workers)
+	out := en.evaluate(c, examples, known, pl)
 	en.cache.Put(key, out)
 	return out
 }
 
-// evaluate runs the actual per-example tests, sharded over workers.
-func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset, workers int) *Bitset {
+// evaluate runs the actual per-example tests, cost-sharded over the pool.
+func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset, pl *pool) *Bitset {
+	n := len(examples)
 	if known != nil {
 		// §7.5.4 known-covered shortcut: tests this batch skips outright.
 		skipped := int64(0)
@@ -97,11 +167,12 @@ func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset
 		}
 		en.run.Add(obs.CCoverageSkipped, skipped)
 	}
-	n := len(examples)
-	if workers > n {
-		workers = n
+	ownPool := false
+	if pl == nil && en.workers > 1 && n >= 2 {
+		pl = newPool(en.workers, "coverage_testing")
+		ownPool = true
 	}
-	if workers <= 1 || n < 2 {
+	if pl == nil {
 		out := New(n)
 		for i, e := range examples {
 			en.run.Heartbeat()
@@ -114,27 +185,21 @@ func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset
 	// Workers record into a byte-per-example buffer, not the bitset:
 	// concurrent writes to neighbouring bits would race on shared words.
 	buf := make([]bool, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Label the whole drain loop so CPU profiles attribute worker
-			// time to the coverage phase.
-			obs.WithPhaseLabel("coverage_testing", func() {
-				for i := range next {
-					en.run.Heartbeat()
-					buf[i] = known.Get(i) || en.cover(c, examples[i])
-				}
-			})
-		}()
+	costs := en.exampleCosts(examples)
+	var costAt func(int) int64
+	if costs != nil {
+		costAt = func(i int) int64 { return costs[i] }
 	}
-	for i := range examples {
-		next <- i
+	shards := planShards(n, en.shardCount(n), costAt)
+	pl.runShards(shards, func(sh shard) {
+		for i := sh.lo; i < sh.hi; i++ {
+			en.run.Heartbeat()
+			buf[i] = known.Get(i) || en.cover(c, examples[i])
+		}
+	})
+	if ownPool {
+		pl.close()
 	}
-	close(next)
-	wg.Wait()
 	return FromBools(buf)
 }
 
@@ -146,9 +211,13 @@ type Candidate struct {
 	KnownNeg *Bitset
 }
 
-// Score is the evaluation of one candidate. When Pruned, the negative scan
-// was abandoned early: N is a lower bound, Neg a partial set, and the
-// candidate is guaranteed unable to beat the bound passed to ScoreBatch.
+// Score is the evaluation of one candidate. When Pruned, the negative
+// side was abandoned: Neg is empty and N is zero, and the candidate is
+// guaranteed unable to make the caller's keep set (it cannot beat the
+// floor, or at least keep already-completed candidates score strictly
+// above it). Pos and P are always exact. The pruned payload is canonical —
+// no partial scan state — so ScoreBatch output is byte-identical for
+// every worker count and cache setting.
 type Score struct {
 	Clause *logic.Clause
 	Pos    *Bitset
@@ -157,12 +226,73 @@ type Score struct {
 	Pruned bool
 }
 
-// ScoreBatch evaluates candidates concurrently over the worker pool.
-// bound, unless NoBound, is a compression score (p−n) the candidates must
-// beat: a candidate is abandoned as soon as p−n can no longer exceed
-// bound, because negative cover only grows as the scan proceeds. Complete
-// results are memoized; pruned ones are not.
-func (en *Engine) ScoreBatch(cands []Candidate, pos, neg []logic.Atom, bound int) []Score {
+// bestBound is the cross-worker pruning bound of one batch: the keep-th
+// best completed compression score, published atomically so every shard
+// of every candidate prunes against the current winner. Scores enter in
+// candidate index order, which makes the bound — and therefore which
+// candidates get pruned — deterministic.
+type bestBound struct {
+	keep   int
+	scores []int        // sorted descending, at most keep entries
+	bound  atomic.Int64 // keep-th best score once keep candidates completed
+	armed  atomic.Bool
+}
+
+func newBestBound(keep int) *bestBound {
+	if keep <= 0 {
+		return nil
+	}
+	return &bestBound{keep: keep}
+}
+
+// offer records one completed score.
+func (bb *bestBound) offer(score int) {
+	if bb == nil {
+		return
+	}
+	if len(bb.scores) < bb.keep {
+		bb.scores = append(bb.scores, score)
+	} else if score > bb.scores[bb.keep-1] {
+		bb.scores[bb.keep-1] = score
+	} else {
+		return
+	}
+	for i := len(bb.scores) - 1; i > 0 && bb.scores[i] > bb.scores[i-1]; i-- {
+		bb.scores[i], bb.scores[i-1] = bb.scores[i-1], bb.scores[i]
+	}
+	if len(bb.scores) == bb.keep {
+		bb.bound.Store(int64(bb.scores[bb.keep-1]))
+		bb.armed.Store(true)
+	}
+}
+
+// threshold returns the current keep-th best completed score; ok is false
+// until keep candidates have completed.
+func (bb *bestBound) threshold() (int, bool) {
+	if bb == nil || !bb.armed.Load() {
+		return 0, false
+	}
+	return int(bb.bound.Load()), true
+}
+
+// ScoreBatch evaluates candidates over the worker pool in two phases:
+// every candidate's positive cover is computed exactly in one flattened
+// cost-sharded round, then negative scans run in candidate index order,
+// each sharded across all workers with a cooperative abort.
+//
+// floor, unless NoBound, is a compression score (p−n) the candidates must
+// strictly beat. keep > 0 additionally arms the shared best-score bound:
+// once keep candidates have completed, a candidate whose score cannot
+// reach the keep-th best completed score is abandoned too — it could
+// never survive the caller's width trim (strictly better candidates
+// already fill every slot, and the caller breaks ties by index). A
+// candidate is pruned exactly when its full score s satisfies s ≤ floor
+// or s < keep-th best; both predicates depend only on final counts, never
+// on scan timing, so pruning decisions are identical for every worker
+// count and cache setting. Complete results are memoized; pruned ones are
+// not, and carry a canonical empty negative side. keep ≤ 0 disables the
+// shared bound (callers that need exact counts, like FOIL's gain).
+func (en *Engine) ScoreBatch(cands []Candidate, pos, neg []logic.Atom, floor, keep int) []Score {
 	var sp *obs.Span
 	if en.run.Spanning() {
 		sp = en.run.StartSpan("score_batch", obs.F("candidates", len(cands)))
@@ -170,97 +300,235 @@ func (en *Engine) ScoreBatch(cands []Candidate, pos, neg []logic.Atom, bound int
 	defer sp.End()
 	start := en.run.StartPhase(obs.PCoverage)
 	defer en.run.EndPhase(obs.PCoverage, start)
+	if en.batchHist != nil {
+		defer func() {
+			if !start.IsZero() {
+				en.batchHist.Observe(time.Since(start))
+			}
+		}()
+	}
+
 	out := make([]Score, len(cands))
-	workers := en.workers
-	if workers > len(cands) {
-		workers = len(cands)
+	if len(cands) == 0 {
+		return out
 	}
-	// Split the pool between candidate-level and example-level
-	// parallelism, so small batches still use every worker.
-	inner := 1
-	if len(cands) > 0 {
-		inner = en.workers / len(cands)
-		if inner < 1 {
-			inner = 1
-		}
+	var pl *pool
+	if en.workers > 1 {
+		pl = newPool(en.workers, "candidate_scoring")
+		defer pl.close()
 	}
-	if workers <= 1 {
-		for i, cand := range cands {
-			out[i] = en.scoreOne(cand, pos, neg, bound, en.workers)
+
+	// Phase A: every candidate's positive cover, exact, one flattened
+	// round. Positive counts are needed in full for any score, so there
+	// is nothing to prune yet and no ordering constraint.
+	posSets := en.batchCovered(pl, cands, pos, true)
+	for i := range cands {
+		en.run.Inc(obs.CCandidatesScored)
+		out[i] = Score{Clause: cands[i].Clause, Pos: posSets[i], P: posSets[i].Count()}
+	}
+
+	if floor == NoBound && keep <= 0 {
+		// Unbounded batch: the negative side flattens into one round too.
+		negSets := en.batchCovered(pl, cands, neg, false)
+		for i := range cands {
+			out[i].Neg = negSets[i]
+			out[i].N = negSets[i].Count()
 		}
 		return out
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			obs.WithPhaseLabel("candidate_scoring", func() {
-				for i := range next {
-					out[i] = en.scoreOne(cands[i], pos, neg, bound, inner)
-				}
-			})
-		}()
-	}
+
+	// Phase B: bounded negative scans, candidate by candidate in index
+	// order. Each scan shards its examples across every worker; the shared
+	// bound tightens as candidates complete.
+	bb := newBestBound(keep)
 	for i := range cands {
-		next <- i
+		en.scoreNeg(pl, &out[i], cands[i], neg, floor, bb)
 	}
-	close(next)
-	wg.Wait()
 	return out
 }
 
-// scoreOne evaluates a single candidate: full positive cover first (the
-// memo cache applies), then a sequential negative scan that abandons once
-// the bound is unreachable.
-func (en *Engine) scoreOne(cand Candidate, pos, neg []logic.Atom, bound, workers int) Score {
-	en.run.Inc(obs.CCandidatesScored)
-	posSet := en.coveredSet(cand.Clause, pos, cand.KnownPos, workers)
-	p := posSet.Count()
-	s := Score{Clause: cand.Clause, Pos: posSet, P: p, Neg: New(len(neg))}
-	if bound != NoBound && p <= bound {
-		// Even a clean candidate (n = 0) cannot beat the bound.
+// batchCovered computes each candidate's covered set over one example
+// list in a single flattened cost-sharded round: cache lookups first,
+// then every remaining (candidate, example) pair as one work item.
+// pos selects which known-covered set applies.
+func (en *Engine) batchCovered(pl *pool, cands []Candidate, examples []logic.Atom, pos bool) []*Bitset {
+	sets := make([]*Bitset, len(cands))
+	var keys []string
+	if en.cache != nil {
+		setKey := SetKey(examples)
+		keys = make([]string, len(cands))
+		for i := range cands {
+			keys[i] = en.cache.Key(cands[i].Clause, setKey)
+			if hit, ok := en.cache.Get(keys[i]); ok && hit.Len() == len(examples) {
+				en.run.Inc(obs.CCoverageCacheHits)
+				sets[i] = hit
+				continue
+			}
+			en.run.Inc(obs.CCoverageCacheMisses)
+		}
+	}
+	// Flatten the misses into (candidate, example) items; known-covered
+	// bits prefill their buffers and never become items.
+	known := func(i int) *Bitset {
+		if pos {
+			return cands[i].KnownPos
+		}
+		return cands[i].KnownNeg
+	}
+	bufs := make([][]bool, len(cands))
+	var itemCand, itemEx []int32
+	skipped := int64(0)
+	for i := range cands {
+		if sets[i] != nil {
+			continue
+		}
+		bufs[i] = make([]bool, len(examples))
+		for j := range examples {
+			if known(i).Get(j) {
+				bufs[i][j] = true
+				skipped++
+				continue
+			}
+			itemCand = append(itemCand, int32(i))
+			itemEx = append(itemEx, int32(j))
+		}
+	}
+	en.run.Add(obs.CCoverageSkipped, skipped)
+	if len(itemCand) > 0 {
+		costs := en.exampleCosts(examples)
+		var costAt func(int) int64
+		if costs != nil {
+			costAt = func(k int) int64 { return costs[itemEx[k]] }
+		}
+		shards := planShards(len(itemCand), en.shardCount(len(itemCand)), costAt)
+		pl.runShards(shards, func(sh shard) {
+			for k := sh.lo; k < sh.hi; k++ {
+				en.run.Heartbeat()
+				ci, ej := itemCand[k], itemEx[k]
+				if en.cover(cands[ci].Clause, examples[ej]) {
+					bufs[ci][ej] = true
+				}
+			}
+		})
+	}
+	for i := range cands {
+		if sets[i] != nil {
+			continue
+		}
+		sets[i] = FromBools(bufs[i])
+		if en.cache != nil {
+			en.cache.Put(keys[i], sets[i])
+		}
+	}
+	return sets
+}
+
+// scoreNeg runs one candidate's bounded negative scan. s carries the
+// exact positive side already; the scan shards the negatives across the
+// pool and aborts cooperatively once the score provably cannot beat the
+// effective bound (the floor or the shared keep-th best). The abort fires
+// exactly when the candidate's full score crosses the bound — covered
+// negatives only accumulate — so prunedness is timing-independent.
+func (en *Engine) scoreNeg(pl *pool, s *Score, cand Candidate, neg []logic.Atom, floor int, bb *bestBound) {
+	p := s.P
+	// limit is the strongest applicable bound: pruned ⇔ p−n ≤ limit.
+	// Beating the floor requires s > floor; surviving the shared bound
+	// requires s ≥ keep-th best, i.e. pruned when s ≤ threshold−1.
+	limit := NoBound
+	if floor != NoBound {
+		limit = floor
+	}
+	if t, ok := bb.threshold(); ok && t-1 > limit {
+		limit = t - 1
+	}
+	prune := func() {
 		en.run.Inc(obs.CCandidatesPruned)
 		s.Pruned = true
-		return s
+		s.Neg = New(len(neg))
+		s.N = 0
+	}
+	complete := func(set *Bitset, n int) {
+		s.Neg, s.N = set, n
+		if limit != NoBound && p-n <= limit {
+			// Uniform prunedness: a fully-scanned score at or below the
+			// bound reports the same canonical pruned payload a mid-scan
+			// abort would, so cache hits and worker counts cannot change
+			// the output.
+			prune()
+			return
+		}
+		bb.offer(p - n)
+	}
+	if limit != NoBound && p <= limit {
+		// Even a clean candidate (n = 0) cannot beat the bound.
+		prune()
+		return
 	}
 	var negKey string
 	if en.cache != nil {
 		negKey = en.cache.Key(cand.Clause, SetKey(neg))
 		if hit, ok := en.cache.Get(negKey); ok && hit.Len() == len(neg) {
 			en.run.Inc(obs.CCoverageCacheHits)
-			s.Neg, s.N = hit, hit.Count()
-			return s
+			complete(hit, hit.Count())
+			return
 		}
 		en.run.Inc(obs.CCoverageCacheMisses)
 	}
-	n, skipped := 0, int64(0)
-	complete := true
-	for i, e := range neg {
-		en.run.Heartbeat()
-		if cand.KnownNeg.Get(i) {
-			s.Neg.Set(i)
-			n++
+	// Knowns prefill; the rest become scan items.
+	buf := make([]bool, len(neg))
+	baseN, skipped := 0, int64(0)
+	var items []int32
+	for j := range neg {
+		if cand.KnownNeg.Get(j) {
+			buf[j] = true
+			baseN++
 			skipped++
-		} else if en.cover(cand.Clause, e) {
-			s.Neg.Set(i)
-			n++
+			continue
 		}
-		if bound != NoBound && p-n <= bound && i < len(neg)-1 {
-			complete = false
-			break
-		}
+		items = append(items, int32(j))
 	}
 	en.run.Add(obs.CCoverageSkipped, skipped)
-	s.N = n
-	if !complete {
-		en.run.Inc(obs.CCandidatesPruned)
-		s.Pruned = true
-		return s
+	if limit != NoBound && p-baseN <= limit {
+		prune()
+		return
 	}
+	var covered atomic.Int64
+	var aborted atomic.Bool
+	scan := func(sh shard) {
+		for k := sh.lo; k < sh.hi; k++ {
+			if limit != NoBound && aborted.Load() {
+				return
+			}
+			en.run.Heartbeat()
+			j := items[k]
+			if en.cover(cand.Clause, neg[j]) {
+				buf[j] = true
+				n := baseN + int(covered.Add(1))
+				if limit != NoBound && p-n <= limit {
+					// The bound is crossed on the running count, which only
+					// grows toward the full count: the flag trips in some
+					// schedule iff it trips in every schedule.
+					aborted.Store(true)
+					return
+				}
+			}
+		}
+	}
+	if len(items) > 0 {
+		costs := en.exampleCosts(neg)
+		var costAt func(int) int64
+		if costs != nil {
+			costAt = func(k int) int64 { return costs[items[k]] }
+		}
+		pl.runShards(planShards(len(items), en.shardCount(len(items)), costAt), scan)
+	}
+	if aborted.Load() {
+		prune()
+		return
+	}
+	set := FromBools(buf)
 	if en.cache != nil {
-		en.cache.Put(negKey, s.Neg)
+		en.cache.Put(negKey, set)
 	}
-	return s
+	complete(set, baseN+int(covered.Load()))
 }

@@ -2,8 +2,10 @@ package coverage
 
 import (
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -122,7 +124,7 @@ func TestEngineScoreBatch(t *testing.T) {
 	}
 	for _, workers := range []int{1, 8} {
 		var f fakeCover
-		scores := NewEngine(f.fn, workers, nil, nil).ScoreBatch(cands, pos, neg, NoBound)
+		scores := NewEngine(f.fn, workers, nil, nil).ScoreBatch(cands, pos, neg, NoBound, 0)
 		if len(scores) != 2 {
 			t.Fatalf("workers=%d: %d scores", workers, len(scores))
 		}
@@ -143,11 +145,12 @@ func TestEngineScoreBatchPrunes(t *testing.T) {
 	var f fakeCover
 	reg := obs.NewRegistry()
 	en := NewEngine(f.fn, 1, nil, obs.NewRun(nil, reg))
-	// Both candidates score p−n = 10−20 = −10; a bound of 5 means the scan
-	// may stop as soon as p−n ≤ 5, i.e. after 5 covered negatives.
+	// The candidate scores p−n = 10−20 = −10; a floor of 5 means the scan
+	// may stop as soon as p−n ≤ 5, and the pruned payload is canonical:
+	// an empty negative side, regardless of how far the scan got.
 	scores := en.ScoreBatch([]Candidate{
 		{Clause: logic.MustParseClause("h(X) :- p(X).")},
-	}, pos, neg, 5)
+	}, pos, neg, 5, 0)
 	s := scores[0]
 	if !s.Pruned {
 		t.Fatal("candidate not pruned")
@@ -155,8 +158,11 @@ func TestEngineScoreBatchPrunes(t *testing.T) {
 	if s.P != 10 {
 		t.Fatalf("p = %d", s.P)
 	}
-	if s.N < 5 || s.N > 6 {
-		t.Fatalf("pruned after n = %d negatives, want ~5", s.N)
+	if s.N != 0 || s.Neg.Count() != 0 {
+		t.Fatalf("pruned payload not canonical: n=%d negbits=%d", s.N, s.Neg.Count())
+	}
+	if calls := f.calls.Load(); calls >= int64(len(pos)+len(neg)) {
+		t.Fatalf("ran %d tests, want an abandoned negative scan", calls)
 	}
 	if reg.Get(obs.CCandidatesPruned) != 1 || reg.Get(obs.CCandidatesScored) != 1 {
 		t.Fatalf("pruned=%d scored=%d", reg.Get(obs.CCandidatesPruned), reg.Get(obs.CCandidatesScored))
@@ -165,12 +171,126 @@ func TestEngineScoreBatchPrunes(t *testing.T) {
 	f.calls.Store(0)
 	scores = en.ScoreBatch([]Candidate{
 		{Clause: logic.MustParseClause("h(X) :- p(X).")},
-	}, pos, neg, 15)
+	}, pos, neg, 15, 0)
 	if !scores[0].Pruned || scores[0].N != 0 {
 		t.Fatalf("pos-bound prune: pruned=%v n=%d", scores[0].Pruned, scores[0].N)
 	}
 	if f.calls.Load() != int64(len(pos)) {
 		t.Fatalf("ran %d tests, want only the %d positives", f.calls.Load(), len(pos))
+	}
+}
+
+// TestEngineScoreBatchKeepBound: with keep armed, a batch prunes every
+// candidate whose score falls strictly below the keep best completed
+// scores — equal scores survive, since an engine caller's tie-break must
+// stay free to keep them — and the pruning decisions are identical at
+// every worker count, because the bound only tightens at candidate
+// boundaries and prunedness depends only on final counts.
+func TestEngineScoreBatchKeepBound(t *testing.T) {
+	pos := exampleAtoms(20)
+	neg := make([]logic.Atom, 20)
+	for i := range neg {
+		neg[i] = logic.GroundAtom("neg", strconv.Itoa(i))
+	}
+	// Coverage by first body predicate: "p" scores 20−0, "q" covers too
+	// few positives to reach the bound, "r" covers everything and gets
+	// abandoned on its first covered negative, "s" ties the best exactly.
+	cover := func(c *logic.Clause, e logic.Atom) bool {
+		isNeg := e.Pred == "neg"
+		switch c.Body[0].Pred {
+		case "p":
+			return !isNeg
+		case "q":
+			i, _ := strconv.Atoi(e.Args[0].Name)
+			return !isNeg && i < 10
+		case "s":
+			return !isNeg
+		default: // "r"
+			return true
+		}
+	}
+	cands := []Candidate{
+		{Clause: logic.MustParseClause("h(X) :- p(X).")}, // 20−0 = 20: completes, arms the bound
+		{Clause: logic.MustParseClause("h(X) :- q(X).")}, // p = 10 < 20: pruned before any negative test
+		{Clause: logic.MustParseClause("h(X) :- r(X).")}, // 20−20: abandoned mid-scan
+		{Clause: logic.MustParseClause("h(X) :- s(X).")}, // 20−0 = 20: ties the bound, must complete
+	}
+	var want []Score
+	for _, workers := range []int{1, 2, 8} {
+		reg := obs.NewRegistry()
+		got := NewEngine(cover, workers, nil, obs.NewRun(nil, reg)).ScoreBatch(cands, pos, neg, NoBound, 1)
+		if got[0].Pruned || got[0].P != 20 || got[0].N != 0 {
+			t.Fatalf("workers=%d: candidate 0 = %+v, want complete 20/0", workers, got[0])
+		}
+		if !got[1].Pruned || !got[2].Pruned {
+			t.Fatalf("workers=%d: candidates 1,2 pruned = %v,%v, want both", workers, got[1].Pruned, got[2].Pruned)
+		}
+		for _, i := range []int{1, 2} {
+			if got[i].N != 0 || got[i].Neg.Count() != 0 {
+				t.Fatalf("workers=%d: pruned payload not canonical: %+v", workers, got[i])
+			}
+		}
+		if got[3].Pruned || got[3].P != 20 || got[3].N != 0 {
+			t.Fatalf("workers=%d: tie candidate = %+v, want complete (strict bound)", workers, got[3])
+		}
+		if reg.Get(obs.CCandidatesPruned) != 2 {
+			t.Fatalf("workers=%d: pruned counter = %d, want 2", workers, reg.Get(obs.CCandidatesPruned))
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for i := range got {
+			if got[i].Pruned != want[i].Pruned || got[i].P != want[i].P || got[i].N != want[i].N ||
+				!got[i].Pos.Equal(want[i].Pos) || !got[i].Neg.Equal(want[i].Neg) {
+				t.Fatalf("workers=%d: candidate %d diverges from workers=1", workers, i)
+			}
+		}
+	}
+}
+
+// TestEngineScoreBatchFullUtilization pins the fix for the old
+// inner/outer worker split (inner = workers / len(cands)), which left
+// workers idle whenever the candidate count did not divide the pool: 8
+// workers over 3 candidates ran at most 6 tests concurrently. The
+// flattened sharded fan-out must get all 8 workers testing at once.
+func TestEngineScoreBatchFullUtilization(t *testing.T) {
+	const workers = 8
+	pos := exampleAtoms(64)
+	cands := []Candidate{
+		{Clause: logic.MustParseClause("h(X) :- p(X).")},
+		{Clause: logic.MustParseClause("h(X) :- q(X).")},
+		{Clause: logic.MustParseClause("h(X) :- r(X).")},
+	}
+	var inFlight, peak atomic.Int64
+	var timedOut atomic.Bool
+	var full sync.Once
+	release := make(chan struct{})
+	cover := func(c *logic.Clause, e logic.Atom) bool {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		if cur == workers {
+			full.Do(func() { close(release) })
+		}
+		select {
+		case <-release:
+		case <-time.After(20 * time.Second):
+			timedOut.Store(true)
+		}
+		return false
+	}
+	NewEngine(cover, workers, nil, nil).ScoreBatch(cands, pos, nil, NoBound, 0)
+	if timedOut.Load() {
+		t.Fatalf("pool never reached %d concurrent coverage tests (peak %d)", workers, peak.Load())
+	}
+	if peak.Load() != workers {
+		t.Fatalf("peak concurrency = %d, want %d", peak.Load(), workers)
 	}
 }
 
@@ -180,19 +300,19 @@ func TestEngineScoreBatchDoesNotCachePartialNeg(t *testing.T) {
 	var f fakeCover
 	en := NewEngine(f.fn, 1, NewCache(0), nil)
 	c := logic.MustParseClause("h(X) :- p(X).")
-	pruned := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, 5)[0]
+	pruned := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, 5, 0)[0]
 	if !pruned.Pruned {
 		t.Fatal("setup: candidate not pruned")
 	}
 	// Re-scoring without a bound must produce the full negative cover, not
 	// the memoized partial scan.
-	full := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, NoBound)[0]
+	full := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, NoBound, 0)[0]
 	if full.Pruned || full.N != 20 {
 		t.Fatalf("full rescore: pruned=%v n=%d, want n=20", full.Pruned, full.N)
 	}
 	// And now the complete result is cached: a third scoring runs no tests.
 	before := f.calls.Load()
-	again := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, NoBound)[0]
+	again := en.ScoreBatch([]Candidate{{Clause: c}}, pos, neg, NoBound, 0)[0]
 	if f.calls.Load() != before {
 		t.Fatal("complete result was not memoized")
 	}

@@ -1,0 +1,144 @@
+package coverage
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Cost-sharded fan-out. Instead of one goroutine per example (or per
+// candidate), a scoring round flattens its work into items, splits them
+// into contiguous shards of roughly equal *expected cost*, and lets a
+// fixed pool of workers pull shards off a shared atomic cursor. Shard
+// boundaries come from a heuristic cost model (compiled bottom-clause
+// sizes, store scan statistics, prior batch latencies), so they may vary
+// from run to run — but boundaries only steer scheduling: every item's
+// result lands in its own slot, so the outcome of a round is identical
+// for any sharding and any worker count.
+
+// shard is one contiguous run of work items [lo, hi).
+type shard struct{ lo, hi int }
+
+// shardOversub is how many shards each worker gets by default: enough
+// slack for dynamic load balancing when the cost model misestimates,
+// without drowning the round in cursor traffic.
+const shardOversub = 4
+
+// planShards splits items [0, n) into at most want contiguous shards of
+// roughly equal total cost. cost may be nil (uniform). It never returns
+// more than n shards, and always covers [0, n) exactly.
+func planShards(n, want int, cost func(int) int64) []shard {
+	if n <= 0 {
+		return nil
+	}
+	if want > n {
+		want = n
+	}
+	if want <= 1 {
+		return []shard{{0, n}}
+	}
+	var total int64
+	if cost != nil {
+		for i := 0; i < n; i++ {
+			c := cost(i)
+			if c < 1 {
+				c = 1
+			}
+			total += c
+		}
+	} else {
+		total = int64(n)
+	}
+	out := make([]shard, 0, want)
+	lo := 0
+	var acc, spent int64
+	for i := 0; i < n; i++ {
+		c := int64(1)
+		if cost != nil {
+			if c = cost(i); c < 1 {
+				c = 1
+			}
+		}
+		acc += c
+		// Greedy balanced cut: aim each remaining shard at an equal slice
+		// of the remaining cost.
+		remShards := int64(want - len(out))
+		if remShards > 1 && acc >= (total-spent)/remShards {
+			out = append(out, shard{lo, i + 1})
+			lo = i + 1
+			spent += acc
+			acc = 0
+		}
+	}
+	if lo < n {
+		out = append(out, shard{lo, n})
+	}
+	return out
+}
+
+// pool is a fixed set of worker goroutines reused across the rounds of
+// one ScoreBatch call, so a bounded negative scan per candidate costs a
+// round-trip on a channel instead of fresh goroutine spawns. A nil pool
+// runs everything inline (the serial path).
+type pool struct {
+	workers int
+	tasks   chan func()
+	round   sync.WaitGroup // open tasks of the current round
+	exit    sync.WaitGroup // worker goroutine lifetimes
+}
+
+// newPool starts workers goroutines whose CPU samples are labeled with
+// the given pprof phase. close must be called to release them.
+func newPool(workers int, label string) *pool {
+	p := &pool{workers: workers, tasks: make(chan func(), workers)}
+	p.exit.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.exit.Done()
+			obs.WithPhaseLabel(label, func() {
+				for f := range p.tasks {
+					f()
+					p.round.Done()
+				}
+			})
+		}()
+	}
+	return p
+}
+
+// runShards executes fn over every shard, workers pulling shards off a
+// shared cursor until the list is drained, and returns when all are done.
+// On a nil pool the shards run inline, in order.
+func (p *pool) runShards(shards []shard, fn func(sh shard)) {
+	if p == nil || len(shards) <= 1 {
+		for _, sh := range shards {
+			fn(sh)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	drain := func() {
+		for {
+			k := int(cursor.Add(1)) - 1
+			if k >= len(shards) {
+				return
+			}
+			fn(shards[k])
+		}
+	}
+	p.round.Add(p.workers)
+	for w := 0; w < p.workers; w++ {
+		p.tasks <- drain
+	}
+	p.round.Wait()
+}
+
+// close shuts the workers down and waits for them to exit.
+func (p *pool) close() {
+	if p == nil {
+		return
+	}
+	close(p.tasks)
+	p.exit.Wait()
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/castor"
+	"repro/internal/coverage"
+	"repro/internal/ilp"
+	"repro/internal/logic"
+	"repro/internal/relstore"
+	"repro/internal/testfix"
+)
+
+// The cost-sharded parallel scorer's contract: sharding, the worker
+// count, the memo cache and the shared pruning bound steer only
+// scheduling and skipped work — never results. This matrix pins it
+// end-to-end: ScoreBatch output and full Learn definitions must be
+// byte-identical across workers ∈ {1, 2, 4, 8} and cache on/off, within
+// each coverage mode, on UW-CSE and on the quickstart co-authorship task.
+
+// quickstartCoauthorProblem is the Example 3.2 task: learn collaborated/2
+// from publication(title, person).
+func quickstartCoauthorProblem() *ilp.Problem {
+	schema := relstore.NewSchema()
+	schema.MustAddRelation("publication", "title", "person")
+	schema.SetDomain("person", "person")
+	inst := relstore.NewInstance(schema)
+	for _, row := range [][2]string{
+		{"deep_paper", "ada"}, {"deep_paper", "grace"},
+		{"logic_paper", "ada"}, {"logic_paper", "kurt"},
+		{"db_paper", "edgar"}, {"db_paper", "grace"},
+		{"solo_paper", "alan"},
+	} {
+		inst.MustInsert("publication", row[0], row[1])
+	}
+	return &ilp.Problem{
+		Instance: inst,
+		Target:   &relstore.Relation{Name: "collaborated", Attrs: []string{"person", "person"}},
+		Pos: []logic.Atom{
+			logic.GroundAtom("collaborated", "ada", "grace"),
+			logic.GroundAtom("collaborated", "ada", "kurt"),
+			logic.GroundAtom("collaborated", "edgar", "grace"),
+		},
+		Neg: []logic.Atom{
+			logic.GroundAtom("collaborated", "ada", "edgar"),
+			logic.GroundAtom("collaborated", "kurt", "grace"),
+			logic.GroundAtom("collaborated", "alan", "ada"),
+			logic.GroundAtom("collaborated", "alan", "kurt"),
+		},
+	}
+}
+
+// renderScores serializes a ScoreBatch result bit-for-bit: clause text,
+// exact counts, prunedness, and both coverage bitsets.
+func renderScores(scores []coverage.Score) string {
+	var b strings.Builder
+	for i, s := range scores {
+		fmt.Fprintf(&b, "%d %s p=%d n=%d pruned=%v pos=%v neg=%v\n",
+			i, s.Clause, s.P, s.N, s.Pruned, s.Pos.Bools(), s.Neg.Bools())
+	}
+	return b.String()
+}
+
+func TestScoreBatchAndLearnDeterministicAcrossWorkers(t *testing.T) {
+	problems := []struct {
+		name  string
+		build func() *ilp.Problem
+	}{
+		{"uwcse", func() *ilp.Problem { return testfix.NewWorld(6).ProblemOriginal() }},
+		{"quickstart", quickstartCoauthorProblem},
+	}
+	modes := []struct {
+		name string
+		m    ilp.CoverageMode
+	}{
+		{"db", ilp.CoverageDB},
+		{"subsumption", ilp.CoverageSubsumption},
+	}
+	for _, pb := range problems {
+		for _, mode := range modes {
+			t.Run(pb.name+"/"+mode.name, func(t *testing.T) {
+				var wantScores, wantDef, baseline string
+				for _, workers := range []int{1, 2, 4, 8} {
+					for _, disableCache := range []bool{false, true} {
+						label := fmt.Sprintf("workers=%d cache=%v", workers, !disableCache)
+						params := ilp.Defaults()
+						params.Sample = 4
+						params.BeamWidth = 2
+						params.Parallelism = workers
+						params.CoverageMode = mode.m
+						params.DisableCoverageCache = disableCache
+
+						// One beam-shaped batch through the bounded scorer:
+						// leave-one-literal-out generalizations of the first
+						// positive's bottom clause, floor 0 and the beam width
+						// as keep, so the shared bound is exercised.
+						prob := pb.build()
+						plan := relstore.CompilePlan(prob.Instance.Schema(), false)
+						bottom := castor.BottomClause(prob, plan, prob.Pos[0], params)
+						var cands []coverage.Candidate
+						for drop := range bottom.Body {
+							body := make([]logic.Atom, 0, len(bottom.Body)-1)
+							body = append(body, bottom.Body[:drop]...)
+							body = append(body, bottom.Body[drop+1:]...)
+							cands = append(cands, coverage.Candidate{Clause: &logic.Clause{Head: bottom.Head, Body: body}})
+						}
+						tester := ilp.NewTester(prob, params)
+						scores := renderScores(tester.ScoreBatch(cands, prob.Pos, prob.Neg, 0, params.BeamWidth))
+
+						// And a full covering-loop run on a fresh problem.
+						prob = pb.build()
+						def, err := castor.New().Learn(prob, params)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+
+						if wantScores == "" {
+							wantScores, wantDef, baseline = scores, def.String(), label
+							continue
+						}
+						if scores != wantScores {
+							t.Errorf("%s: ScoreBatch diverges from %s:\n%s\nvs\n%s", label, baseline, scores, wantScores)
+						}
+						if def.String() != wantDef {
+							t.Errorf("%s: learned definition diverges from %s:\n%s\nvs\n%s", label, baseline, def, wantDef)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -100,7 +100,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		for i := range cands {
 			grown[i] = coverage.Candidate{Clause: extend(clause, cands[i].atom)}
 		}
-		posScores := tester.ScoreBatch(grown, uncovered, nil, coverage.NoBound)
+		posScores := tester.ScoreBatch(grown, uncovered, nil, coverage.NoBound, 0)
 		var alive []int
 		var negBatch []coverage.Candidate
 		for i, s := range posScores {
@@ -109,7 +109,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 				negBatch = append(negBatch, coverage.Candidate{Clause: grown[i].Clause})
 			}
 		}
-		negScores := tester.ScoreBatch(negBatch, nil, prob.Neg, coverage.NoBound)
+		negScores := tester.ScoreBatch(negBatch, nil, prob.Neg, coverage.NoBound, 0)
 		var best, fallback *candidate
 		for bi, i := range alive {
 			cand := &cands[i]

@@ -130,7 +130,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		}
 	}
 	var bestID uint64
-	for pi, s := range tester.ScoreBatch(pairs, uncovered, prob.Neg, coverage.NoBound) {
+	for pi, s := range tester.ScoreBatch(pairs, uncovered, prob.Neg, coverage.NoBound, 0) {
 		accepted := ilp.AcceptClause(params, s.P, s.N)
 		sc := s.P - s.N
 		better := accepted && (best == nil || sc > best.score)
@@ -172,7 +172,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 		}
 		g = tidy(run, g)
 		batch := []coverage.Candidate{{Clause: g, KnownPos: best.pos, KnownNeg: best.neg}}
-		s := tester.ScoreBatch(batch, uncovered, prob.Neg, best.score)[0]
+		s := tester.ScoreBatch(batch, uncovered, prob.Neg, best.score, 1)[0]
 		node := func(pos, neg int, score float64, disp string) uint64 {
 			return prov.Node(obs.ProvNode{
 				Parents: []uint64{bestID, satIDs[e.Key()]}, Step: obs.StepGreedyExtension,

@@ -2,6 +2,7 @@ package ilp
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coverage"
@@ -33,8 +34,20 @@ type Tester struct {
 	// when nil the classic saturation of §6.1 is used.
 	SatFn func(e logic.Atom) *logic.Clause
 
-	mu          sync.Mutex
-	saturations map[string]*subsume.Compiled // example key → compiled bottom clause
+	// saturations maps example key → *satEntry. Probes are lock-free once
+	// an example is compiled, so every worker of a beam batch shares one
+	// subsume.Compiled target without mutex traffic on the hot path.
+	saturations sync.Map
+}
+
+// satEntry holds one example's compiled ground bottom clause. The Once
+// guarantees exactly one compilation per example — concurrent probers for
+// the same example wait for it instead of racing duplicate builds — and
+// the atomic pointer lets the shard cost model peek at the compiled size
+// without synchronizing against an in-flight compile.
+type satEntry struct {
+	once sync.Once
+	cd   atomic.Pointer[subsume.Compiled]
 }
 
 // NewTester builds a tester for the problem. As a side effect it attaches
@@ -45,7 +58,7 @@ type Tester struct {
 // its tester first).
 func NewTester(prob *Problem, params Params) *Tester {
 	prob.Instance.SetObs(params.Obs)
-	t := &Tester{prob: prob, params: params, run: params.Obs, saturations: make(map[string]*subsume.Compiled)}
+	t := &Tester{prob: prob, params: params, run: params.Obs}
 	if reg := params.Obs.Registry(); reg != nil {
 		reg.SetStoreSource(prob.Instance.StoreStats)
 		t.probeHist = reg.Histogram("subsumption_probe")
@@ -55,6 +68,7 @@ func NewTester(prob *Problem, params Params) *Tester {
 		cache = coverage.NewCache(0)
 	}
 	t.engine = coverage.NewEngine(t.Covers, params.Parallelism, cache, params.Obs)
+	t.engine.SetCostFn(t.exampleCost)
 	return t
 }
 
@@ -83,30 +97,58 @@ func (t *Tester) Covers(c *logic.Clause, e logic.Atom) bool {
 
 // saturation returns (building, compiling and caching on demand) the
 // ground bottom clause of the example in the engine's compile-once form:
-// the clause is skolemized, interned and indexed exactly once, and every
-// candidate the covering loop scores against this example probes the same
-// compilation — the match-many side of the §7.5.3 engine.
+// the clause is skolemized, interned and indexed exactly once — a Once
+// per example, so concurrent shard workers never compile duplicates — and
+// every candidate the covering loop scores against this example probes
+// the same compilation from every worker, the match-many side of the
+// §7.5.3 engine. The fast path is a lock-free map load.
 func (t *Tester) saturation(e logic.Atom) *subsume.Compiled {
 	k := e.Key()
-	t.mu.Lock()
-	cd, ok := t.saturations[k]
-	t.mu.Unlock()
+	v, ok := t.saturations.Load(k)
+	if !ok {
+		v, ok = t.saturations.LoadOrStore(k, &satEntry{})
+	}
+	ent := v.(*satEntry)
 	if ok {
 		t.run.Inc(obs.CSaturationHits)
-		return cd
 	}
-	t.run.Inc(obs.CSaturationMisses)
-	var bc *logic.Clause
-	if t.SatFn != nil {
-		bc = t.SatFn(e)
-	} else {
-		bc = Saturation(t.prob, e, t.params.Depth, t.params.MaxRecall)
+	ent.once.Do(func() {
+		t.run.Inc(obs.CSaturationMisses)
+		var bc *logic.Clause
+		if t.SatFn != nil {
+			bc = t.SatFn(e)
+		} else {
+			bc = Saturation(t.prob, e, t.params.Depth, t.params.MaxRecall)
+		}
+		ent.cd.Store(subsume.Compile(bc))
+	})
+	return ent.cd.Load()
+}
+
+// exampleCost is the engine's shard-sizing cost model. In subsumption
+// mode an example's probe cost tracks its compiled bottom-clause size,
+// known exactly once compiled; before that (and in direct-evaluation
+// mode) a relstore-statistics estimate stands in: average tuples scanned
+// per lookup approximates how much store work one coverage test drives.
+// The estimate only shapes shard boundaries — never results — so its
+// coarseness is harmless.
+func (t *Tester) exampleCost(e logic.Atom) int64 {
+	if t.params.CoverageMode == CoverageSubsumption {
+		if v, ok := t.saturations.Load(e.Key()); ok {
+			if cd := v.(*satEntry).cd.Load(); cd != nil {
+				return int64(cd.Len()) + 1
+			}
+		}
 	}
-	cd = subsume.Compile(bc)
-	t.mu.Lock()
-	t.saturations[k] = cd
-	t.mu.Unlock()
-	return cd
+	var scanned, lookups int64
+	for _, st := range t.prob.Instance.StoreStats() {
+		scanned += st.TuplesScanned
+		lookups += st.Lookups
+	}
+	if lookups > 0 {
+		return scanned/lookups + 1
+	}
+	return 1
 }
 
 // knowns strips the known-covered shortcut when the §7.5.4 cache is
@@ -141,16 +183,20 @@ func (t *Tester) PosNeg(c *logic.Clause, pos, neg []logic.Atom, knownPos, knownN
 }
 
 // ScoreBatch scores independent candidates concurrently over the worker
-// pool. bound, unless coverage.NoBound, is a compression score (p−n) that
+// pool. floor, unless coverage.NoBound, is a compression score (p−n) that
 // candidates must strictly beat: ones that provably cannot are abandoned
-// mid-scan and returned with Pruned set.
-func (t *Tester) ScoreBatch(cands []coverage.Candidate, pos, neg []logic.Atom, bound int) []coverage.Score {
+// mid-scan and returned with Pruned set. keep > 0 is the caller's beam
+// width, arming the engine's shared best-score bound: candidates that
+// provably cannot crack the top keep completed scores of this batch are
+// abandoned too. Pass keep ≤ 0 when exact counts are needed for every
+// candidate.
+func (t *Tester) ScoreBatch(cands []coverage.Candidate, pos, neg []logic.Atom, floor, keep int) []coverage.Score {
 	if t.params.DisableCoverageCache {
 		for i := range cands {
 			cands[i].KnownPos, cands[i].KnownNeg = nil, nil
 		}
 	}
-	return t.engine.ScoreBatch(cands, pos, neg, bound)
+	return t.engine.ScoreBatch(cands, pos, neg, floor, keep)
 }
 
 // Precision returns p/(p+n), or 0 when nothing is covered.

@@ -113,11 +113,11 @@ func TestScoreBatchEmpty(t *testing.T) {
 	w := testfix.NewWorld(8)
 	prob := w.ProblemOriginal()
 	tester := ilp.NewTester(prob, ilp.Defaults())
-	if got := tester.ScoreBatch(nil, prob.Pos, prob.Neg, coverage.NoBound); len(got) != 0 {
+	if got := tester.ScoreBatch(nil, prob.Pos, prob.Neg, coverage.NoBound, 0); len(got) != 0 {
 		t.Fatalf("empty batch returned %d scores", len(got))
 	}
 	c := logic.MustParseClause("advisedBy(X,Y) :- publication(P,X), publication(P,Y).")
-	scores := tester.ScoreBatch([]coverage.Candidate{{Clause: c}}, nil, nil, coverage.NoBound)
+	scores := tester.ScoreBatch([]coverage.Candidate{{Clause: c}}, nil, nil, coverage.NoBound, 0)
 	if len(scores) != 1 || scores[0].P != 0 || scores[0].N != 0 || scores[0].Pruned {
 		t.Fatalf("empty example sets: %+v", scores[0])
 	}

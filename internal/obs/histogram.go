@@ -65,6 +65,11 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Sum returns the accumulated observed duration. Together with an
+// observation or test counter it yields the average unit cost consumers
+// like the coverage engine's shard sizing need without a full Snapshot.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
 // reset zeroes the histogram (registry Reset support; not atomic with
 // respect to concurrent observers).
 func (h *Histogram) reset() {

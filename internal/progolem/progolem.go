@@ -142,7 +142,7 @@ func (l *Learner) learnClause(prob *ilp.Problem, params ilp.Params, tester *ilp.
 			}
 		}
 		var newCands []scored
-		for ci, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore)) {
+		for ci, s := range tester.ScoreBatch(cands, uncovered, prob.Neg, int(bestScore), width) {
 			if s.Pruned {
 				if prov.Enabled() {
 					prov.Node(obs.ProvNode{
