@@ -79,6 +79,7 @@ func TestEmitBenchJSON(t *testing.T) {
 	prob := benchUWCSEProblem(t, true)
 	cands := buildScoringCandidates(t, prob)
 	plan := relstore.CompilePlan(prob.Instance.Schema(), false)
+	rd := benchRelstoreData(t)
 
 	measure := func(name string, f func(*testing.B)) benchEntry {
 		r := testing.Benchmark(f)
@@ -123,6 +124,22 @@ func TestEmitBenchJSON(t *testing.T) {
 		bcPar := measure("BottomClause/parallel", func(b *testing.B) { benchBottomClause(b, prob, plan, procs) })
 		bcPar.Metrics["parallel_speedup"] = bcSerial.NsPerOp / bcPar.NsPerOp
 		doc.Benchmarks = append(doc.Benchmarks, bcSerial, bcPar)
+
+		// Relstore: load and probe, legacy versus columnar on an identical
+		// workload. The columnar side carries its advantage as explicit
+		// extras so CI can gate them as absolute floors (@>=) — the
+		// checked-in baseline predates the columnar store, so ratio gates
+		// against the baseline file would have nothing to compare to. The
+		// +1 in the denominator guards the ratio against a zero-allocation
+		// probe op (which the columnar side achieves on the frozen store).
+		loadLegacy := measure("RelstoreLoad/legacy", func(b *testing.B) { benchRelstoreLoad(b, rd, false) })
+		loadCol := measure("RelstoreLoad/columnar", func(b *testing.B) { benchRelstoreLoad(b, rd, true) })
+		loadCol.Metrics["speedup_vs_legacy"] = loadLegacy.NsPerOp / loadCol.NsPerOp
+		probeLegacy := measure("RelstoreProbe/legacy", func(b *testing.B) { benchRelstoreProbeLegacy(b, rd) })
+		probeCol := measure("RelstoreProbe/columnar", func(b *testing.B) { benchRelstoreProbeColumnar(b, rd) })
+		probeCol.Metrics["speedup_vs_legacy"] = probeLegacy.NsPerOp / probeCol.NsPerOp
+		probeCol.Metrics["mem_ratio_vs_legacy"] = probeLegacy.Metrics["mem_bytes/op"] / (probeCol.Metrics["mem_bytes/op"] + 1)
+		doc.Benchmarks = append(doc.Benchmarks, loadLegacy, loadCol, probeLegacy, probeCol)
 
 		// RSS after the document's suite: the process's high-water resident
 		// set, the "RSS tracked in BENCH" hook of the roadmap. Monotone

@@ -471,6 +471,186 @@ func BenchmarkObsOverhead(b *testing.B) {
 	}
 }
 
+// --- relstore: legacy versus columnar ------------------------------------
+
+// relstoreBenchData is the shared input of the relstore load/probe
+// benchmarks: the HIV Initial instance's raw rows (extracted once so load
+// iterations time store construction alone) plus the probe workload —
+// present and absent bond tuples and atom constants, the values
+// bottom-clause saturation probes with.
+type relstoreBenchData struct {
+	schema  *relstore.Schema
+	rels    []string
+	rows    map[string][][]string
+	total   int
+	present []relstore.Tuple
+	absent  []relstore.Tuple
+	atoms   []string
+}
+
+func benchRelstoreData(tb testing.TB) *relstoreBenchData {
+	tb.Helper()
+	cfg := datasets.DefaultHIV2K4K()
+	cfg.Only = "Initial"
+	ds, err := datasets.GenerateHIV(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	v := ds.Variants[0]
+	d := &relstoreBenchData{schema: v.Schema, rows: make(map[string][][]string)}
+	for _, r := range v.Schema.Relations() {
+		d.rels = append(d.rels, r.Name)
+		v.Instance.Table(r.Name).ForEachTuple(func(tp relstore.Tuple) bool {
+			d.rows[r.Name] = append(d.rows[r.Name], append([]string(nil), tp...))
+			d.total++
+			return true
+		})
+	}
+	for i, row := range d.rows["bonds"] {
+		if i%7 != 0 {
+			continue
+		}
+		d.present = append(d.present, relstore.Tuple(row))
+		// Swapping the endpoints and mangling one atom name yields a tuple
+		// that is never in the store but probes the same key distribution.
+		d.absent = append(d.absent, relstore.Tuple{row[0], row[2], row[1] + "x"})
+		d.atoms = append(d.atoms, row[1])
+	}
+	return d
+}
+
+// benchRelstoreLoad times building (and for the columnar store freezing) a
+// full instance from raw rows; shared with the BENCH_castor.json emitter.
+func benchRelstoreLoad(b *testing.B, d *relstoreBenchData, columnar bool) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if columnar {
+			inst := relstore.NewInstance(d.schema)
+			for _, rel := range d.rels {
+				for _, row := range d.rows[rel] {
+					inst.MustInsert(rel, row...)
+				}
+			}
+			inst.Freeze()
+		} else {
+			inst := relstore.NewLegacyInstance(d.schema)
+			for _, rel := range d.rels {
+				for _, row := range d.rows[rel] {
+					inst.MustInsert(rel, row...)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(d.total), "tuples/op")
+}
+
+func BenchmarkRelstoreLoad(b *testing.B) {
+	d := benchRelstoreData(b)
+	b.Run("legacy", func(b *testing.B) { benchRelstoreLoad(b, d, false) })
+	b.Run("columnar", func(b *testing.B) { benchRelstoreLoad(b, d, true) })
+}
+
+// benchRelstoreProbe runs the store probe mix against one implementation:
+// per op, two exact-membership probes (one hit, one miss) and one
+// bound-column literal probe answered the way each implementation's solver
+// answers it — the access pattern coverage testing issues millions of
+// times per learning run.
+func benchRelstoreProbe(b *testing.B, d *relstoreBenchData, contains func(relstore.Tuple) bool, literal func(string) int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hits, rows int
+	for i := 0; i < b.N; i++ {
+		if contains(d.present[i%len(d.present)]) {
+			hits++
+		}
+		if contains(d.absent[i%len(d.absent)]) {
+			b.Fatal("absent tuple found")
+		}
+		rows += literal(d.atoms[i%len(d.atoms)])
+	}
+	if hits == 0 || rows == 0 {
+		b.Fatal("probe workload found nothing")
+	}
+	b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+}
+
+// benchRelstoreContaining is the colder saturation probe of bottom-clause
+// construction (tuples holding a constant in any column), kept as its own
+// pair so the gated probe benchmark stays the hot path.
+func benchRelstoreContaining(b *testing.B, d *relstoreBenchData, containing func(string) int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		rows += containing(d.atoms[i%len(d.atoms)])
+	}
+	if rows == 0 {
+		b.Fatal("probe workload found nothing")
+	}
+	b.ReportMetric(float64(rows)/float64(b.N), "rows/op")
+}
+
+// benchLegacyBonds/benchColumnarBonds build each store once and return its
+// bonds table.
+func benchLegacyBonds(d *relstoreBenchData) *relstore.LegacyTable {
+	inst := relstore.NewLegacyInstance(d.schema)
+	for _, rel := range d.rels {
+		for _, row := range d.rows[rel] {
+			inst.MustInsert(rel, row...)
+		}
+	}
+	return inst.Table("bonds")
+}
+
+func benchColumnarBonds(d *relstoreBenchData) *relstore.Table {
+	inst := relstore.NewInstance(d.schema)
+	for _, rel := range d.rels {
+		for _, row := range d.rows[rel] {
+			inst.MustInsert(rel, row...)
+		}
+	}
+	inst.Freeze()
+	return inst.Table("bonds")
+}
+
+// benchRelstoreProbeLegacy/Columnar adapt each store's probe surface to
+// benchRelstoreProbe's closures. The literal probe is the operation the
+// solver issues per body literal with one bound argument: the legacy
+// evaluator materialized the matching tuples through TuplesWith, the
+// columnar evaluator resolves the shared CSR posting list and binds values
+// in place, so each side runs its own hot path on the same query stream.
+func benchRelstoreProbeLegacy(b *testing.B, d *relstoreBenchData) {
+	t := benchLegacyBonds(d)
+	req := make(map[int]string, 1)
+	benchRelstoreProbe(b, d, t.Contains,
+		func(v string) int { req[1] = v; return len(t.TuplesWith(req)) })
+}
+
+func benchRelstoreProbeColumnar(b *testing.B, d *relstoreBenchData) {
+	t := benchColumnarBonds(d)
+	benchRelstoreProbe(b, d, t.Contains,
+		func(v string) int { return len(t.MatchingIndexes(1, v)) })
+}
+
+// BenchmarkRelstoreProbe compares the frozen columnar store's probe
+// throughput against the legacy map-based store on an identical workload;
+// the BENCH emitter derives speedup_vs_legacy and mem_ratio_vs_legacy
+// extras from the pair, gated as absolute floors in CI. The containing
+// sub-benchmarks cover the saturation probe, ungated.
+func BenchmarkRelstoreProbe(b *testing.B) {
+	d := benchRelstoreData(b)
+	b.Run("legacy", func(b *testing.B) { benchRelstoreProbeLegacy(b, d) })
+	b.Run("columnar", func(b *testing.B) { benchRelstoreProbeColumnar(b, d) })
+	lt, ct := benchLegacyBonds(d), benchColumnarBonds(d)
+	b.Run("containing/legacy", func(b *testing.B) {
+		benchRelstoreContaining(b, d, func(v string) int { return len(lt.TuplesContaining(v)) })
+	})
+	b.Run("containing/columnar", func(b *testing.B) {
+		benchRelstoreContaining(b, d, func(v string) int { return len(ct.TuplesContaining(v)) })
+	})
+}
+
 // BenchmarkAblationIndexes compares the indexed store with full scans.
 func BenchmarkAblationIndexes(b *testing.B) {
 	for _, c := range []struct {

@@ -71,6 +71,7 @@ type options struct {
 	coverage                               string // auto|direct|subsumption
 	sample, beam, clauseLength, par        int
 	seed                                   int64
+	scale                                  float64
 	subsetINDs                             bool
 
 	verbose                bool
@@ -115,6 +116,7 @@ func main() {
 	flag.IntVar(&o.clauseLength, "clauselength", 10, "max clause length for top-down learners")
 	flag.IntVar(&o.par, "par", 0, "coverage-test parallelism (0 = all CPU cores)")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.Float64Var(&o.scale, "scale", 1, "multiply the generated dataset's entity counts (1 = defaults; see README \"Paper-scale data\")")
 	flag.BoolVar(&o.subsetINDs, "subset-inds", false, "Castor: chase general subset INDs (§7.4)")
 	flag.BoolVar(&o.verbose, "v", false, "log trace events to stderr")
 	flag.StringVar(&o.traceFile, "trace", "", "write a JSONL event trace to this file")
@@ -442,7 +444,7 @@ func loadProblem(o *options) (prob *ilp.Problem, pos, neg []logic.Atom, datasetL
 		o.variant = "user"
 		return p, p.Pos, p.Neg, o.dataFile, nil
 	}
-	ds, err := buildDataset(o.dataset)
+	ds, err := buildDataset(o.dataset, o.scale, o.variant)
 	if err != nil {
 		return nil, nil, nil, "", err
 	}
@@ -546,14 +548,25 @@ func loadUserProblem(schemaFile, dataFile, posFile, negFile, targetDecl, valueAt
 	return &ilp.Problem{Instance: inst, Target: target, Pos: pos, Neg: neg, ValueAttrs: values}, nil
 }
 
-func buildDataset(name string) (*datasets.Dataset, error) {
+func buildDataset(name string, scale float64, variant string) (*datasets.Dataset, error) {
 	switch name {
 	case "uwcse":
-		return datasets.GenerateUWCSE(datasets.DefaultUWCSE())
+		cfg := datasets.DefaultUWCSE()
+		cfg.Scale = scale
+		return datasets.GenerateUWCSE(cfg)
 	case "hiv":
-		return datasets.GenerateHIV(datasets.DefaultHIV2K4K())
+		cfg := datasets.DefaultHIV2K4K()
+		cfg.Scale = scale
+		if scale > 1 && variant != "" {
+			// At scale, deriving the unused variants through the transform
+			// pipelines dominates startup; generate only the one learned on.
+			cfg.Only = variant
+		}
+		return datasets.GenerateHIV(cfg)
 	case "imdb":
-		return datasets.GenerateIMDb(datasets.DefaultIMDb())
+		cfg := datasets.DefaultIMDb()
+		cfg.Scale = scale
+		return datasets.GenerateIMDb(cfg)
 	}
 	return nil, fmt.Errorf("unknown dataset %q (have uwcse, hiv, imdb)", name)
 }

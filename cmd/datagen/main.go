@@ -4,8 +4,10 @@
 //
 // Usage:
 //
-//	datagen                      # schemas + stats for all datasets
-//	datagen -dataset hiv -tuples # include the HIV tuples
+//	datagen                            # schemas + stats for all datasets
+//	datagen -dataset hiv -tuples       # include the HIV tuples
+//	datagen -dataset hiv -scale 10     # 10x the default entity counts
+//	datagen -dataset hiv -scale 895 -variant Initial   # paper scale (≈14M)
 package main
 
 import (
@@ -19,6 +21,8 @@ import (
 func main() {
 	dataset := flag.String("dataset", "all", "dataset: uwcse|hiv|imdb|all")
 	tuples := flag.Bool("tuples", false, "also dump tuples")
+	scale := flag.Float64("scale", 1, "multiply the default entity counts (1 = the documented laptop-scale defaults)")
+	variant := flag.String("variant", "", "HIV only: generate just this variant (skips the transform pipelines at scale)")
 	flag.Parse()
 
 	names := []string{"uwcse", "hiv", "imdb"}
@@ -26,7 +30,7 @@ func main() {
 		names = []string{*dataset}
 	}
 	for _, name := range names {
-		ds, err := build(name)
+		ds, err := build(name, *scale, *variant)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "datagen:", err)
 			os.Exit(1)
@@ -51,14 +55,21 @@ func main() {
 	}
 }
 
-func build(name string) (*datasets.Dataset, error) {
+func build(name string, scale float64, variant string) (*datasets.Dataset, error) {
 	switch name {
 	case "uwcse":
-		return datasets.GenerateUWCSE(datasets.DefaultUWCSE())
+		cfg := datasets.DefaultUWCSE()
+		cfg.Scale = scale
+		return datasets.GenerateUWCSE(cfg)
 	case "hiv":
-		return datasets.GenerateHIV(datasets.DefaultHIV2K4K())
+		cfg := datasets.DefaultHIV2K4K()
+		cfg.Scale = scale
+		cfg.Only = variant
+		return datasets.GenerateHIV(cfg)
 	case "imdb":
-		return datasets.GenerateIMDb(datasets.DefaultIMDb())
+		cfg := datasets.DefaultIMDb()
+		cfg.Scale = scale
+		return datasets.GenerateIMDb(cfg)
 	}
 	return nil, fmt.Errorf("unknown dataset %q", name)
 }

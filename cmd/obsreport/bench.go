@@ -14,7 +14,10 @@ package main
 //	name.metric>=r    current ≥ r × baseline   (higher is better: parallel_speedup)
 //	name.metric@>=v   current ≥ v              (absolute floor, baseline ignored)
 //
-// metric is ns_per_op or any key of the entry's metrics map. -cpus selects
+// metric is ns_per_op or any key of the entry's metrics map. The pseudo-
+// benchmark name "doc" addresses document-level fields instead — e.g.
+// doc.rss_peak_bytes=1.5 gates the suite's peak resident set at 1.5× the
+// baseline document's. -cpus selects
 // the document with that cpus value from each file; omitted, each file
 // must hold exactly one document. Exit status matches the report mode: 0
 // clean, 1 when a gate fails or a watched metric is missing from one
@@ -37,8 +40,9 @@ type benchEntry struct {
 }
 
 type benchDoc struct {
-	CPUs       int          `json:"cpus"`
-	Benchmarks []benchEntry `json:"benchmarks"`
+	CPUs         int          `json:"cpus"`
+	RSSPeakBytes int64        `json:"rss_peak_bytes"`
+	Benchmarks   []benchEntry `json:"benchmarks"`
 }
 
 type benchFileDoc struct {
@@ -124,8 +128,17 @@ func loadBenchDoc(path string, cpus int) (*benchDoc, error) {
 	return nil, fmt.Errorf("%s: no document with cpus=%d", path, cpus)
 }
 
-// metricValue resolves a gate's metric in one document.
+// metricValue resolves a gate's metric in one document. The pseudo-
+// benchmark "doc" exposes the document-level fields — currently
+// rss_peak_bytes, the process high-water resident set after the suite —
+// so memory growth is gateable next to per-benchmark metrics.
 func metricValue(doc *benchDoc, bench, metric string) (float64, bool) {
+	if bench == "doc" {
+		if metric == "rss_peak_bytes" {
+			return float64(doc.RSSPeakBytes), doc.RSSPeakBytes > 0
+		}
+		return 0, false
+	}
 	for _, b := range doc.Benchmarks {
 		if b.Name != bench {
 			continue

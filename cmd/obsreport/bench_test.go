@@ -155,6 +155,52 @@ func TestBenchDocumentSelection(t *testing.T) {
 	}
 }
 
+// TestBenchDocLevelRSSGate gates the document-level peak resident set via
+// the "doc" pseudo-benchmark, alongside an absolute per-benchmark floor —
+// the shape of the paper-scale smoke job's watch line.
+func TestBenchDocLevelRSSGate(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rss int64) string {
+		f := benchFileDoc{Suite: "castor", Documents: []benchDoc{{
+			CPUs: 8, RSSPeakBytes: rss,
+			Benchmarks: []benchEntry{{Name: "RelstoreProbe/columnar",
+				Metrics: map[string]float64{"speedup_vs_legacy": 4.0}}},
+		}}}
+		b, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := write("old.json", 100<<20)
+	watch := "doc.rss_peak_bytes=1.5,RelstoreProbe/columnar.speedup_vs_legacy@>=2.0"
+	var out, errw strings.Builder
+	if code := run([]string{"-bench", "-cpus", "8", "-watch", watch,
+		oldP, write("ok.json", 120<<20)}, &out, &errw); code != 0 {
+		t.Fatalf("rss within 1.5x: exit = %d, want 0\n%s%s", code, out.String(), errw.String())
+	}
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-bench", "-cpus", "8", "-watch", watch,
+		oldP, write("bad.json", 200<<20)}, &out, &errw); code != 1 {
+		t.Fatalf("rss at 2x: exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: doc.rss_peak_bytes") {
+		t.Errorf("missing regression line:\n%s", out.String())
+	}
+	// A zero/absent rss_peak_bytes is "not recorded", not a zero sample.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-bench", "-cpus", "8", "-watch", watch,
+		oldP, write("none.json", 0)}, &out, &errw); code != 1 {
+		t.Fatalf("missing rss: exit = %d, want 1\n%s%s", code, out.String(), errw.String())
+	}
+}
+
 func TestBenchMissingAndMalformedWatches(t *testing.T) {
 	dir := t.TempDir()
 	oldP := writeBenchFile(t, dir, "old.json", map[int]map[string]map[string]float64{

@@ -171,6 +171,20 @@ func sampleExamples(r *rng, pool []logic.Atom, n int) []logic.Atom {
 	return out[:n]
 }
 
+// scaleCount multiplies an entity count by the configured scale factor.
+// A scale of 0 (the zero value) or 1 leaves the count untouched, so
+// default configurations generate byte-identical datasets.
+func scaleCount(n int, scale float64) int {
+	if scale <= 0 || scale == 1 {
+		return n
+	}
+	out := int(float64(n)*scale + 0.5)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
 func itoa(n int) string {
 	if n == 0 {
 		return "0"

@@ -33,6 +33,9 @@ type IMDbConfig struct {
 	Genres    int
 	NegPerPos int
 	Seed      int64
+	// Scale multiplies Movies/Directors/Actors; 0 or 1 leaves the
+	// configured counts untouched.
+	Scale float64
 }
 
 // DefaultIMDb is the laptop-scale configuration.
@@ -45,6 +48,17 @@ func DefaultIMDb() IMDbConfig {
 		NegPerPos: 2,
 		Seed:      17,
 	}
+}
+
+// PaperIMDb is the paper-scale preset (§8: 8–10M tuples across the
+// variants). It scales the default configuration until the most
+// normalized variant holds several million tuples.
+func PaperIMDb() IMDbConfig {
+	cfg := DefaultIMDb()
+	// JMDB holds ≈6.0K tuples at the base configuration, so 1500 lands the
+	// most normalized variant on ≈9.0M.
+	cfg.Scale = 1500
+	return cfg
 }
 
 var imdbGenres = []string{"drama", "comedy", "action", "thriller", "documentary", "horror", "romance", "scifi"}
@@ -149,6 +163,9 @@ func imdbPipelines(jmdb *relstore.Schema) (*transform.Pipeline, *transform.Pipel
 
 // GenerateIMDb builds the dataset under all three schemas.
 func GenerateIMDb(cfg IMDbConfig) (*Dataset, error) {
+	cfg.Movies = scaleCount(cfg.Movies, cfg.Scale)
+	cfg.Directors = scaleCount(cfg.Directors, cfg.Scale)
+	cfg.Actors = scaleCount(cfg.Actors, cfg.Scale)
 	if cfg.Genres > len(imdbGenres) {
 		cfg.Genres = len(imdbGenres)
 	}

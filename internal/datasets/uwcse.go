@@ -29,6 +29,9 @@ type UWCSEConfig struct {
 	// NegPerPos is the closed-world negative sampling ratio (paper: 2).
 	NegPerPos int
 	Seed      int64
+	// Scale multiplies Students/Professors/Courses; 0 or 1 leaves the
+	// configured counts untouched.
+	Scale float64
 }
 
 // DefaultUWCSE mirrors the scale of the real dataset (≈100 positives).
@@ -43,6 +46,12 @@ func DefaultUWCSE() UWCSEConfig {
 		Seed:           7,
 	}
 }
+
+// PaperUWCSE is the paper-scale preset. The real UW-CSE benchmark is
+// small (a few thousand facts, ≈100 positives) and DefaultUWCSE already
+// mirrors it, so the paper preset is the default — it exists so all
+// three datasets expose the same Paper* entry point.
+func PaperUWCSE() UWCSEConfig { return DefaultUWCSE() }
 
 // uwcseValueAttrs are the UW-CSE value domains.
 func uwcseValueAttrs() map[string]bool {
@@ -97,6 +106,9 @@ func uwcsePipelines(original *relstore.Schema) (*transform.Pipeline, *transform.
 
 // GenerateUWCSE builds the dataset under all four schemas.
 func GenerateUWCSE(cfg UWCSEConfig) (*Dataset, error) {
+	cfg.Students = scaleCount(cfg.Students, cfg.Scale)
+	cfg.Professors = scaleCount(cfg.Professors, cfg.Scale)
+	cfg.Courses = scaleCount(cfg.Courses, cfg.Scale)
 	// The equality IND taughtBy[prof] = professor[prof] requires every
 	// professor to teach, so there must be at least one course per
 	// professor (and one TA per course needs a student).

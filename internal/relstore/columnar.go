@@ -1,0 +1,604 @@
+package relstore
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/logic"
+)
+
+// The columnar table layout. Tuples are interned against the instance's
+// shared symbol table and stored as flat int32 rows in one contiguous
+// backing slice per relation (row r = data[r*arity : (r+1)*arity]), so a
+// 14M-tuple relation is a handful of large allocations instead of millions
+// of small string slices. Dedupe runs over 64-bit hashes of interned rows
+// in an open-addressed row-id set (no string keys, no per-probe
+// allocation), and the per-column indexes are CSR-style postings — a
+// sorted list of distinct value ids plus offsets into one row-id array —
+// built by counting sort when the table is frozen and probed lock-free by
+// binary search afterwards. Scans over large probe lists shard the row
+// space into contiguous ranges and fan out across the instance's
+// scan-worker pool; results are stitched back in shard order, so every
+// query stays byte-deterministic.
+
+// maxInlineArity bounds the stack-allocated scratch row used by the
+// zero-allocation probe paths; wider relations fall back to the heap.
+const maxInlineArity = 12
+
+// scanShardMin is the probe-list size below which TuplesWith never fans
+// out: small probes are answered inline so the coverage engine's own
+// worker-level parallelism is not fought by nested goroutines.
+const scanShardMin = 1 << 15
+
+// rowHash mixes the interned values of one row into a 64-bit key (FNV-1a
+// over the value ids). It replaces the strings.Join dedupe key: no bytes
+// are concatenated and nothing is allocated.
+func rowHash(vals []int32) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range vals {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// rowSet is an open-addressed hash set of row ids, keyed by the hash of
+// the row's interned values. Only ids are stored (4 bytes per slot at ≤50%
+// load); membership compares the candidate row's values directly, so hash
+// collisions cost one short int32 comparison, never a wrong answer.
+type rowSet struct {
+	slots []int32 // row ids; -1 = empty
+	n     int
+}
+
+const rowSetEmpty int32 = -1
+
+func (s *rowSet) init(capacity int) {
+	size := 16
+	for size < capacity*2 {
+		size <<= 1
+	}
+	s.slots = make([]int32, size)
+	for i := range s.slots {
+		s.slots[i] = rowSetEmpty
+	}
+	s.n = 0
+}
+
+func (s *rowSet) grow(t *Table) {
+	old := s.slots
+	s.init(2 * len(old))
+	for _, id := range old {
+		if id != rowSetEmpty {
+			s.insertKnownAbsent(t, id)
+		}
+	}
+}
+
+// insertKnownAbsent places a row id whose row is known not to be present.
+func (s *rowSet) insertKnownAbsent(t *Table, id int32) {
+	mask := uint64(len(s.slots) - 1)
+	i := rowHash(t.row(int(id))) & mask
+	for s.slots[i] != rowSetEmpty {
+		i = (i + 1) & mask
+	}
+	s.slots[i] = id
+	s.n++
+}
+
+// lookup returns the stored row id equal to vals, or -1.
+func (s *rowSet) lookup(t *Table, vals []int32) int32 {
+	if len(s.slots) == 0 {
+		return -1
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := rowHash(vals) & mask
+	for {
+		id := s.slots[i]
+		if id == rowSetEmpty {
+			return -1
+		}
+		if t.rowEquals(int(id), vals) {
+			return id
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// insert adds the row id for vals unless an equal row is present.
+func (s *rowSet) insert(t *Table, id int32, vals []int32) bool {
+	if len(s.slots) == 0 {
+		s.init(16)
+	}
+	if s.lookup(t, vals) >= 0 {
+		return false
+	}
+	if 2*(s.n+1) > len(s.slots) {
+		s.grow(t)
+	}
+	s.insertKnownAbsent(t, id)
+	return true
+}
+
+// colIndex is the frozen CSR posting list of one column: vals holds the
+// distinct value ids in ascending order, offs[k]..offs[k+1] delimits the
+// row ids holding vals[k] (ascending, i.e. insertion order) in rows.
+type colIndex struct {
+	vals []int32
+	offs []int32
+	rows []int32
+}
+
+// postings returns the row ids holding value id v in this column — a
+// shared subslice of the CSR row array, never a fresh allocation. The
+// binary search is hand-rolled: a sort.Find closure costs two indirect
+// calls per halving, which dominates the probe hot path under profile.
+func (c *colIndex) postings(v int32) []int32 {
+	lo, hi := 0, len(c.vals)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(c.vals) || c.vals[lo] != v {
+		return nil
+	}
+	return c.rows[c.offs[lo]:c.offs[lo+1]]
+}
+
+// Table is the instance of one relation: a set of interned columnar rows
+// with CSR per-column postings.
+type Table struct {
+	rel     *Relation
+	syms    *logic.Symbols // shared with the owning instance
+	data    []int32        // row-major, arity-strided
+	nrows   int
+	set     rowSet
+	indexed bool
+	workers int // scan fan-out width; 1 = serial
+
+	// cols are the frozen CSR postings, one per column, valid while frozen
+	// is set. Inserting thaws the table (drops the postings); the first
+	// probe after a load freezes it again, so steady-state reads are
+	// lock-free. The mutex only guards the freeze transition itself.
+	frozen atomic.Bool
+	mu     sync.Mutex
+	cols   []colIndex
+
+	stats tableStats
+}
+
+func newTable(rel *Relation, syms *logic.Symbols, indexed bool) *Table {
+	return &Table{rel: rel, syms: syms, indexed: indexed, workers: 1}
+}
+
+// Relation returns the relation symbol of the table.
+func (t *Table) Relation() *Relation { return t.rel }
+
+// Len returns the number of tuples.
+func (t *Table) Len() int { return t.nrows }
+
+// row returns the interned values of row r (a view into the backing
+// slice; callers must not modify it).
+func (t *Table) row(r int) []int32 {
+	ar := t.rel.Arity()
+	return t.data[r*ar : r*ar+ar]
+}
+
+// rowEquals compares stored row r against interned values.
+func (t *Table) rowEquals(r int, vals []int32) bool {
+	base := r * len(vals)
+	for i, v := range vals {
+		if t.data[base+i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize externalizes row r into a fresh Tuple, writing through dst
+// when it has capacity (the bulk paths hand in slabs of one backing array).
+func (t *Table) materialize(r int, dst []string) Tuple {
+	row := t.row(r)
+	if dst == nil {
+		dst = make([]string, len(row))
+	}
+	for i, v := range row {
+		dst[i] = t.syms.Name(v)
+	}
+	return dst
+}
+
+// appendRow interns the external values directly into the backing slice
+// and inserts the row under set semantics, returning false on duplicates.
+// Single-writer (the load path): it may grow the shared symbol table.
+func (t *Table) appendRow(values []string) bool {
+	if t.frozen.Load() {
+		t.thaw()
+	}
+	base := len(t.data)
+	for _, v := range values {
+		t.data = append(t.data, t.syms.Intern(v))
+	}
+	staged := t.data[base:]
+	if !t.set.insert(t, int32(t.nrows), staged) {
+		t.data = t.data[:base]
+		return false
+	}
+	t.nrows++
+	return true
+}
+
+// thaw drops the frozen postings ahead of a mutation.
+func (t *Table) thaw() {
+	t.mu.Lock()
+	t.cols = nil
+	t.frozen.Store(false)
+	t.mu.Unlock()
+}
+
+// ensureFrozen builds the CSR postings once per load phase. Concurrent
+// readers may race to be first; the mutex serializes the build and the
+// atomic flag keeps the steady-state check to one load.
+func (t *Table) ensureFrozen() {
+	if t.frozen.Load() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.frozen.Load() {
+		return
+	}
+	if t.indexed {
+		t.cols = t.buildPostings()
+	}
+	t.frozen.Store(true)
+}
+
+// buildPostings counting-sorts every column into CSR form: one pass to
+// count occurrences per value id, a prefix sum, and one pass to scatter
+// row ids — O(rows + symbols) per column, no hash maps, and row ids land
+// in ascending (insertion) order within each value run, which is what the
+// determinism of every probe path rests on.
+func (t *Table) buildPostings() []colIndex {
+	ar := t.rel.Arity()
+	nsym := t.syms.Len()
+	cols := make([]colIndex, ar)
+	counts := make([]int32, nsym)
+	starts := make([]int32, nsym)
+	for c := 0; c < ar; c++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		distinct := 0
+		for r := 0; r < t.nrows; r++ {
+			v := t.data[r*ar+c]
+			if counts[v] == 0 {
+				distinct++
+			}
+			counts[v]++
+		}
+		sum := int32(0)
+		for id := 0; id < nsym; id++ {
+			starts[id] = sum
+			sum += counts[id]
+		}
+		ci := colIndex{
+			vals: make([]int32, 0, distinct),
+			offs: make([]int32, 0, distinct+1),
+			rows: make([]int32, t.nrows),
+		}
+		cursor := starts
+		for r := 0; r < t.nrows; r++ {
+			v := t.data[r*ar+c]
+			ci.rows[cursor[v]] = int32(r)
+			cursor[v]++
+		}
+		// cursor[v] now points one past the value's run, i.e. its end.
+		for id := int32(0); int(id) < nsym; id++ {
+			if counts[id] > 0 {
+				ci.vals = append(ci.vals, id)
+				ci.offs = append(ci.offs, cursor[id]-counts[id])
+			}
+		}
+		ci.offs = append(ci.offs, int32(t.nrows))
+		cols[c] = ci
+	}
+	return cols
+}
+
+// lookupVal interns a probe value read-only: unknown constants map to -1,
+// which no stored row holds.
+func (t *Table) lookupVal(v string) int32 {
+	if id, ok := t.syms.Lookup(v); ok {
+		return id
+	}
+	return -1
+}
+
+// countMatching returns the number of rows holding value id v in column
+// col, without touching the access statistics (it backs selectivity
+// estimates, as the old hash-index length peek did).
+func (t *Table) countMatching(col int, v int32) int {
+	if v < 0 {
+		return 0
+	}
+	if t.indexed {
+		t.ensureFrozen()
+		return len(t.cols[col].postings(v))
+	}
+	ar := t.rel.Arity()
+	n := 0
+	for r := 0; r < t.nrows; r++ {
+		if t.data[r*ar+col] == v {
+			n++
+		}
+	}
+	return n
+}
+
+// matchingRows returns the row ids holding value id v in column col, in
+// ascending order. On indexed tables this is a shared CSR subslice
+// (zero-allocation); unindexed tables scan.
+func (t *Table) matchingRows(col int, v int32) []int32 {
+	if v < 0 {
+		return nil
+	}
+	if t.indexed {
+		t.ensureFrozen()
+		return t.cols[col].postings(v)
+	}
+	ar := t.rel.Arity()
+	var out []int32
+	for r := 0; r < t.nrows; r++ {
+		if t.data[r*ar+col] == v {
+			out = append(out, int32(r))
+		}
+	}
+	return out
+}
+
+// MatchingIndexes returns the indexes of tuples whose column col holds
+// value v, ascending. On a frozen indexed table the result is a shared
+// CSR posting slice; callers must not modify it.
+func (t *Table) MatchingIndexes(col int, v string) []int32 {
+	return t.matchingRows(col, t.lookupVal(v))
+}
+
+// Contains reports whether the exact tuple is present. On the frozen
+// store this is allocation-free: probe values intern through read-only
+// lookups into a stack scratch row, and the dedupe set is probed by row
+// hash with direct value comparison.
+func (t *Table) Contains(tp Tuple) bool {
+	if len(tp) != t.rel.Arity() {
+		return false
+	}
+	var buf [maxInlineArity]int32
+	ids := buf[:0]
+	if len(tp) > maxInlineArity {
+		ids = make([]int32, 0, len(tp))
+	}
+	for _, v := range tp {
+		id, ok := t.syms.Lookup(v)
+		if !ok {
+			return false
+		}
+		ids = append(ids, id)
+	}
+	return t.set.lookup(t, ids) >= 0
+}
+
+// containsInterned is Contains over already-interned values (ids from
+// this table's own symbol space).
+func (t *Table) containsInterned(vals []int32) bool {
+	for _, v := range vals {
+		if v < 0 {
+			return false
+		}
+	}
+	return t.set.lookup(t, vals) >= 0
+}
+
+// shardRanges cuts [0, n) into at most t.workers contiguous ranges of
+// near-equal size. Contiguous ranges keep every fan-out path's output in
+// row order, so stitching shard results back in shard order reproduces
+// the serial answer byte for byte.
+func (t *Table) shardRanges(n int) [][2]int {
+	w := t.workers
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	out := make([][2]int, 0, w)
+	for s := 0; s < w; s++ {
+		lo, hi := s*n/w, (s+1)*n/w
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// runSharded executes fn once per shard range, concurrently when the
+// table has a scan-worker pool and the work is large enough.
+func (t *Table) runSharded(n int, fn func(shard int, lo, hi int)) int {
+	ranges := t.shardRanges(n)
+	if len(ranges) <= 1 || n < scanShardMin {
+		for s, r := range ranges {
+			fn(s, r[0], r[1])
+		}
+		return len(ranges)
+	}
+	var wg sync.WaitGroup
+	for s, r := range ranges {
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, r[0], r[1])
+	}
+	wg.Wait()
+	return len(ranges)
+}
+
+// Tuples returns every tuple in insertion order. The rows are
+// materialized from the columnar store into one string slab per call;
+// callers must not modify the result. Prefer ForEachTuple when streaming.
+func (t *Table) Tuples() []Tuple {
+	out := make([]Tuple, t.nrows)
+	slab := make([]string, t.nrows*t.rel.Arity())
+	ar := t.rel.Arity()
+	t.runSharded(t.nrows, func(_, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			out[r] = t.materialize(r, slab[r*ar:r*ar+ar:r*ar+ar])
+		}
+	})
+	return out
+}
+
+// ForEachTuple streams the tuples in insertion order without building the
+// full slice; returning false stops the iteration. The yielded tuple is
+// freshly materialized and may be retained.
+func (t *Table) ForEachTuple(fn func(Tuple) bool) {
+	for r := 0; r < t.nrows; r++ {
+		if !fn(t.materialize(r, nil)) {
+			return
+		}
+	}
+}
+
+// TuplesWith returns the tuples matching every (column, value)
+// requirement, starting from the most selective bound column. Probe lists
+// past the shard threshold fan out over the scan-worker pool; the shards
+// are contiguous slices of the probe list, so the result order — probe
+// order filtered — is identical at every worker count.
+func (t *Table) TuplesWith(req map[int]string) []Tuple {
+	t.stats.lookups.Add(1)
+	if len(req) == 0 {
+		t.stats.scanned.Add(int64(t.nrows))
+		return t.Tuples()
+	}
+	// Intern the requirement and pick the most selective column
+	// (deterministically: smallest posting list, ties by column number).
+	var reqBuf [maxInlineArity]int32
+	ar := t.rel.Arity()
+	ids := reqBuf[:0]
+	if ar > maxInlineArity {
+		ids = make([]int32, 0, ar)
+	}
+	bestCol, bestLen := -1, -1
+	for col := 0; col < ar; col++ {
+		v, ok := req[col]
+		if !ok {
+			ids = append(ids, -1)
+			continue
+		}
+		id := t.lookupVal(v)
+		ids = append(ids, id)
+		n := t.countMatching(col, id)
+		if bestLen == -1 || n < bestLen {
+			bestCol, bestLen = col, n
+		}
+	}
+	if t.indexed {
+		t.stats.indexHits.Add(1)
+	}
+	probe := t.matchingRows(bestCol, ids[bestCol])
+	t.stats.scanned.Add(int64(len(probe)))
+	match := func(r int32) bool {
+		base := int(r) * ar
+		for col, id := range ids {
+			if col == bestCol || req == nil {
+				continue
+			}
+			if _, ok := req[col]; ok && t.data[base+col] != id {
+				return false
+			}
+		}
+		return true
+	}
+	if len(probe) < scanShardMin || t.workers <= 1 {
+		var out []Tuple
+		for _, r := range probe {
+			if match(r) {
+				out = append(out, t.materialize(int(r), nil))
+			}
+		}
+		return out
+	}
+	parts := make([][]Tuple, len(t.shardRanges(len(probe))))
+	t.runSharded(len(probe), func(s, lo, hi int) {
+		var part []Tuple
+		for _, r := range probe[lo:hi] {
+			if match(r) {
+				part = append(part, t.materialize(int(r), nil))
+			}
+		}
+		parts[s] = part
+	})
+	var out []Tuple
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// TuplesContaining returns the tuples holding value v in any column,
+// deduplicated, in insertion order.
+func (t *Table) TuplesContaining(v string) []Tuple {
+	t.stats.lookups.Add(1)
+	id := t.lookupVal(v)
+	ar := t.rel.Arity()
+	if !t.indexed {
+		// One full scan per column when no index exists.
+		t.stats.scanned.Add(int64(t.nrows * ar))
+		var out []Tuple
+		for r := 0; r < t.nrows; r++ {
+			base := r * ar
+			for c := 0; c < ar; c++ {
+				if t.data[base+c] == id && id >= 0 {
+					out = append(out, t.materialize(r, nil))
+					break
+				}
+			}
+		}
+		return out
+	}
+	t.stats.indexHits.Add(1)
+	if id < 0 {
+		return nil
+	}
+	t.ensureFrozen()
+	total := 0
+	for c := 0; c < ar; c++ {
+		total += len(t.cols[c].postings(id))
+	}
+	if total == 0 {
+		return nil
+	}
+	var idxBuf [64]int32
+	idxs := idxBuf[:0]
+	if total > len(idxBuf) {
+		idxs = make([]int32, 0, total)
+	}
+	for c := 0; c < ar; c++ {
+		idxs = append(idxs, t.cols[c].postings(id)...)
+	}
+	// Restore insertion order and drop rows holding v in several columns.
+	slices.Sort(idxs)
+	idxs = slices.Compact(idxs)
+	// One string slab for the whole result, not one slice per row.
+	out := make([]Tuple, len(idxs))
+	slab := make([]string, len(idxs)*ar)
+	for i, r := range idxs {
+		out[i] = t.materialize(int(r), slab[i*ar:i*ar+ar:i*ar+ar])
+	}
+	t.stats.scanned.Add(int64(len(out)))
+	return out
+}

@@ -19,8 +19,40 @@ type Violation struct {
 // String renders the violation.
 func (v Violation) String() string { return v.Constraint + ": " + v.Detail }
 
+// projEqualRows compares the projections of row ra of a and row rb of b
+// onto the given column lists, as interned ids. The tables must intern
+// through the same symbol table (both belong to one instance).
+func projEqualRows(a *Table, ra int, aIdx []int, b *Table, rb int, bIdx []int) bool {
+	abase, bbase := ra*a.rel.Arity(), rb*b.rel.Arity()
+	for i := range aIdx {
+		if a.data[abase+aIdx[i]] != b.data[bbase+bIdx[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// projHash hashes the projection of row r onto the columns idx.
+func (t *Table) projHash(r int, idx []int) uint64 {
+	base := r * t.rel.Arity()
+	h := uint64(1469598103934665603)
+	for _, p := range idx {
+		h ^= uint64(uint32(t.data[base+p]))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// projString renders the projection of row r for a violation message (the
+// only place projected values are externalized).
+func (t *Table) projString(r int, idx []int) string {
+	return projectKey(t.materialize(r, nil), idx)
+}
+
 // CheckFDs returns a violation for every FD of the schema that does not
-// hold in the instance.
+// hold in the instance. The determinant/dependent projections compare as
+// interned ids grouped by hash bucket; no key strings are built unless a
+// violation is reported.
 func (i *Instance) CheckFDs() []Violation {
 	var out []Violation
 	for _, fd := range i.schema.FDs() {
@@ -28,21 +60,30 @@ func (i *Instance) CheckFDs() []Violation {
 		if t == nil {
 			continue
 		}
-		rel := t.rel
-		fromIdx := attrPositions(rel, fd.From)
-		toIdx := attrPositions(rel, fd.To)
-		seen := make(map[string]string, t.Len())
-		for _, tp := range t.tuples {
-			k := projectKey(tp, fromIdx)
-			v := projectKey(tp, toIdx)
-			if prev, ok := seen[k]; ok && prev != v {
+		fromIdx := attrPositions(t.rel, fd.From)
+		toIdx := attrPositions(t.rel, fd.To)
+		seen := make(map[uint64][]int32, t.Len())
+		for r := 0; r < t.nrows; r++ {
+			h := t.projHash(r, fromIdx)
+			prev := -1
+			for _, pr := range seen[h] {
+				if projEqualRows(t, int(pr), fromIdx, t, r, fromIdx) {
+					prev = int(pr)
+					break
+				}
+			}
+			if prev < 0 {
+				seen[h] = append(seen[h], int32(r))
+				continue
+			}
+			if !projEqualRows(t, prev, toIdx, t, r, toIdx) {
 				out = append(out, Violation{
 					Constraint: fd.String(),
-					Detail:     fmt.Sprintf("key %q maps to both %q and %q", k, prev, v),
+					Detail: fmt.Sprintf("key %q maps to both %q and %q",
+						t.projString(r, fromIdx), t.projString(prev, toIdx), t.projString(r, toIdx)),
 				})
 				break
 			}
-			seen[k] = v
 		}
 	}
 	return out
@@ -67,7 +108,10 @@ func (i *Instance) CheckINDs() []Violation {
 }
 
 // checkInclusion verifies π_lattrs(left) ⊆ π_rattrs(right), returning a
-// witness description when it fails.
+// witness description when it fails. The right side is built once as a
+// hash set of interned projections; the left-side probe shards over the
+// row space when the table is large, reporting the first (lowest-row)
+// failure so the witness is identical at every worker count.
 func (i *Instance) checkInclusion(left, right RelAttrs) (string, bool) {
 	lt, rt := i.tables[left.Rel], i.tables[right.Rel]
 	if lt == nil || rt == nil {
@@ -75,13 +119,43 @@ func (i *Instance) checkInclusion(left, right RelAttrs) (string, bool) {
 	}
 	lIdx := attrPositions(lt.rel, left.Attrs)
 	rIdx := attrPositions(rt.rel, right.Attrs)
-	rVals := make(map[string]bool, rt.Len())
-	for _, tp := range rt.tuples {
-		rVals[projectKey(tp, rIdx)] = true
+	rSet := make(map[uint64][]int32, rt.Len())
+	for r := 0; r < rt.nrows; r++ {
+		h := rt.projHash(r, rIdx)
+		dup := false
+		for _, pr := range rSet[h] {
+			if projEqualRows(rt, int(pr), rIdx, rt, r, rIdx) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			rSet[h] = append(rSet[h], int32(r))
+		}
 	}
-	for _, tp := range lt.tuples {
-		if k := projectKey(tp, lIdx); !rVals[k] {
-			return fmt.Sprintf("value %q missing from %s", k, right), false
+	fails := make([]int, len(lt.shardRanges(lt.nrows)))
+	lt.runSharded(lt.nrows, func(s, lo, hi int) {
+		fails[s] = -1
+		for r := lo; r < hi; r++ {
+			h := lt.projHash(r, lIdx)
+			found := false
+			for _, pr := range rSet[h] {
+				if projEqualRows(lt, r, lIdx, rt, int(pr), rIdx) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				fails[s] = r
+				return
+			}
+		}
+	})
+	// Shards cover ascending row ranges, so the first failing shard holds
+	// the overall first failing row.
+	for _, r := range fails {
+		if r >= 0 {
+			return fmt.Sprintf("value %q missing from %s", lt.projString(r, lIdx), right), false
 		}
 	}
 	return "", true

@@ -88,14 +88,13 @@ func (p *Program) Eval(inst *Instance, maxRounds int) ([]logic.Atom, error) {
 			if t == nil || t.Relation().Arity() != lit.Arity() {
 				return
 			}
-			for _, tp := range t.Tuples() {
+			t.ForEachTuple(func(tp Tuple) bool {
 				ground := logic.GroundAtom(lit.Pred, tp...)
-				next, ok := logic.MatchAtoms(lit, ground, s)
-				if !ok {
-					continue
+				if next, ok := logic.MatchAtoms(lit, ground, s); ok {
+					rec(i+1, usedDelta, next)
 				}
-				rec(i+1, usedDelta, next)
-			}
+				return true
+			})
 		}
 		rec(0, false, logic.NewSubstitution())
 		return out, evalErr

@@ -11,6 +11,12 @@ import (
 // instance, full clause/definition evaluation (the hR(I) of the paper), and
 // example coverage.
 //
+// The solver runs on the interned store: candidate rows are enumerated as
+// row ids straight out of the CSR postings (a point probe borrows the
+// posting slice without copying), constants compare as int32 symbol ids,
+// and strings only surface when a variable is bound into the substitution
+// — as the shared interned name, never a fresh allocation.
+//
 // Evaluation is resource-bounded: conjunctive-query matching is NP-hard in
 // the clause length, and bottom-up learners produce long clauses, so each
 // top-level call explores at most the instance's evaluation budget of
@@ -166,6 +172,61 @@ func (c *evalCtx) flush(run *obs.Run) {
 	}
 }
 
+// reqCol is one bound column of an interned candidate probe: the column
+// number and the symbol id it must hold (UnknownSym for constants absent
+// from the instance, which no row matches).
+type reqCol struct {
+	col int
+	val int32
+}
+
+// rowsWith is TuplesWith over interned requirements: same statistics,
+// same most-selective-column start, same ascending result order — but it
+// yields row ids instead of materialized tuples, and a point probe
+// borrows the CSR posting slice without copying. An empty requirement
+// returns (nil, true): every row matches, and the caller iterates the row
+// space directly instead of materializing len(t) ids.
+func (t *Table) rowsWith(req []reqCol) (rows []int32, all bool) {
+	t.stats.lookups.Add(1)
+	if len(req) == 0 {
+		t.stats.scanned.Add(int64(t.nrows))
+		return nil, true
+	}
+	// Most selective requirement first (deterministically: smallest
+	// posting, ties by the lowest column — req is in column order).
+	best, bestLen := -1, -1
+	for k, rc := range req {
+		n := t.countMatching(rc.col, rc.val)
+		if bestLen == -1 || n < bestLen {
+			best, bestLen = k, n
+		}
+	}
+	if t.indexed {
+		t.stats.indexHits.Add(1)
+	}
+	probe := t.matchingRows(req[best].col, req[best].val)
+	t.stats.scanned.Add(int64(len(probe)))
+	if len(req) == 1 {
+		return probe, false
+	}
+	out := make([]int32, 0, len(probe))
+	ar := t.rel.Arity()
+	for _, r := range probe {
+		base := int(r) * ar
+		ok := true
+		for _, rc := range req {
+			if t.data[base+rc.col] != rc.val {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out, false
+}
+
 // forEachSolution enumerates extensions of s satisfying all atoms,
 // backtracking with most-constrained-literal selection. yield returning
 // false stops the enumeration; forEachSolution returns false when stopped
@@ -199,14 +260,21 @@ func (i *Instance) forEachSolution(atoms []logic.Atom, s logic.Substitution, ctx
 	if t == nil || t.rel.Arity() != atom.Arity() {
 		return true
 	}
-	// Trail-based binding: extend s in place per candidate tuple and undo
-	// on backtrack, avoiding a substitution clone per tuple.
-	cands := i.candidateTuples(atom, s, t)
-	ctx.scanned += int64(len(cands))
-	for _, tp := range cands {
-		trail, ok := bindTuple(atom, tp, s)
+	// Interned requirement over the positions bound at entry.
+	var reqBuf [maxInlineArity]reqCol
+	req := reqBuf[:0]
+	for col, arg := range atom.Args {
+		r := s.Resolve(arg)
+		if !r.IsVar {
+			req = append(req, reqCol{col, t.lookupVal(r.Name)})
+		}
+	}
+	// Trail-based binding: extend s in place per candidate row and undo on
+	// backtrack, avoiding a substitution clone per row.
+	step := func(r int32) bool {
+		trail, ok := t.bindRow(atom, r, s)
 		if !ok {
-			continue
+			return true
 		}
 		if !i.forEachSolution(rest, s, ctx, yield) {
 			return false
@@ -214,24 +282,45 @@ func (i *Instance) forEachSolution(atoms []logic.Atom, s logic.Substitution, ctx
 		for _, v := range trail {
 			delete(s, v)
 		}
+		return true
+	}
+	rows, allRows := t.rowsWith(req)
+	if allRows {
+		ctx.scanned += int64(t.nrows)
+		for r := 0; r < t.nrows; r++ {
+			if !step(int32(r)) {
+				return false
+			}
+		}
+		return true
+	}
+	ctx.scanned += int64(len(rows))
+	for _, r := range rows {
+		if !step(r) {
+			return false
+		}
 	}
 	return true
 }
 
-// bindTuple extends s so the atom matches the tuple, returning the trail
+// bindRow extends s so the atom matches row r of t, returning the trail
 // of newly bound variables; on mismatch it restores s and reports false.
-func bindTuple(atom logic.Atom, tp Tuple, s logic.Substitution) ([]string, bool) {
+// Variables bind to the shared interned name of the row value — no string
+// is built — and constants compare as symbol ids.
+func (t *Table) bindRow(atom logic.Atom, r int32, s logic.Substitution) ([]string, bool) {
+	base := int(r) * t.rel.Arity()
 	var trail []string
 	for col, arg := range atom.Args {
-		r := s.Resolve(arg)
-		if r.IsVar {
-			s[r.Name] = logic.Const(tp[col])
-			trail = append(trail, r.Name)
+		res := s.Resolve(arg)
+		v := t.data[base+col]
+		if res.IsVar {
+			s[res.Name] = logic.Const(t.syms.Name(v))
+			trail = append(trail, res.Name)
 			continue
 		}
-		if r.Name != tp[col] {
-			for _, v := range trail {
-				delete(s, v)
+		if id, ok := t.syms.Lookup(res.Name); !ok || id != v {
+			for _, x := range trail {
+				delete(s, x)
 			}
 			return nil, false
 		}
@@ -252,22 +341,9 @@ func (i *Instance) candidateEstimate(a logic.Atom, s logic.Substitution) int {
 		if r.IsVar {
 			continue
 		}
-		if n := len(t.MatchingIndexes(col, r.Name)); n < best {
+		if n := t.countMatching(col, t.lookupVal(r.Name)); n < best {
 			best = n
 		}
 	}
 	return best
-}
-
-// candidateTuples returns the tuples that can match the atom given the
-// bound positions under s.
-func (i *Instance) candidateTuples(a logic.Atom, s logic.Substitution, t *Table) []Tuple {
-	req := make(map[int]string)
-	for col, arg := range a.Args {
-		r := s.Resolve(arg)
-		if !r.IsVar {
-			req[col] = r.Name
-		}
-	}
-	return t.TuplesWith(req)
 }

@@ -2,18 +2,16 @@ package relstore
 
 import (
 	"fmt"
-	"strings"
 	"sync/atomic"
 
+	"repro/internal/logic"
 	"repro/internal/obs"
 )
 
-// Tuple is one row of a relation instance. Values are strings; the store is
-// untyped, like the Datalog fragment the learners work in.
+// Tuple is one row of a relation instance in external (string) form. The
+// store itself keeps rows interned and columnar (see columnar.go); Tuple
+// is the boundary type query results are materialized into.
 type Tuple []string
-
-// key returns a canonical string form for set semantics.
-func (t Tuple) key() string { return strings.Join(t, "\x00") }
 
 // Equal reports element-wise equality.
 func (t Tuple) Equal(u Tuple) bool {
@@ -28,17 +26,6 @@ func (t Tuple) Equal(u Tuple) bool {
 	return true
 }
 
-// Table is the instance of one relation: a set of tuples with per-column
-// hash indexes.
-type Table struct {
-	rel     *Relation
-	tuples  []Tuple
-	seen    map[string]int     // tuple key → index in tuples
-	byCol   []map[string][]int // column → value → tuple indexes
-	indexed bool
-	stats   tableStats
-}
-
 // tableStats are the cumulative access statistics of one table. Atomic
 // because coverage workers probe tables concurrently; always on, because
 // each probe already walks a candidate list and one atomic add per fetch
@@ -46,7 +33,7 @@ type Table struct {
 type tableStats struct {
 	lookups       atomic.Int64 // candidate-tuple fetches
 	scanned       atomic.Int64 // tuples examined by those fetches
-	indexHits     atomic.Int64 // fetches answered through a hash index
+	indexHits     atomic.Int64 // fetches answered through a posting index
 	indExpansions atomic.Int64 // tuples chased in through INDs (§7.1)
 }
 
@@ -70,151 +57,12 @@ func (t *Table) AddINDExpansions(n int64) {
 	}
 }
 
-func newTable(rel *Relation, indexed bool) *Table {
-	t := &Table{rel: rel, seen: make(map[string]int), indexed: indexed}
-	if indexed {
-		t.byCol = make([]map[string][]int, rel.Arity())
-		for i := range t.byCol {
-			t.byCol[i] = make(map[string][]int)
-		}
-	}
-	return t
-}
-
-// Relation returns the relation symbol of the table.
-func (t *Table) Relation() *Relation { return t.rel }
-
-// Len returns the number of tuples.
-func (t *Table) Len() int { return len(t.tuples) }
-
-// Tuples returns the backing tuple slice in insertion order. Callers must
-// not modify it.
-func (t *Table) Tuples() []Tuple { return t.tuples }
-
-// Contains reports whether the exact tuple is present.
-func (t *Table) Contains(tp Tuple) bool {
-	_, ok := t.seen[tp.key()]
-	return ok
-}
-
-func (t *Table) insert(tp Tuple) bool {
-	k := tp.key()
-	if _, dup := t.seen[k]; dup {
-		return false
-	}
-	idx := len(t.tuples)
-	t.seen[k] = idx
-	t.tuples = append(t.tuples, tp)
-	if t.indexed {
-		for col, v := range tp {
-			t.byCol[col][v] = append(t.byCol[col][v], idx)
-		}
-	}
-	return true
-}
-
-// MatchingIndexes returns the indexes of tuples whose column col holds value
-// v, using the hash index when available.
-func (t *Table) MatchingIndexes(col int, v string) []int {
-	if t.indexed {
-		return t.byCol[col][v]
-	}
-	var out []int
-	for i, tp := range t.tuples {
-		if tp[col] == v {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// TuplesWith returns the tuples matching every (column, value) requirement.
-// With indexes it starts from the most selective bound column.
-func (t *Table) TuplesWith(req map[int]string) []Tuple {
-	t.stats.lookups.Add(1)
-	if len(req) == 0 {
-		t.stats.scanned.Add(int64(len(t.tuples)))
-		return t.tuples
-	}
-	// Pick the most selective column (deterministically: smallest candidate
-	// list, ties broken by column number).
-	bestCol, bestLen := -1, -1
-	for col := 0; col < t.rel.Arity(); col++ {
-		v, ok := req[col]
-		if !ok {
-			continue
-		}
-		n := len(t.MatchingIndexes(col, v))
-		if bestLen == -1 || n < bestLen {
-			bestCol, bestLen = col, n
-		}
-	}
-	if t.indexed {
-		t.stats.indexHits.Add(1)
-	}
-	probe := t.MatchingIndexes(bestCol, req[bestCol])
-	t.stats.scanned.Add(int64(len(probe)))
-	var out []Tuple
-	for _, idx := range probe {
-		tp := t.tuples[idx]
-		ok := true
-		for col, v := range req {
-			if tp[col] != v {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, tp)
-		}
-	}
-	return out
-}
-
-// TuplesContaining returns indexes of tuples holding value v in any column,
-// deduplicated, in tuple order.
-func (t *Table) TuplesContaining(v string) []Tuple {
-	t.stats.lookups.Add(1)
-	if t.indexed {
-		t.stats.indexHits.Add(1)
-	} else {
-		// One full scan per column when no index exists.
-		t.stats.scanned.Add(int64(len(t.tuples) * t.rel.Arity()))
-	}
-	seen := make(map[int]bool)
-	var idxs []int
-	for col := 0; col < t.rel.Arity(); col++ {
-		for _, i := range t.MatchingIndexes(col, v) {
-			if !seen[i] {
-				seen[i] = true
-				idxs = append(idxs, i)
-			}
-		}
-	}
-	if t.indexed {
-		t.stats.scanned.Add(int64(len(idxs)))
-	}
-	// Restore insertion order for determinism.
-	sortInts(idxs)
-	out := make([]Tuple, len(idxs))
-	for i, idx := range idxs {
-		out[i] = t.tuples[idx]
-	}
-	return out
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
-}
-
-// Instance is a database instance of a schema: one table per relation.
+// Instance is a database instance of a schema: one table per relation,
+// all interning constants through one shared symbol table.
 type Instance struct {
 	schema     *Schema
 	tables     map[string]*Table
+	syms       *logic.Symbols
 	indexed    bool
 	evalBudget int      // per-call search-node budget; 0 = DefaultEvalBudget
 	obs        *obs.Run // instrumentation; nil observes nothing
@@ -225,17 +73,22 @@ type Instance struct {
 // coverage workers read it without synchronization); nil detaches.
 func (i *Instance) SetObs(run *obs.Run) { i.obs = run }
 
-// NewInstance returns an empty instance with hash indexes enabled.
+// NewInstance returns an empty instance with posting indexes enabled.
 func NewInstance(schema *Schema) *Instance { return newInstance(schema, true) }
 
 // NewUnindexedInstance returns an empty instance whose tables scan instead
-// of using hash indexes. It exists for the index ablation benchmarks.
+// of using posting indexes. It exists for the index ablation benchmarks.
 func NewUnindexedInstance(schema *Schema) *Instance { return newInstance(schema, false) }
 
 func newInstance(schema *Schema, indexed bool) *Instance {
-	inst := &Instance{schema: schema, tables: make(map[string]*Table), indexed: indexed}
+	inst := &Instance{
+		schema:  schema,
+		tables:  make(map[string]*Table),
+		syms:    logic.NewSymbols(),
+		indexed: indexed,
+	}
 	for _, r := range schema.Relations() {
-		inst.tables[r.Name] = newTable(r, indexed)
+		inst.tables[r.Name] = newTable(r, inst.syms, indexed)
 	}
 	return inst
 }
@@ -243,8 +96,15 @@ func newInstance(schema *Schema, indexed bool) *Instance {
 // Schema returns the instance's schema.
 func (i *Instance) Schema() *Schema { return i.schema }
 
+// Symbols returns the instance's shared constant-interning table. Reads
+// (Lookup/Name) are safe concurrently once loading is done; interning new
+// symbols is the single-writer load path only.
+func (i *Instance) Symbols() *logic.Symbols { return i.syms }
+
 // Insert adds a tuple to a relation. Duplicate tuples are ignored (set
 // semantics). It returns an error for unknown relations or arity mismatch.
+// Inserting is single-writer: it interns through the shared symbol table
+// and thaws any frozen indexes, so it must not race with queries.
 func (i *Instance) Insert(rel string, values ...string) error {
 	t, ok := i.tables[rel]
 	if !ok {
@@ -253,7 +113,7 @@ func (i *Instance) Insert(rel string, values ...string) error {
 	if len(values) != t.rel.Arity() {
 		return fmt.Errorf("relstore: insert into %s with %d values", t.rel, len(values))
 	}
-	t.insert(append(Tuple(nil), values...))
+	t.appendRow(values)
 	return nil
 }
 
@@ -261,6 +121,29 @@ func (i *Instance) Insert(rel string, values ...string) error {
 func (i *Instance) MustInsert(rel string, values ...string) {
 	if err := i.Insert(rel, values...); err != nil {
 		panic(err)
+	}
+}
+
+// Freeze builds the posting indexes of every table now, instead of lazily
+// on first probe, so concurrent readers start from a fully compacted
+// store. Call it once after loading; inserting afterwards thaws the
+// affected table again.
+func (i *Instance) Freeze() {
+	for _, t := range i.tables {
+		t.ensureFrozen()
+	}
+}
+
+// SetScanWorkers sets the fan-out width of large scans (TuplesWith over a
+// big probe list, bulk materialization, IND inclusion checks). Values
+// below 1 mean serial. Shards are contiguous row ranges stitched in
+// order, so results are identical at every width.
+func (i *Instance) SetScanWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	for _, t := range i.tables {
+		t.workers = n
 	}
 }
 
@@ -300,8 +183,9 @@ func (i *Instance) NumTuples() int {
 	return n
 }
 
-// Equal reports whether two instances over the same schema hold exactly the
-// same tuples.
+// Equal reports whether two instances over the same schema hold exactly
+// the same tuples. The instances may intern through different symbol
+// tables; comparison goes through external values.
 func (i *Instance) Equal(j *Instance) bool {
 	if len(i.tables) != len(j.tables) {
 		return false
@@ -311,22 +195,31 @@ func (i *Instance) Equal(j *Instance) bool {
 		if !ok || ti.Len() != tj.Len() {
 			return false
 		}
-		for _, tp := range ti.tuples {
+		equal := true
+		ti.ForEachTuple(func(tp Tuple) bool {
 			if !tj.Contains(tp) {
+				equal = false
 				return false
 			}
+			return true
+		})
+		if !equal {
+			return false
 		}
 	}
 	return true
 }
 
-// Clone returns a deep copy of the instance (onto the same schema object).
+// Clone returns a deep copy of the instance (onto the same schema object)
+// with a freshly built symbol table.
 func (i *Instance) Clone() *Instance {
 	out := newInstance(i.schema, i.indexed)
 	for name, t := range i.tables {
-		for _, tp := range t.tuples {
-			out.tables[name].insert(append(Tuple(nil), tp...))
-		}
+		ot := out.tables[name]
+		t.ForEachTuple(func(tp Tuple) bool {
+			ot.appendRow(tp)
+			return true
+		})
 	}
 	return out
 }

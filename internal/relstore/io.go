@@ -173,11 +173,14 @@ func WriteInstance(w io.Writer, inst *Instance) error {
 		if t == nil {
 			continue
 		}
-		for _, tp := range t.Tuples() {
+		var werr error
+		t.ForEachTuple(func(tp Tuple) bool {
 			atom := logic.GroundAtom(r.Name, tp...)
-			if _, err := fmt.Fprintln(bw, atom.String()+"."); err != nil {
-				return err
-			}
+			_, werr = fmt.Fprintln(bw, atom.String()+".")
+			return werr == nil
+		})
+		if werr != nil {
+			return werr
 		}
 	}
 	return bw.Flush()

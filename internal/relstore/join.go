@@ -14,14 +14,39 @@ type JoinResult struct {
 	Tuples []Tuple
 }
 
+// tupleHash mixes a string tuple into a 64-bit key (FNV-1a over the
+// values with a separator), the hashed replacement of the old
+// strings.Join dedupe key.
+func tupleHash(tp Tuple) uint64 {
+	h := uint64(1469598103934665603)
+	for _, v := range tp {
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff // separator: ("a","bc") must differ from ("ab","c")
+		h *= 1099511628211
+	}
+	return h
+}
+
 // dedup removes duplicate tuples in place, preserving first occurrence.
+// Duplicates are detected by hash bucket plus exact comparison: no joined
+// key strings are built.
 func (r *JoinResult) dedup() {
-	seen := make(map[string]bool, len(r.Tuples))
+	seen := make(map[uint64][]int, len(r.Tuples))
 	out := r.Tuples[:0]
 	for _, tp := range r.Tuples {
-		k := tp.key()
-		if !seen[k] {
-			seen[k] = true
+		h := tupleHash(tp)
+		dup := false
+		for _, k := range seen[h] {
+			if out[k].Equal(tp) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], len(out))
 			out = append(out, tp)
 		}
 	}
@@ -73,10 +98,11 @@ func NaturalJoin(a, b *JoinResult) (*JoinResult, error) {
 	return out, nil
 }
 
-// TableResult adapts a stored table to a JoinResult (sharing tuple storage;
-// callers must not mutate).
+// TableResult adapts a stored table to a JoinResult. The tuples are
+// materialized from the columnar store (O(n)); callers must not mutate
+// them.
 func TableResult(t *Table) *JoinResult {
-	return &JoinResult{Attrs: t.rel.Attrs, Tuples: t.tuples}
+	return &JoinResult{Attrs: t.rel.Attrs, Tuples: t.Tuples()}
 }
 
 // JoinRelations natural-joins the named relations of the instance left to

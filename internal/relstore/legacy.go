@@ -1,0 +1,149 @@
+package relstore
+
+import "strings"
+
+// LegacyTable is the pre-columnar map-based store: string tuples in a
+// slice, a strings.Join dedupe key map, and per-column map[string][]int
+// hash indexes. It is kept verbatim as the reference implementation — the
+// oracle of the columnar equivalence property tests and the baseline side
+// of BenchmarkRelstoreProbe — and must not grow features.
+type LegacyTable struct {
+	rel    *Relation
+	tuples []Tuple
+	seen   map[string]int
+	byCol  []map[string][]int
+}
+
+func legacyKey(tp Tuple) string { return strings.Join(tp, "\x00") }
+
+// NewLegacyTable returns an empty indexed legacy table for the relation.
+func NewLegacyTable(rel *Relation) *LegacyTable {
+	t := &LegacyTable{rel: rel, seen: make(map[string]int)}
+	t.byCol = make([]map[string][]int, rel.Arity())
+	for i := range t.byCol {
+		t.byCol[i] = make(map[string][]int)
+	}
+	return t
+}
+
+// Len returns the number of tuples.
+func (t *LegacyTable) Len() int { return len(t.tuples) }
+
+// Insert adds a tuple under set semantics.
+func (t *LegacyTable) Insert(values ...string) bool {
+	tp := append(Tuple(nil), values...)
+	k := legacyKey(tp)
+	if _, dup := t.seen[k]; dup {
+		return false
+	}
+	idx := len(t.tuples)
+	t.seen[k] = idx
+	t.tuples = append(t.tuples, tp)
+	for col, v := range tp {
+		t.byCol[col][v] = append(t.byCol[col][v], idx)
+	}
+	return true
+}
+
+// Contains reports whether the exact tuple is present.
+func (t *LegacyTable) Contains(tp Tuple) bool {
+	_, ok := t.seen[legacyKey(tp)]
+	return ok
+}
+
+// Tuples returns the backing tuple slice in insertion order.
+func (t *LegacyTable) Tuples() []Tuple { return t.tuples }
+
+// MatchingIndexes returns the indexes of tuples whose column col holds
+// value v, from the hash index.
+func (t *LegacyTable) MatchingIndexes(col int, v string) []int { return t.byCol[col][v] }
+
+// TuplesWith returns the tuples matching every (column, value)
+// requirement, starting from the most selective bound column — the exact
+// algorithm the columnar TuplesWith must reproduce.
+func (t *LegacyTable) TuplesWith(req map[int]string) []Tuple {
+	if len(req) == 0 {
+		return t.tuples
+	}
+	bestCol, bestLen := -1, -1
+	for col := 0; col < t.rel.Arity(); col++ {
+		v, ok := req[col]
+		if !ok {
+			continue
+		}
+		if n := len(t.byCol[col][v]); bestLen == -1 || n < bestLen {
+			bestCol, bestLen = col, n
+		}
+	}
+	var out []Tuple
+	for _, idx := range t.byCol[bestCol][req[bestCol]] {
+		tp := t.tuples[idx]
+		ok := true
+		for col, v := range req {
+			if tp[col] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, tp)
+		}
+	}
+	return out
+}
+
+// TuplesContaining returns the tuples holding value v in any column,
+// deduplicated, in insertion order.
+func (t *LegacyTable) TuplesContaining(v string) []Tuple {
+	seen := make(map[int]bool)
+	var idxs []int
+	for col := 0; col < t.rel.Arity(); col++ {
+		for _, i := range t.byCol[col][v] {
+			if !seen[i] {
+				seen[i] = true
+				idxs = append(idxs, i)
+			}
+		}
+	}
+	sortInts(idxs)
+	out := make([]Tuple, len(idxs))
+	for i, idx := range idxs {
+		out[i] = t.tuples[idx]
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// LegacyInstance is one LegacyTable per relation of a schema.
+type LegacyInstance struct {
+	schema *Schema
+	tables map[string]*LegacyTable
+}
+
+// NewLegacyInstance returns an empty legacy instance.
+func NewLegacyInstance(schema *Schema) *LegacyInstance {
+	inst := &LegacyInstance{schema: schema, tables: make(map[string]*LegacyTable)}
+	for _, r := range schema.Relations() {
+		inst.tables[r.Name] = NewLegacyTable(r)
+	}
+	return inst
+}
+
+// Table returns the legacy table of a relation, or nil if unknown.
+func (i *LegacyInstance) Table(rel string) *LegacyTable { return i.tables[rel] }
+
+// MustInsert inserts, panicking on unknown relations or arity mismatch.
+func (i *LegacyInstance) MustInsert(rel string, values ...string) {
+	t, ok := i.tables[rel]
+	if !ok || len(values) != t.rel.Arity() {
+		panic("relstore: bad legacy insert into " + rel)
+	}
+	t.Insert(values...)
+}

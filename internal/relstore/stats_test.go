@@ -1,6 +1,7 @@
 package relstore
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -166,5 +167,52 @@ func TestPlanExplain(t *testing.T) {
 	// Deterministic rendering.
 	if p.Explain() != text {
 		t.Error("Explain is not deterministic")
+	}
+}
+
+// TestStatsShardedScanPath extends the stats contract to the sharded scan
+// path: past the shard threshold and with scan workers attached, results
+// and statistics are identical to the serial run.
+func TestStatsShardedScanPath(t *testing.T) {
+	const rows = scanShardMin + scanShardMin/2
+	build := func(workers int) (*Instance, *Table) {
+		s := NewSchema()
+		s.MustAddRelation("big", "k", "v")
+		i := NewInstance(s)
+		for r := 0; r < rows; r++ {
+			i.MustInsert("big", "k"+strconv.Itoa(r%7), "v"+strconv.Itoa(r))
+		}
+		i.SetScanWorkers(workers)
+		i.Freeze()
+		return i, i.Table("big")
+	}
+	_, serial := build(1)
+	_, sharded := build(8)
+
+	sx := serial.TuplesWith(map[int]string{0: "k3"})
+	px := sharded.TuplesWith(map[int]string{0: "k3"})
+	if len(sx) != len(px) || len(sx) == 0 {
+		t.Fatalf("sharded point scan size %d, serial %d", len(px), len(sx))
+	}
+	for i := range sx {
+		if !sx[i].Equal(px[i]) {
+			t.Fatalf("sharded scan order diverges at %d: %v vs %v", i, px[i], sx[i])
+		}
+	}
+	sAll := serial.TuplesWith(nil)
+	pAll := sharded.TuplesWith(nil)
+	for i := range sAll {
+		if !sAll[i].Equal(pAll[i]) {
+			t.Fatalf("sharded full fetch order diverges at %d", i)
+		}
+	}
+	// Identical statistics: same lookups, same index hits, same scan counts
+	// regardless of worker width.
+	if s1, s8 := serial.Stats(), sharded.Stats(); s1 != s8 {
+		t.Errorf("sharded stats diverge: serial %+v sharded %+v", s1, s8)
+	}
+	wantScanned := int64(len(sx)) + int64(rows)
+	if got := sharded.Stats(); got.Lookups != 2 || got.IndexHits != 1 || got.TuplesScanned != wantScanned {
+		t.Errorf("sharded scan stats = %+v, want lookups 2, hits 1, scanned %d", got, wantScanned)
 	}
 }
