@@ -216,6 +216,11 @@ func benchScoreBatch(b *testing.B, prob *ilp.Problem, cands []coverage.Candidate
 		}
 	}
 	reportObsMetrics(b, reg)
+	if workers > 1 {
+		// Whole-run worker utilization of the scoring pool, for the
+		// bench-smoke pool_busy_ratio floor gate.
+		b.ReportMetric(reg.Gauge(obs.GPoolBusyRatio), "pool_busy_ratio")
+	}
 }
 
 // BenchmarkCandidateScoring isolates the batched candidate scorer: one

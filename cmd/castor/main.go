@@ -85,6 +85,8 @@ type options struct {
 	watchdogStall    time.Duration
 	watchdogSelftest bool
 	sampleResources  time.Duration
+	timelineFile     string
+	timelineTick     time.Duration
 
 	provFile     string
 	provMaxNodes int64
@@ -129,6 +131,8 @@ func main() {
 	flag.DurationVar(&o.watchdogStall, "watchdog-stall", 0, "trip the stall watchdog after this long without heartbeat progress (0 = off)")
 	flag.BoolVar(&o.watchdogSelftest, "watchdog-selftest", false, "hold the run idle after learning until the watchdog trips once (CI/debugging)")
 	flag.DurationVar(&o.sampleResources, "sample-resources", 0, "sample RSS/heap/goroutines every interval into gauges and the flight recorder (0 = off)")
+	flag.StringVar(&o.timelineFile, "timeline", "", "write the metric timeline (JSONL) to this file at run end")
+	flag.DurationVar(&o.timelineTick, "timeline-tick", obs.DefaultTimelineTick, "metric timeline sampling interval")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this file")
 	flag.StringVar(&o.provFile, "provenance", "", "write the candidate search graph (JSONL) to this file")
@@ -199,19 +203,26 @@ func run(o options, out io.Writer) error {
 		spanSinks = append(spanSinks, s)
 		tracers = append(tracers, s)
 	}
+	var prog *obs.Progress
 	if o.httpAddr != "" {
-		prog := obs.NewProgress(reg)
+		prog = obs.NewProgress(reg)
 		spanSinks = append(spanSinks, prog)
-		srv, err := obs.StartServer(o.httpAddr, reg, prog, fr)
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		fmt.Fprintf(out, "introspection server on http://%s/ (/metrics /progress /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
 	}
 	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).
 		WithSpans(obs.MultiSpanSink(spanSinks...)).
 		WithFlightRecorder(fr)
+	var tl *obs.Timeline
+	if o.timelineFile != "" || o.httpAddr != "" {
+		tl = obs.StartTimeline(obsRun, o.timelineTick)
+	}
+	if o.httpAddr != "" {
+		srv, err := obs.StartServer(o.httpAddr, reg, prog, fr, tl)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "introspection server on http://%s/ (/metrics /progress /timeline /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
+	}
 	if o.sampleResources > 0 {
 		smp := obs.StartSampler(obsRun, o.sampleResources)
 		defer smp.Stop()
@@ -340,6 +351,12 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "watchdog-selftest: tripped (trips=%d)\n", wd.Trips())
 	}
 	obsRun.Sample() // final resource sample, so every report carries RSS/heap gauges
+	tl.Stop()       // final timeline tick; rings stay servable through -http-idle
+	if o.timelineFile != "" {
+		if err := tl.WriteJSONLFile(o.timelineFile); err != nil {
+			return fmt.Errorf("writing timeline: %w", err)
+		}
+	}
 	report := reg.Snapshot()
 	if o.reportFile != "" {
 		rr := &obs.RunReport{
@@ -361,6 +378,7 @@ func run(o options, out io.Writer) error {
 			Env:            obs.CaptureEnv(o.seed),
 			ElapsedSeconds: elapsed.Seconds(),
 			Metrics:        report,
+			Timeline:       tl.Summary(),
 			Definition:     definitionStats(def, m),
 		}
 		if err := rr.WriteJSONFile(o.reportFile); err != nil {

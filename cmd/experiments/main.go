@@ -51,6 +51,8 @@ func main() {
 	flightFile := flag.String("flightrecorder", "", "write flight-recorder dumps (JSONL) to this file (default: stderr on dump)")
 	watchdogStall := flag.Duration("watchdog-stall", 0, "trip the stall watchdog after this long without heartbeat progress (0 = off)")
 	sampleResources := flag.Duration("sample-resources", 0, "sample RSS/heap/goroutines every interval into gauges and the flight recorder (0 = off)")
+	timelineFile := flag.String("timeline", "", "write the metric timeline (JSONL) to this file at run end")
+	timelineTick := flag.Duration("timeline-tick", obs.DefaultTimelineTick, "metric timeline sampling interval")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -73,7 +75,8 @@ func main() {
 	var chromeSink *obs.ChromeTraceSink
 	observing := *verbose || *traceFile != "" || *metricsFile != "" ||
 		*chromeFile != "" || *reportFile != "" || *httpAddr != "" ||
-		*flightFile != "" || *watchdogStall > 0 || *sampleResources > 0
+		*flightFile != "" || *watchdogStall > 0 || *sampleResources > 0 ||
+		*timelineFile != ""
 	if observing {
 		reg = obs.NewRegistry()
 		fr = obs.NewFlightRecorder(0)
@@ -107,22 +110,29 @@ func main() {
 			spanSinks = append(spanSinks, s)
 			tracers = append(tracers, s)
 		}
-		if *httpAddr != "" {
-			prog := obs.NewProgress(reg)
-			spanSinks = append(spanSinks, prog)
-			srv, err := obs.StartServer(*httpAddr, reg, prog, fr)
-			if err != nil {
-				fatal(err)
-			}
-			defer srv.Close()
-			fmt.Printf("introspection server on http://%s/ (/metrics /progress /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
-		}
+	}
+	var prog *obs.Progress
+	if *httpAddr != "" {
+		prog = obs.NewProgress(reg)
+		spanSinks = append(spanSinks, prog)
 	}
 
 	start := time.Now()
 	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).
 		WithSpans(obs.MultiSpanSink(spanSinks...)).
 		WithFlightRecorder(fr)
+	var tl *obs.Timeline
+	if *timelineFile != "" || *httpAddr != "" {
+		tl = obs.StartTimeline(obsRun, *timelineTick)
+	}
+	if *httpAddr != "" {
+		srv, err := obs.StartServer(*httpAddr, reg, prog, fr, tl)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("introspection server on http://%s/ (/metrics /progress /timeline /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
+	}
 	if *sampleResources > 0 {
 		smp := obs.StartSampler(obsRun, *sampleResources)
 		defer smp.Stop()
@@ -190,6 +200,12 @@ func main() {
 	}
 	if reg != nil {
 		obsRun.Sample() // final resource sample, so reports carry RSS/heap gauges
+		tl.Stop()       // final timeline tick before the snapshot
+		if *timelineFile != "" {
+			if err := tl.WriteJSONLFile(*timelineFile); err != nil {
+				fatal(err)
+			}
+		}
 		report := reg.Snapshot()
 		if *reportFile != "" {
 			rr := &obs.RunReport{
@@ -204,6 +220,7 @@ func main() {
 				},
 				ElapsedSeconds: time.Since(start).Seconds(),
 				Metrics:        report,
+				Timeline:       tl.Summary(),
 			}
 			if err := rr.WriteJSONFile(*reportFile); err != nil {
 				fatal(err)

@@ -17,9 +17,17 @@
 // become <phase>_seconds and <phase>_calls, span aggregates become
 // span_<name>_seconds and span_<name>_calls, histogram percentiles become
 // hist_<name>_p50/_p95/_p99/_count, gauges (rss_peak_bytes, …) keep their
-// names, and elapsed_seconds and the definition_* stats are included. A
-// -watch entry may carry its own threshold as name=ratio; entries without
-// one use -threshold. Exit status: 0 when no watched metric regresses, 1
+// names, elapsed_seconds and the definition_* stats are included, and
+// timeline digests appear as timeline_<series>_{mean,min,max,last,count}.
+// A -watch entry may carry its own threshold as name=ratio; entries
+// without one use -threshold. Two more gate shapes mirror bench mode:
+// name>=ratio requires the new/old ratio to stay at or above ratio (a
+// minimum, for metrics that must not drop — cache hit counts, busy
+// ratios), and name@>=value requires the new report's absolute value to
+// be at least value, ignoring the baseline entirely (so a utilization
+// floor like timeline_pool_busy_ratio_mean@>=0.6 works even against a
+// baseline from before the series existed). Exit status: 0 when no
+// watched metric regresses, 1
 // on a regression or when a watched metric is present in only one of the
 // two reports, 2 on usage or read errors — including a watched metric
 // absent from both reports, and a metric whose family differs between the
@@ -47,13 +55,13 @@ func main() {
 func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("obsreport", flag.ContinueOnError)
 	fs.SetOutput(errw)
-	watch := fs.String("watch", "", "comma-separated metrics to gate on, each optionally name=threshold (empty: report only, never fail)")
+	watch := fs.String("watch", "", "comma-separated metrics to gate on: name, name=maxratio, name>=minratio, or name@>=floor (empty: report only, never fail)")
 	threshold := fs.Float64("threshold", 1.10, "max allowed new/old ratio for watched metrics without their own =threshold")
 	all := fs.Bool("all", false, "print unchanged metrics too")
 	bench := fs.Bool("bench", false, "inputs are BENCH json files, not run reports; -watch entries are name.metric gates (see bench.go)")
 	cpus := fs.Int("cpus", 0, "with -bench: select the document with this cpus value (0: the only document)")
 	fs.Usage = func() {
-		fmt.Fprintln(errw, "usage: obsreport [-watch m1,m2=1.5] [-threshold 1.10] [-all] old.json new.json")
+		fmt.Fprintln(errw, "usage: obsreport [-watch 'm1,m2=1.5,m3>=0.9,m4@>=0.6'] [-threshold 1.10] [-all] old.json new.json")
 		fmt.Fprintln(errw, "       obsreport -bench [-cpus N] -watch 'name.metric=r,name.metric>=r,name.metric@>=v' old.json new.json")
 		fs.PrintDefaults()
 	}
@@ -78,23 +86,49 @@ func run(args []string, out, errw io.Writer) int {
 		return 2
 	}
 
-	// watched maps each gated metric to its allowed new/old ratio: the
-	// entry's own name=threshold when given, the global -threshold
-	// otherwise.
-	watched := make(map[string]float64)
+	// watched maps each gated metric to its gate: a max new/old ratio
+	// (name, name=r), a min new/old ratio (name>=r), or an absolute floor
+	// on the new value (name@>=v).
+	watched := make(map[string]reportGate)
 	for _, w := range strings.Split(*watch, ",") {
 		if w = strings.TrimSpace(w); w == "" {
 			continue
 		}
-		name, thr := w, *threshold
-		if eq := strings.IndexByte(w, '='); eq >= 0 {
-			name = strings.TrimSpace(w[:eq])
-			if _, err := fmt.Sscanf(strings.TrimSpace(w[eq+1:]), "%g", &thr); err != nil || name == "" {
+		g := reportGate{op: gateMaxRatio, val: *threshold}
+		name := w
+		cut := func(sep string) (string, bool) {
+			i := strings.Index(w, sep)
+			if i < 0 {
+				return "", false
+			}
+			name = strings.TrimSpace(w[:i])
+			var v float64
+			if _, err := fmt.Sscanf(strings.TrimSpace(w[i+len(sep):]), "%g", &v); err != nil || name == "" {
+				return "", false
+			}
+			g.val = v
+			return name, true
+		}
+		switch {
+		case strings.Contains(w, "@>="):
+			g.op = gateFloor
+			if _, ok := cut("@>="); !ok {
+				fmt.Fprintf(errw, "obsreport: bad -watch entry %q (want name@>=value)\n", w)
+				return 2
+			}
+		case strings.Contains(w, ">="):
+			g.op = gateMinRatio
+			if _, ok := cut(">="); !ok {
+				fmt.Fprintf(errw, "obsreport: bad -watch entry %q (want name>=ratio)\n", w)
+				return 2
+			}
+		case strings.IndexByte(w, '=') >= 0:
+			if _, ok := cut("="); !ok {
 				fmt.Fprintf(errw, "obsreport: bad -watch entry %q (want name or name=threshold)\n", w)
 				return 2
 			}
 		}
-		watched[name] = thr
+		watched[name] = g
 	}
 	isWatched := func(name string) bool { _, ok := watched[name]; return ok }
 
@@ -115,7 +149,8 @@ func run(args []string, out, errw io.Writer) int {
 			mismatched = append(mismatched, d.Name)
 			continue
 		}
-		if isWatched(d.Name) && (!d.InOld || !d.InNew) {
+		needsOld := !isWatched(d.Name) || watched[d.Name].op != gateFloor
+		if isWatched(d.Name) && ((needsOld && !d.InOld) || !d.InNew) {
 			// A watched metric present in only one report is a reportable
 			// difference, not a usage error: the run stopped (or started)
 			// emitting it. Gate on it explicitly rather than letting the
@@ -128,7 +163,7 @@ func run(args []string, out, errw io.Writer) int {
 				d.Name, side, num(d.Old), num(d.New))
 			missing = append(missing, d.Name)
 		}
-		regressed := isWatched(d.Name) && d.Ratio > watched[d.Name]
+		regressed := isWatched(d.Name) && watched[d.Name].fails(d)
 		if regressed {
 			regressions = append(regressions, d.Name)
 		}
@@ -170,6 +205,30 @@ func run(args []string, out, errw io.Writer) int {
 			len(watched))
 	}
 	return 0
+}
+
+// reportGate is one -watch entry's acceptance rule.
+type reportGate struct {
+	op  int
+	val float64
+}
+
+const (
+	gateMaxRatio = iota // new/old must stay ≤ val (regressions up)
+	gateMinRatio        // new/old must stay ≥ val (regressions down)
+	gateFloor           // the new value itself must be ≥ val
+)
+
+// fails reports whether the delta violates the gate.
+func (g reportGate) fails(d obs.MetricDelta) bool {
+	switch g.op {
+	case gateMinRatio:
+		return d.Ratio < g.val
+	case gateFloor:
+		return d.New < g.val
+	default:
+		return d.Ratio > g.val
+	}
 }
 
 // num formats a metric value compactly: integers without a fraction,

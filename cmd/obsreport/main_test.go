@@ -233,3 +233,85 @@ func TestWatchedMetricMissingFromOneReportExitsOne(t *testing.T) {
 		t.Errorf("unwatched missing metric gated: exit = %d, want 0", code)
 	}
 }
+
+// writeTimelineReport marshals a run report carrying a timeline digest.
+func writeTimelineReport(t *testing.T, dir, name string, busyMean float64) string {
+	t.Helper()
+	r := obs.RunReport{
+		Tool:    "castor",
+		Metrics: obs.Report{Counters: map[string]int64{"coverage_tests": 10}},
+		Timeline: &obs.TimelineSummary{
+			Ticks: 4,
+			Series: map[string]obs.TimelineSeriesStat{
+				"pool_busy_ratio": {Count: 4, Mean: busyMean, Min: busyMean - 0.1, Max: busyMean + 0.1, Last: busyMean},
+			},
+		},
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestUtilizationFloorGate(t *testing.T) {
+	dir := t.TempDir()
+	good := writeTimelineReport(t, dir, "good.json", 0.8)
+	bad := writeTimelineReport(t, dir, "bad.json", 0.3)
+
+	// Floor satisfied: exit 0.
+	var out, errw strings.Builder
+	if code := run([]string{"-watch", "timeline_pool_busy_ratio_mean@>=0.6", good, good}, &out, &errw); code != 0 {
+		t.Fatalf("floor met: exit = %d, want 0\n%s%s", code, out.String(), errw.String())
+	}
+	// Floor violated: exit 1.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-watch", "timeline_pool_busy_ratio_mean@>=0.6", good, bad}, &out, &errw); code != 1 {
+		t.Fatalf("floor broken: exit = %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION: timeline_pool_busy_ratio_mean") {
+		t.Errorf("missing regression line:\n%s", out.String())
+	}
+	// Floor gates ignore the baseline: a pre-timeline old report passes.
+	oldNoTimeline := writeReport(t, dir, "old.json", map[string]int64{"coverage_tests": 10}, 1.0)
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-watch", "timeline_pool_busy_ratio_mean@>=0.6", oldNoTimeline, good}, &out, &errw); code != 0 {
+		t.Fatalf("floor vs timeline-less baseline: exit = %d, want 0\n%s%s", code, out.String(), errw.String())
+	}
+	// Metric absent from both reports stays a usage error: exit 2.
+	out.Reset()
+	errw.Reset()
+	if code := run([]string{"-watch", "timeline_pool_busy_ratio_mean@>=0.6", oldNoTimeline, oldNoTimeline}, &out, &errw); code != 2 {
+		t.Fatalf("floor on absent metric: exit = %d, want 2\n%s", code, out.String())
+	}
+	// Malformed entry: exit 2.
+	if code := run([]string{"-watch", "timeline_pool_busy_ratio_mean@>=abc", good, good}, &out, &errw); code != 2 {
+		t.Fatalf("malformed floor: exit = %d, want 2", code)
+	}
+}
+
+func TestMinRatioGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]int64{"coverage_cache_hits": 100}, 1.0)
+	newGood := writeReport(t, dir, "good.json", map[string]int64{"coverage_cache_hits": 95}, 1.0)
+	newBad := writeReport(t, dir, "bad.json", map[string]int64{"coverage_cache_hits": 40}, 1.0)
+	var out, errw strings.Builder
+	if code := run([]string{"-watch", "coverage_cache_hits>=0.9", oldP, newGood}, &out, &errw); code != 0 {
+		t.Fatalf("min ratio met: exit = %d, want 0\n%s%s", code, out.String(), errw.String())
+	}
+	out.Reset()
+	if code := run([]string{"-watch", "coverage_cache_hits>=0.9", oldP, newBad}, &out, &errw); code != 1 {
+		t.Fatalf("min ratio broken: exit = %d, want 1\n%s", code, out.String())
+	}
+	// Max-ratio gates (name=r) still work alongside.
+	out.Reset()
+	if code := run([]string{"-watch", "coverage_cache_hits=1.5,coverage_cache_hits>=0.9", oldP, newGood}, &out, &errw); code != 0 {
+		t.Fatalf("mixed gates: exit = %d, want 0\n%s", code, out.String())
+	}
+}

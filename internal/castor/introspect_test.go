@@ -23,7 +23,7 @@ func TestIntrospectionServerDuringLearn(t *testing.T) {
 	reg := obs.NewRegistry()
 	prog := obs.NewProgress(reg)
 	fr := obs.NewFlightRecorder(2048)
-	srv := httptest.NewServer(obs.NewHandler(reg, prog, fr))
+	srv := httptest.NewServer(obs.NewHandler(reg, prog, fr, nil))
 	defer srv.Close()
 
 	run := obs.NewRun(nil, reg).WithSpans(prog).WithFlightRecorder(fr)
@@ -130,7 +130,7 @@ func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
 		reg := obs.NewRegistry()
 		prog := obs.NewProgress(reg)
 		fr := obs.NewFlightRecorder(1024)
-		return &stack{reg: reg, prog: prog, fr: fr, srv: httptest.NewServer(obs.NewHandler(reg, prog, fr))}
+		return &stack{reg: reg, prog: prog, fr: fr, srv: httptest.NewServer(obs.NewHandler(reg, prog, fr, nil))}
 	}
 	a, b := mk(), mk()
 	defer a.srv.Close()

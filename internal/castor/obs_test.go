@@ -130,6 +130,65 @@ func TestRuntimeHealthStackDoesNotChangeLearning(t *testing.T) {
 	}
 }
 
+// TestTelemetryStackDoesNotChangeLearning: the PR-9 telemetry stack — the
+// embedded metric timeline, pool utilization accounting (explicit
+// multi-worker parallelism so the shard pool actually engages), and the
+// runtime/metrics bridge fed by the sampler — must leave the learned
+// definition byte-identical to an unobserved serial-friendly run, in both
+// coverage modes.
+func TestTelemetryStackDoesNotChangeLearning(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		m    ilp.CoverageMode
+	}{{"db", ilp.CoverageDB}, {"subsumption", ilp.CoverageSubsumption}} {
+		t.Run(mode.name, func(t *testing.T) {
+			learn := func(run *obs.Run) string {
+				w := testfix.NewWorld(8)
+				prob := w.ProblemOriginal()
+				params := ilp.Defaults()
+				params.CoverageMode = mode.m
+				params.Parallelism = 4 // force the pooled scoring path
+				params.Obs = run
+				def, err := New().Learn(prob, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return def.String()
+			}
+
+			plain := learn(nil)
+
+			reg := obs.NewRegistry()
+			run := obs.NewRun(nil, reg)
+			tl := obs.StartTimeline(run, time.Millisecond)
+			observed := learn(run)
+			tl.Stop()
+
+			if plain != observed {
+				t.Errorf("telemetry stack changed the learned definition:\noff: %s\non:  %s", plain, observed)
+			}
+
+			// The stack must actually have measured the run it rode along on.
+			if reg.Get(obs.CPoolRounds) == 0 {
+				t.Error("pool utilization never recorded a round at Parallelism=4")
+			}
+			if r := reg.Gauge(obs.GPoolBusyRatio); r <= 0 || r > 1 {
+				t.Errorf("pool_busy_ratio = %g, want in (0, 1]", r)
+			}
+			if reg.Gauge(obs.GGomaxprocs) <= 0 {
+				t.Error("runtime bridge never sampled gomaxprocs")
+			}
+			sum := tl.Summary()
+			if sum == nil || sum.Ticks < 2 {
+				t.Fatalf("timeline summary = %+v, want >= 2 ticks", sum)
+			}
+			if st, ok := sum.Series[obs.GPoolBusyRatio]; !ok || st.Count == 0 {
+				t.Errorf("timeline has no %s samples (series: %d)", obs.GPoolBusyRatio, len(sum.Series))
+			}
+		})
+	}
+}
+
 // TestProvenanceDoesNotChangeLearning: recording the full search graph must
 // leave the learned definition byte-identical, and the graph must contain a
 // lineage path from a seed bottom clause to every clause of the final

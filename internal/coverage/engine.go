@@ -44,6 +44,9 @@ type Engine struct {
 	batchHist *obs.Histogram
 	// costFn sizes example shards; nil means uniform cost.
 	costFn CostFunc
+	// util accumulates pool busy/idle utilization across every pool this
+	// engine creates; nil on unobserved runs.
+	util *poolUtil
 }
 
 // NewEngine builds an engine. workers < 1 is treated as sequential; a nil
@@ -56,6 +59,7 @@ func NewEngine(cover CoverFunc, workers int, cache *Cache, run *obs.Run) *Engine
 	if reg := run.Registry(); reg != nil {
 		en.batchHist = reg.Histogram("coverage_batch")
 	}
+	en.util = newPoolUtil(run)
 	return en
 }
 
@@ -169,7 +173,7 @@ func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset
 	}
 	ownPool := false
 	if pl == nil && en.workers > 1 && n >= 2 {
-		pl = newPool(en.workers, "coverage_testing")
+		pl = newPool(en.workers, "coverage_testing", en.util)
 		ownPool = true
 	}
 	if pl == nil {
@@ -191,7 +195,7 @@ func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset
 		costAt = func(i int) int64 { return costs[i] }
 	}
 	shards := planShards(n, en.shardCount(n), costAt)
-	pl.runShards(shards, func(sh shard) {
+	runShards(pl, "coverage_testing", shards, func(sh shard) {
 		for i := sh.lo; i < sh.hi; i++ {
 			en.run.Heartbeat()
 			buf[i] = known.Get(i) || en.cover(c, examples[i])
@@ -314,7 +318,7 @@ func (en *Engine) ScoreBatch(cands []Candidate, pos, neg []logic.Atom, floor, ke
 	}
 	var pl *pool
 	if en.workers > 1 {
-		pl = newPool(en.workers, "candidate_scoring")
+		pl = newPool(en.workers, "candidate_scoring", en.util)
 		defer pl.close()
 	}
 
@@ -401,7 +405,7 @@ func (en *Engine) batchCovered(pl *pool, cands []Candidate, examples []logic.Ato
 			costAt = func(k int) int64 { return costs[itemEx[k]] }
 		}
 		shards := planShards(len(itemCand), en.shardCount(len(itemCand)), costAt)
-		pl.runShards(shards, func(sh shard) {
+		runShards(pl, "candidate_scoring", shards, func(sh shard) {
 			for k := sh.lo; k < sh.hi; k++ {
 				en.run.Heartbeat()
 				ci, ej := itemCand[k], itemEx[k]
@@ -460,7 +464,9 @@ func (en *Engine) scoreNeg(pl *pool, s *Score, cand Candidate, neg []logic.Atom,
 		bb.offer(p - n)
 	}
 	if limit != NoBound && p <= limit {
-		// Even a clean candidate (n = 0) cannot beat the bound.
+		// Even a clean candidate (n = 0) cannot beat the bound: every
+		// negative pair is avoided outright.
+		en.run.Add(obs.CPruneSkippedPairs, int64(len(neg)))
 		prune()
 		return
 	}
@@ -489,17 +495,23 @@ func (en *Engine) scoreNeg(pl *pool, s *Score, cand Candidate, neg []logic.Atom,
 	}
 	en.run.Add(obs.CCoverageSkipped, skipped)
 	if limit != NoBound && p-baseN <= limit {
+		// Known-covered negatives alone sink the candidate; no scan item
+		// ever runs.
+		en.run.Add(obs.CPruneSkippedPairs, int64(len(items)))
 		prune()
 		return
 	}
-	var covered atomic.Int64
+	var covered, scanned atomic.Int64
 	var aborted atomic.Bool
 	scan := func(sh shard) {
+		local := int64(0)
+		defer func() { scanned.Add(local) }()
 		for k := sh.lo; k < sh.hi; k++ {
 			if limit != NoBound && aborted.Load() {
 				return
 			}
 			en.run.Heartbeat()
+			local++
 			j := items[k]
 			if en.cover(cand.Clause, neg[j]) {
 				buf[j] = true
@@ -520,9 +532,14 @@ func (en *Engine) scoreNeg(pl *pool, s *Score, cand Candidate, neg []logic.Atom,
 		if costs != nil {
 			costAt = func(k int) int64 { return costs[items[k]] }
 		}
-		pl.runShards(planShards(len(items), en.shardCount(len(items)), costAt), scan)
+		runShards(pl, "candidate_scoring", planShards(len(items), en.shardCount(len(items)), costAt), scan)
 	}
 	if aborted.Load() {
+		// Pruning efficiency split: pairs the abort saved vs. pairs scored
+		// before the bound tripped (wasted — their results are discarded).
+		done := scanned.Load()
+		en.run.Add(obs.CPruneSkippedPairs, int64(len(items))-done)
+		en.run.Add(obs.CPruneWastedPairs, done)
 		prune()
 		return
 	}
@@ -531,4 +548,9 @@ func (en *Engine) scoreNeg(pl *pool, s *Score, cand Candidate, neg []logic.Atom,
 		en.cache.Put(negKey, set)
 	}
 	complete(set, baseN+int(covered.Load()))
+	if s.Pruned {
+		// Fully scanned, then discarded at the bound check: pure waste the
+		// shared bound arrived too late to save.
+		en.run.Add(obs.CPruneWastedPairs, int64(len(items)))
+	}
 }

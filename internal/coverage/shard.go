@@ -3,6 +3,7 @@ package coverage
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -77,21 +78,80 @@ func planShards(n, want int, cost func(int) int64) []shard {
 	return out
 }
 
+// poolUtil is the utilization accumulator one engine shares across every
+// pool it creates: accumulated busy/idle worker time, drained shard and
+// task counts, and the per-shard drain-duration histogram. A nil
+// *poolUtil (unobserved runs) records nothing and costs the rounds no
+// clock reads.
+type poolUtil struct {
+	run       *obs.Run
+	reg       *obs.Registry
+	shardHist *obs.Histogram
+	busyNS    atomic.Int64 // worker time inside shard fns, all rounds
+	idleNS    atomic.Int64 // worker time waiting on the cursor, all rounds
+}
+
+// newPoolUtil builds the accumulator, or nil when the run carries no
+// registry (the nop path).
+func newPoolUtil(run *obs.Run) *poolUtil {
+	reg := run.Registry()
+	if reg == nil {
+		return nil
+	}
+	return &poolUtil{run: run, reg: reg, shardHist: reg.Histogram(obs.HShardDrain)}
+}
+
+// roundDone folds one pooled round into the registry. Busy is the summed
+// wall time workers spent inside shard fns; idle is the rest of the
+// round's worker-time budget, workers×wall − busy: time workers spent
+// starved at the drained cursor while a straggler shard finished. The
+// busy ratio is therefore in-round utilization — serial learner sections
+// between rounds are excluded by construction (phase timers cover those).
+func (u *poolUtil) roundDone(workers, shards, tasks int, wall, busy, maxShard, sumShard time.Duration) {
+	if u == nil {
+		return
+	}
+	idle := time.Duration(workers)*wall - busy
+	if idle < 0 {
+		idle = 0 // clock skew between worker and submitter reads
+	}
+	busyTot := u.busyNS.Add(int64(busy))
+	idleTot := u.idleNS.Add(int64(idle))
+	u.reg.SetGauge(obs.GPoolBusySeconds, time.Duration(busyTot).Seconds())
+	u.reg.SetGauge(obs.GPoolIdleSeconds, time.Duration(idleTot).Seconds())
+	if tot := busyTot + idleTot; tot > 0 {
+		u.reg.SetGauge(obs.GPoolBusyRatio, float64(busyTot)/float64(tot))
+	}
+	if shards > 1 && sumShard > 0 {
+		// Imbalance: the worst shard against the round mean. 1.0 is a
+		// perfectly balanced plan; N means one shard ran as long as N
+		// average shards — the cost model misjudged.
+		u.reg.MaxGauge(obs.GPoolImbalance,
+			float64(maxShard)*float64(shards)/float64(sumShard))
+	}
+	u.run.Inc(obs.CPoolRounds)
+	u.run.Add(obs.CPoolShards, int64(shards))
+	u.run.Add(obs.CPoolTasks, int64(tasks))
+}
+
 // pool is a fixed set of worker goroutines reused across the rounds of
 // one ScoreBatch call, so a bounded negative scan per candidate costs a
 // round-trip on a channel instead of fresh goroutine spawns. A nil pool
 // runs everything inline (the serial path).
 type pool struct {
 	workers int
+	label   string
+	util    *poolUtil
 	tasks   chan func()
 	round   sync.WaitGroup // open tasks of the current round
 	exit    sync.WaitGroup // worker goroutine lifetimes
 }
 
 // newPool starts workers goroutines whose CPU samples are labeled with
-// the given pprof phase. close must be called to release them.
-func newPool(workers int, label string) *pool {
-	p := &pool{workers: workers, tasks: make(chan func(), workers)}
+// the given pprof phase; util (nil allowed) receives per-round
+// utilization accounting. close must be called to release the workers.
+func newPool(workers int, label string, util *poolUtil) *pool {
+	p := &pool{workers: workers, label: label, util: util, tasks: make(chan func(), workers)}
 	p.exit.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -109,13 +169,50 @@ func newPool(workers int, label string) *pool {
 
 // runShards executes fn over every shard, workers pulling shards off a
 // shared cursor until the list is drained, and returns when all are done.
-// On a nil pool the shards run inline, in order.
-func (p *pool) runShards(shards []shard, fn func(sh shard)) {
+// With a nil pool — or a single shard, where the cursor would be pure
+// overhead — the shards run inline, in order, on the calling goroutine,
+// under the same sirl_phase pprof label the pool's workers carry, so CPU
+// profiles attribute single-shard batches to their pipeline stage instead
+// of the caller's stack. label names that phase; a non-nil pool's own
+// label wins so both paths always agree.
+func runShards(p *pool, label string, shards []shard, fn func(sh shard)) {
 	if p == nil || len(shards) <= 1 {
-		for _, sh := range shards {
-			fn(sh)
+		if len(shards) == 0 {
+			return
 		}
+		if p != nil {
+			label = p.label
+		}
+		obs.WithPhaseLabel(label, func() {
+			for _, sh := range shards {
+				fn(sh)
+			}
+		})
 		return
+	}
+	u := p.util
+	var start time.Time
+	var busy, maxShard, sumShard atomic.Int64
+	run := fn
+	if u != nil {
+		start = time.Now()
+		// The accounting wrapper measures each shard's drain wall time;
+		// workers accumulate their busy time shard by shard, so the
+		// submitter can charge the rest of the round to idling.
+		run = func(sh shard) {
+			s0 := time.Now()
+			fn(sh)
+			d := int64(time.Since(s0))
+			busy.Add(d)
+			sumShard.Add(d)
+			for {
+				cur := maxShard.Load()
+				if d <= cur || maxShard.CompareAndSwap(cur, d) {
+					break
+				}
+			}
+			u.shardHist.Observe(time.Duration(d))
+		}
 	}
 	var cursor atomic.Int64
 	drain := func() {
@@ -124,7 +221,7 @@ func (p *pool) runShards(shards []shard, fn func(sh shard)) {
 			if k >= len(shards) {
 				return
 			}
-			fn(shards[k])
+			run(shards[k])
 		}
 	}
 	p.round.Add(p.workers)
@@ -132,6 +229,14 @@ func (p *pool) runShards(shards []shard, fn func(sh shard)) {
 		p.tasks <- drain
 	}
 	p.round.Wait()
+	if u != nil {
+		tasks := 0
+		for _, sh := range shards {
+			tasks += sh.hi - sh.lo
+		}
+		u.roundDone(p.workers, len(shards), tasks, time.Since(start),
+			time.Duration(busy.Load()), time.Duration(maxShard.Load()), time.Duration(sumShard.Load()))
+	}
 }
 
 // close shuts the workers down and waits for them to exit.

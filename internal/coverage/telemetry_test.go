@@ -1,0 +1,335 @@
+package coverage
+
+import (
+	"bytes"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// goroutineLabels dumps the goroutine profile at debug level 1, which
+// includes each goroutine's pprof label set, so tests can assert a
+// sirl_phase label is live while a shard function blocks inside it.
+func goroutineLabels(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// assertLabeledWhileBlocked runs body (expected to call runShards with a
+// shard fn that closes entered then blocks on release) and asserts the
+// phase label is visible in the goroutine profile while the fn runs.
+// The concurrent goroutine profiler can transiently miss a goroutine that
+// parked moments before the capture, so the capture retries while the fn
+// stays blocked — the property under test (label present whenever the fn
+// is on-CPU or parked inside it) is unaffected by which capture sees it.
+func assertLabeledWhileBlocked(t *testing.T, phase string, body func(entered chan<- struct{}, release <-chan struct{})) {
+	t.Helper()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body(entered, release)
+	}()
+	<-entered
+	var prof string
+	for try := 0; try < 50; try++ {
+		prof = goroutineLabels(t)
+		if strings.Contains(prof, "sirl_phase") && strings.Contains(prof, phase) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	<-done
+	if !strings.Contains(prof, "sirl_phase") || !strings.Contains(prof, phase) {
+		t.Errorf("no sirl_phase=%q label in goroutine profile while shard fn ran:\n%s", phase, prof)
+	}
+}
+
+// The inline fallback (nil pool) must carry the same pprof phase label as
+// pooled workers, so single-shard batches attribute correctly in CPU
+// profiles — the misattribution bug this PR fixes.
+func TestRunShardsLabelsInlinePath(t *testing.T) {
+	assertLabeledWhileBlocked(t, "test_inline_phase", func(entered chan<- struct{}, release <-chan struct{}) {
+		first := true
+		runShards(nil, "test_inline_phase", []shard{{0, 1}}, func(sh shard) {
+			if first {
+				first = false
+				close(entered)
+				<-release
+			}
+		})
+	})
+}
+
+// A single-shard round on a live pool also runs inline — under the
+// pool's own label, so both paths always agree.
+func TestRunShardsLabelsSingleShardOnPool(t *testing.T) {
+	pl := newPool(2, "test_pool_phase", nil)
+	defer pl.close()
+	assertLabeledWhileBlocked(t, "test_pool_phase", func(entered chan<- struct{}, release <-chan struct{}) {
+		first := true
+		runShards(pl, "caller_label_must_lose", []shard{{0, 1}}, func(sh shard) {
+			if first {
+				first = false
+				close(entered)
+				<-release
+			}
+		})
+	})
+}
+
+func TestRunShardsLabelsPooledWorkers(t *testing.T) {
+	pl := newPool(2, "test_worker_phase", nil)
+	defer pl.close()
+	assertLabeledWhileBlocked(t, "test_worker_phase", func(entered chan<- struct{}, release <-chan struct{}) {
+		var once bool
+		var mu = make(chan struct{}, 1)
+		mu <- struct{}{}
+		runShards(pl, "test_worker_phase", []shard{{0, 1}, {1, 2}, {2, 3}}, func(sh shard) {
+			<-mu
+			first := !once
+			once = true
+			mu <- struct{}{}
+			if first {
+				close(entered)
+				<-release
+			}
+		})
+	})
+}
+
+func TestPlanShardsAllZeroCosts(t *testing.T) {
+	// Zero costs clamp to 1 (uniform): the plan must not collapse or
+	// divide by zero, and with want ≥ n it degenerates to singletons.
+	shards := planShards(10, 4, func(int) int64 { return 0 })
+	if len(shards) == 0 || shards[len(shards)-1].hi != 10 {
+		t.Fatalf("all-zero costs: bad plan %v", shards)
+	}
+	shards = planShards(5, 9, func(int) int64 { return 0 })
+	if len(shards) != 5 {
+		t.Fatalf("want > n with uniform costs: %d shards, want 5 singletons: %v", len(shards), shards)
+	}
+	for i, sh := range shards {
+		if sh.lo != i || sh.hi != i+1 {
+			t.Fatalf("shard %d = %+v, want singleton", i, sh)
+		}
+	}
+}
+
+func TestPlanShardsFewerItemsThanShards(t *testing.T) {
+	shards := planShards(3, 100, nil)
+	if len(shards) != 3 {
+		t.Fatalf("n=3 want=100: %d shards: %v", len(shards), shards)
+	}
+}
+
+func TestPlanShardsSingleGiantItem(t *testing.T) {
+	// A giant mid-list item must end its shard immediately: nothing cheap
+	// should queue behind it in the same shard.
+	n, giant := 40, 20
+	cost := func(i int) int64 {
+		if i == giant {
+			return 10_000
+		}
+		return 1
+	}
+	shards := planShards(n, 8, cost)
+	for _, sh := range shards {
+		if sh.lo <= giant && giant < sh.hi {
+			if sh.hi != giant+1 {
+				t.Fatalf("giant item's shard %+v does not end at it", sh)
+			}
+			return
+		}
+	}
+	t.Fatalf("no shard contains the giant item: %v", shards)
+}
+
+// TestPlanShardsBalanceBound property-checks the greedy cut's guarantee:
+// every shard's clamped cost stays within total/want + maxItem (non-final
+// shards overshoot their running target by at most one item; the final
+// shard gets at most the average that remains).
+func TestPlanShardsBalanceBound(t *testing.T) {
+	prop := func(rawCosts []uint16, rawWant uint8) bool {
+		n := len(rawCosts)
+		want := int(rawWant)%32 + 1
+		costs := make([]int64, n)
+		var total, maxItem int64
+		for i, rc := range rawCosts {
+			c := int64(rc % 512)
+			if c < 1 {
+				c = 1
+			}
+			costs[i] = c
+			total += c
+			if c > maxItem {
+				maxItem = c
+			}
+		}
+		shards := planShards(n, want, func(i int) int64 { return costs[i] })
+		if n == 0 {
+			return shards == nil
+		}
+		// Exact cover, in order.
+		next := 0
+		for _, sh := range shards {
+			if sh.lo != next || sh.hi <= sh.lo {
+				return false
+			}
+			next = sh.hi
+		}
+		if next != n || len(shards) > want || len(shards) > n {
+			return false
+		}
+		if want > n {
+			want = n
+		}
+		bound := total/int64(want) + maxItem
+		for _, sh := range shards {
+			var c int64
+			for i := sh.lo; i < sh.hi; i++ {
+				c += costs[i]
+			}
+			if c > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolUtilizationAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	run := obs.NewRun(nil, reg)
+	exs := exampleAtoms(200)
+	var f fakeCover
+	en := NewEngine(f.fn, 4, nil, run)
+	c := logic.MustParseClause("h(X) :- p(X).")
+	en.CoveredSet(c, exs, nil)
+
+	if rounds := reg.Get(obs.CPoolRounds); rounds < 1 {
+		t.Fatalf("pool_rounds = %d, want >= 1", rounds)
+	}
+	if shards := reg.Get(obs.CPoolShards); shards < 2 {
+		t.Errorf("pool_shards_drained = %d, want >= 2", shards)
+	}
+	if tasks := reg.Get(obs.CPoolTasks); tasks != 200 {
+		t.Errorf("pool_tasks = %d, want 200 (every example exactly once)", tasks)
+	}
+	busy := reg.Gauge(obs.GPoolBusySeconds)
+	idle := reg.Gauge(obs.GPoolIdleSeconds)
+	ratio := reg.Gauge(obs.GPoolBusyRatio)
+	if busy <= 0 {
+		t.Errorf("pool_busy_seconds = %v, want > 0", busy)
+	}
+	if idle < 0 {
+		t.Errorf("pool_idle_seconds = %v, want >= 0", idle)
+	}
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("pool_busy_ratio = %v, want in (0, 1]", ratio)
+	}
+	if got := busy / (busy + idle); ratio < got-1e-9 || ratio > got+1e-9 {
+		t.Errorf("ratio %v != busy/(busy+idle) %v", ratio, got)
+	}
+	if h := reg.Histogram(obs.HShardDrain); h.Count() != reg.Get(obs.CPoolShards) {
+		t.Errorf("shard_drain count %d != shards drained %d", h.Count(), reg.Get(obs.CPoolShards))
+	}
+	if imb := reg.Gauge(obs.GPoolImbalance); imb < 1 {
+		t.Errorf("pool_shard_imbalance_max = %v, want >= 1 (max/mean can't be below 1)", imb)
+	}
+}
+
+func TestPoolUtilizationUnobservedIsFree(t *testing.T) {
+	// Without a registry the accumulator is nil and rounds take zero clock
+	// reads; results must be identical either way.
+	exs := exampleAtoms(120)
+	var f1, f2 fakeCover
+	c := logic.MustParseClause("h(X) :- p(X).")
+	obs1 := NewEngine(f1.fn, 4, nil, obs.NewRun(nil, obs.NewRegistry())).CoveredSet(c, exs, nil)
+	obs0 := NewEngine(f2.fn, 4, nil, nil).CoveredSet(c, exs, nil)
+	if !obs1.Equal(obs0) {
+		t.Fatal("utilization accounting changed coverage results")
+	}
+	en := NewEngine(f2.fn, 4, nil, nil)
+	if en.util != nil {
+		t.Fatal("unobserved engine grew a poolUtil")
+	}
+}
+
+// Pruning-efficiency conservation: every (candidate, negative) scan item
+// of a pruned candidate is either skipped by the bound or wasted; scans
+// of surviving candidates count as neither.
+func TestPruneCountersConservation(t *testing.T) {
+	reg := obs.NewRegistry()
+	run := obs.NewRun(nil, reg)
+	pos := exampleAtoms(8)
+	neg := exampleAtoms(40)
+	// Candidate k covers all positives and the negatives below 5k, so
+	// later candidates are strictly worse and the keep-1 bound prunes them.
+	cover := func(c *logic.Clause, e logic.Atom) bool {
+		i := atomIndex(e)
+		return i < 8 || (i-100) < 5*len(c.Body)
+	}
+	cands := make([]Candidate, 4)
+	for k := range cands {
+		body := make([]logic.Atom, k)
+		for j := range body {
+			body[j] = logic.GroundAtom("b")
+		}
+		cands[k] = Candidate{Clause: &logic.Clause{Head: logic.GroundAtom("h"), Body: body}}
+	}
+	// Distinct negative atom names so atomIndex can tell pos from neg.
+	for i := range neg {
+		neg[i] = logic.GroundAtom("n", neg[i].Args[0].Name)
+	}
+	en := NewEngine(cover, 2, nil, run)
+	scores := en.ScoreBatch(cands, pos, neg, NoBound, 1)
+
+	var prunedItems int64
+	for _, s := range scores {
+		if s.Pruned {
+			prunedItems += int64(len(neg))
+		}
+	}
+	skipped := reg.Get(obs.CPruneSkippedPairs)
+	wasted := reg.Get(obs.CPruneWastedPairs)
+	if reg.Get(obs.CCandidatesPruned) == 0 {
+		t.Fatal("test premise broken: nothing pruned")
+	}
+	if skipped+wasted != prunedItems {
+		t.Errorf("skipped %d + wasted %d = %d, want %d (every pruned candidate's scan items, exactly)",
+			skipped, wasted, skipped+wasted, prunedItems)
+	}
+	if skipped == 0 {
+		t.Error("bound never skipped a pair, expected early aborts")
+	}
+}
+
+// atomIndex decodes the example index from a fakeCover-style atom; "n"
+// atoms (negatives) offset by 100 so cover functions can discriminate.
+func atomIndex(e logic.Atom) int {
+	i := 0
+	for _, ch := range e.Args[0].Name {
+		if ch >= '0' && ch <= '9' {
+			i = i*10 + int(ch-'0')
+		}
+	}
+	if e.Pred == "n" {
+		return i + 100
+	}
+	return i
+}

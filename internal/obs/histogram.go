@@ -62,6 +62,21 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sumNS.Add(int64(d))
 }
 
+// observeN records n observations of duration d in one shot — the
+// runtime/metrics bridge folds whole bucket deltas of the runtime's
+// cumulative histograms without n individual Observe calls.
+func (h *Histogram) observeN(d time.Duration, n int64) {
+	if n <= 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[histBucket(d)].Add(n)
+	h.count.Add(n)
+	h.sumNS.Add(n * int64(d))
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

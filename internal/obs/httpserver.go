@@ -6,18 +6,21 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 )
 
 // NewHandler builds the introspection mux the -http flag serves:
 //
 //	/metrics               Prometheus text exposition of the registry
 //	/progress              JSON snapshot of live spans + counter deltas
+//	/timeline              metric timeline rings (JSON; ?series=&since=)
 //	/debug/flightrecorder  JSONL dump of the flight-recorder ring
 //	/debug/pprof/*         the standard pprof handlers
 //
 // Any argument may be nil; the corresponding endpoint then reports an
 // empty state rather than disappearing, so scrapers see a stable surface.
-func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder) http.Handler {
+func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -28,6 +31,7 @@ func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder) http.Handler 
 		fmt.Fprintln(w, "sirl introspection server")
 		fmt.Fprintln(w, "  /metrics               Prometheus counters, latency histograms, gauges")
 		fmt.Fprintln(w, "  /progress              live span stack and counter deltas (JSON)")
+		fmt.Fprintln(w, "  /timeline              metric timeline rings (JSON; ?series=a,b&since=unix_ms)")
 		fmt.Fprintln(w, "  /debug/flightrecorder  flight-recorder ring dump (JSONL)")
 		fmt.Fprintln(w, "  /debug/pprof/          CPU, heap, goroutine profiles")
 	})
@@ -49,6 +53,30 @@ func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder) http.Handler 
 		}
 		enc.Encode(prog.Snapshot()) //nolint:errcheck
 	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		var filter map[string]bool
+		if s := r.URL.Query().Get("series"); s != "" {
+			filter = make(map[string]bool)
+			for _, name := range strings.Split(s, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					filter[name] = true
+				}
+			}
+		}
+		var since int64
+		if s := r.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "since: want Unix milliseconds", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(tl.Dump(filter, since)) //nolint:errcheck // best-effort HTTP response; nil-safe
+	})
 	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		fr.WriteJSONL(w) //nolint:errcheck // best-effort HTTP response; nil-safe
@@ -69,12 +97,12 @@ type Server struct {
 
 // StartServer listens on addr (e.g. ":6060", "localhost:0") and serves the
 // introspection handler in a background goroutine until Close.
-func StartServer(addr string, reg *Registry, prog *Progress, fr *FlightRecorder) (*Server, error) {
+func StartServer(addr string, reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{l: l, srv: &http.Server{Handler: NewHandler(reg, prog, fr)}}
+	s := &Server{l: l, srv: &http.Server{Handler: NewHandler(reg, prog, fr, tl)}}
 	go s.srv.Serve(l) //nolint:errcheck // always returns ErrServerClosed after Close
 	return s, nil
 }

@@ -20,7 +20,7 @@ func TestMetricsEndpointRendersEveryCounter(t *testing.T) {
 	run.Observe("subsumption_probe", 3*time.Millisecond)
 	run.Sample()
 
-	srv := httptest.NewServer(NewHandler(reg, nil, nil))
+	srv := httptest.NewServer(NewHandler(reg, nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -118,7 +118,7 @@ func TestProgressEndpoint(t *testing.T) {
 	child := run.StartSpan("beam_round")
 	run.Inc(CCoverageTests)
 
-	srv := httptest.NewServer(NewHandler(reg, prog, nil))
+	srv := httptest.NewServer(NewHandler(reg, prog, nil, nil))
 	defer srv.Close()
 	get := func() Snapshot {
 		resp, err := http.Get(srv.URL + "/progress")
@@ -185,7 +185,7 @@ func TestProgressElapsedSeconds(t *testing.T) {
 }
 
 func TestHandlerIndexAndPprof(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(NewRegistry(), NewProgress(nil), NewFlightRecorder(8)))
+	srv := httptest.NewServer(NewHandler(NewRegistry(), NewProgress(nil), NewFlightRecorder(8), nil))
 	defer srv.Close()
 	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
 		resp, err := http.Get(srv.URL + path)
@@ -208,7 +208,7 @@ func TestHandlerIndexAndPprof(t *testing.T) {
 }
 
 func TestHandlerNilBackends(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(nil, nil, nil))
+	srv := httptest.NewServer(NewHandler(nil, nil, nil, nil))
 	defer srv.Close()
 	for _, path := range []string{"/metrics", "/progress", "/debug/flightrecorder"} {
 		resp, err := http.Get(srv.URL + path)
@@ -228,7 +228,7 @@ func TestFlightRecorderEndpoint(t *testing.T) {
 	run := (*Run)(nil).WithFlightRecorder(fr)
 	run.StartSpan("learn").End()
 
-	srv := httptest.NewServer(NewHandler(nil, nil, fr))
+	srv := httptest.NewServer(NewHandler(nil, nil, fr, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/debug/flightrecorder")
 	if err != nil {
@@ -263,7 +263,7 @@ func TestFlightRecorderEndpoint(t *testing.T) {
 }
 
 func TestStartServer(t *testing.T) {
-	srv, err := StartServer("localhost:0", NewRegistry(), nil, nil)
+	srv, err := StartServer("localhost:0", NewRegistry(), nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,5 +280,88 @@ func TestStartServer(t *testing.T) {
 	}
 	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
 		t.Error("server still reachable after Close")
+	}
+}
+
+func TestTimelineEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	run := NewRun(nil, reg)
+	tl := StartTimeline(run, time.Hour)
+	run.Add(CCoverageTests, 4)
+	reg.SetGauge(GPoolBusyRatio, 0.8)
+	tl.tick()
+	tl.Stop()
+
+	srv := httptest.NewServer(NewHandler(reg, nil, nil, tl))
+	defer srv.Close()
+
+	get := func(path string) TimelineDump {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q, want application/json", ct)
+		}
+		var d TimelineDump
+		if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	d := get("/timeline")
+	if len(d.Series["coverage_tests"]) == 0 {
+		t.Fatalf("/timeline has no coverage_tests series; got %d series", len(d.Series))
+	}
+	if len(d.Series[GPoolBusyRatio]) < 2 {
+		t.Fatalf("/timeline pool_busy_ratio has %d samples, want >= 2", len(d.Series[GPoolBusyRatio]))
+	}
+	if d.Meta.Ticks == 0 {
+		t.Error("/timeline meta.ticks is zero")
+	}
+
+	d = get("/timeline?series=pool_busy_ratio")
+	if len(d.Series) != 1 || len(d.Series[GPoolBusyRatio]) == 0 {
+		t.Errorf("?series filter returned %v", len(d.Series))
+	}
+
+	d = get("/timeline?since=" + fmt.Sprint(time.Now().Add(time.Hour).UnixMilli()))
+	if len(d.Series) != 0 {
+		t.Errorf("?since in the future returned %d series", len(d.Series))
+	}
+
+	resp, err := http.Get(srv.URL + "/timeline?since=notanumber")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad since: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestTimelineEndpointNilTimeline(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil, nil, nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (stable surface with nil timeline)", resp.StatusCode)
+	}
+	var d TimelineDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Series) != 0 {
+		t.Errorf("nil timeline served %d series", len(d.Series))
 	}
 }

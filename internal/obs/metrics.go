@@ -35,7 +35,26 @@ type Registry struct {
 
 	storeMu  sync.Mutex
 	storeSrc func() map[string]StoreStat
+
+	// rtMu guards the lazily-built runtime/metrics bridge (runtimebridge.go).
+	rtMu sync.Mutex
+	rt   *runtimeBridge
 }
+
+// Pool-utilization gauge and histogram names. The coverage engine's
+// worker pool maintains them (see internal/coverage): busy/idle are
+// accumulated worker-seconds inside scoring rounds, the ratio is
+// busy/(busy+idle) over the whole run, the imbalance gauge is the worst
+// observed max-shard-over-mean-shard wall-time ratio of any round, and
+// HShardDrain is the per-shard drain-duration histogram whose spread is
+// the shard-size-imbalance distribution.
+const (
+	GPoolBusySeconds = "pool_busy_seconds"
+	GPoolIdleSeconds = "pool_idle_seconds"
+	GPoolBusyRatio   = "pool_busy_ratio"
+	GPoolImbalance   = "pool_shard_imbalance_max"
+	HShardDrain      = "shard_drain"
+)
 
 // StoreStat is the access-statistics snapshot of one relation of the
 // relational store: how often and how hard its table was probed. The
@@ -216,6 +235,9 @@ func (g *Registry) Reset() {
 	g.gaugeMu.Lock()
 	g.gauges = nil
 	g.gaugeMu.Unlock()
+	g.rtMu.Lock()
+	g.rt = nil // drop delta state with the histograms it fed
+	g.rtMu.Unlock()
 }
 
 // PhaseStat is the report entry of one timed phase.
@@ -539,6 +561,7 @@ const (
 	FamHistogram = "histogram"
 	FamGauge     = "gauge"
 	FamStore     = "relstore"
+	FamTimeline  = "timeline"
 )
 
 // FlatMetricsWithFamilies is FlatMetrics also reporting which family

@@ -96,6 +96,24 @@ const (
 	// run's heartbeat counter made no forward progress for the configured
 	// stall duration.
 	CWatchdogStalls
+	// CPoolRounds counts scoring rounds executed by the coverage worker
+	// pool (one runShards drain over a planned shard list).
+	CPoolRounds
+	// CPoolShards counts shards drained by pool workers across all rounds.
+	CPoolShards
+	// CPoolTasks counts work items (candidate-example pairs or per-example
+	// tests) executed inside pool shards; tasks/rounds is the mean round
+	// width.
+	CPoolTasks
+	// CPruneSkippedPairs counts candidate-example pairs the shared pruning
+	// bound saved outright: negatives never scanned because the candidate
+	// was abandoned before or during its scan. This is the work the bound
+	// actually avoided.
+	CPruneSkippedPairs
+	// CPruneWastedPairs counts candidate-example pairs that were scanned
+	// for a candidate that ended up pruned anyway — scored-then-discarded
+	// wasted work the bound arrived too late to save.
+	CPruneWastedPairs
 
 	numCounters
 )
@@ -125,6 +143,11 @@ var counterNames = [numCounters]string{
 	CClausesAccepted:            "clauses_accepted",
 	CClausesRejected:            "clauses_rejected",
 	CWatchdogStalls:             "watchdog_stalls",
+	CPoolRounds:                 "pool_rounds",
+	CPoolShards:                 "pool_shards_drained",
+	CPoolTasks:                  "pool_tasks",
+	CPruneSkippedPairs:          "prune_skipped_pairs",
+	CPruneWastedPairs:           "prune_wasted_pairs",
 }
 
 // counterHelp are the one-line descriptions the /metrics endpoint emits
@@ -153,6 +176,11 @@ var counterHelp = [numCounters]string{
 	CClausesAccepted:            "Clauses accepted by the covering loop.",
 	CClausesRejected:            "Clauses rejected by the minimum condition.",
 	CWatchdogStalls:             "Stall-watchdog trips (no heartbeat progress for the stall interval).",
+	CPoolRounds:                 "Scoring rounds drained by the coverage worker pool.",
+	CPoolShards:                 "Shards drained by pool workers across all rounds.",
+	CPoolTasks:                  "Work items executed inside pool shards.",
+	CPruneSkippedPairs:          "Candidate-example pairs never scanned thanks to the pruning bound.",
+	CPruneWastedPairs:           "Candidate-example pairs scanned for candidates pruned anyway.",
 }
 
 // String returns the report key of the counter.

@@ -37,6 +37,9 @@ type RunReport struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Metrics is the registry snapshot: counters, phases, span aggregates.
 	Metrics Report `json:"metrics"`
+	// Timeline is the whole-run digest of the metric timeline, when the
+	// run sampled one: per-series mean/min/max/last over every tick.
+	Timeline *TimelineSummary `json:"timeline,omitempty"`
 	// Definition summarizes the learned theory, when the tool learned one.
 	Definition *DefinitionStats `json:"definition,omitempty"`
 }
@@ -194,6 +197,16 @@ func flatten(r *RunReport) (map[string]float64, map[string]string) {
 		fam[name] = "report"
 	}
 	put("elapsed_seconds", r.ElapsedSeconds)
+	if t := r.Timeline; t != nil {
+		for name, s := range t.Series {
+			base := "timeline_" + name
+			out[base+"_mean"], fam[base+"_mean"] = s.Mean, FamTimeline
+			out[base+"_min"], fam[base+"_min"] = s.Min, FamTimeline
+			out[base+"_max"], fam[base+"_max"] = s.Max, FamTimeline
+			out[base+"_last"], fam[base+"_last"] = s.Last, FamTimeline
+			out[base+"_count"], fam[base+"_count"] = float64(s.Count), FamTimeline
+		}
+	}
 	if d := r.Definition; d != nil {
 		put("definition_clauses", float64(d.Clauses))
 		put("definition_literals", float64(d.Literals))

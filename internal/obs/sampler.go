@@ -71,6 +71,7 @@ func (r *Run) Sample() {
 	reg.SetGauge(GGCCycles, float64(ms.NumGC))
 	reg.SetGauge(GGCPauseSeconds, time.Duration(ms.PauseTotalNs).Seconds())
 	reg.AddGauge(GSamples, 1)
+	reg.sampleRuntime()
 	if f := r.flight; f != nil {
 		f.Record(FKSample, GRSSBytes, rss, 0)
 		f.Record(FKSample, GHeapAllocBytes, int64(ms.HeapAlloc), 0)
