@@ -220,6 +220,10 @@ func benchScoreBatch(b *testing.B, prob *ilp.Problem, cands []coverage.Candidate
 		// Whole-run worker utilization of the scoring pool, for the
 		// bench-smoke pool_busy_ratio floor gate.
 		b.ReportMetric(reg.Gauge(obs.GPoolBusyRatio), "pool_busy_ratio")
+		// Wall-weighted critical-chain/mean-chain quotient, for the
+		// bench-smoke pool_straggler_ratio ceiling gate: a healthy pool
+		// keeps the slowest worker's chain near the mean.
+		b.ReportMetric(reg.Gauge(obs.GPoolStraggler), "pool_straggler_ratio")
 	}
 }
 

@@ -181,16 +181,20 @@ func run(o options, out io.Writer) error {
 	if o.verbose {
 		tracers = append(tracers, obs.NewTextSink(os.Stderr))
 	}
+	var spanSinks []obs.SpanSink
 	var traceSink *obs.JSONLSink
 	if o.traceFile != "" {
 		s, err := obs.CreateJSONLFile(o.traceFile)
 		if err != nil {
 			return err
 		}
+		// The sink is both a tracer (event lines) and a span sink (span
+		// lines with worker/round tags), so the span graph is
+		// reconstructable offline from the trace file alone.
 		traceSink = s
 		tracers = append(tracers, s)
+		spanSinks = append(spanSinks, s)
 	}
-	var spanSinks []obs.SpanSink
 	var chromeSink *obs.ChromeTraceSink
 	if o.chromeFile != "" {
 		s, err := obs.CreateChromeTraceFile(o.chromeFile)
@@ -208,6 +212,23 @@ func run(o options, out io.Writer) error {
 		prog = obs.NewProgress(reg)
 		spanSinks = append(spanSinks, prog)
 	}
+	var graph *obs.GraphSink
+	if o.reportFile != "" || o.httpAddr != "" {
+		// Span-graph collection feeds the report's attribution table and
+		// the live /critpath endpoint.
+		graph = obs.NewGraphSink(0)
+		spanSinks = append(spanSinks, graph)
+	}
+	if spec := os.Getenv("SIRL_TEST_SLOWDOWN"); spec != "" {
+		// Test hook: inject a synthetic sleep into the named span kinds
+		// (kind=duration,...), so CI can verify obsreport -attrib ranks a
+		// known slowdown first. Never affects what is learned — only time.
+		slow, err := obs.ParseSlowdown(spec)
+		if err != nil {
+			return fmt.Errorf("SIRL_TEST_SLOWDOWN: %w", err)
+		}
+		spanSinks = append(spanSinks, slow)
+	}
 	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).
 		WithSpans(obs.MultiSpanSink(spanSinks...)).
 		WithFlightRecorder(fr)
@@ -216,12 +237,12 @@ func run(o options, out io.Writer) error {
 		tl = obs.StartTimeline(obsRun, o.timelineTick)
 	}
 	if o.httpAddr != "" {
-		srv, err := obs.StartServer(o.httpAddr, reg, prog, fr, tl)
+		srv, err := obs.StartServer(o.httpAddr, reg, prog, fr, tl, graph)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "introspection server on http://%s/ (/metrics /progress /timeline /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
+		fmt.Fprintf(out, "introspection server on http://%s/ (/metrics /progress /timeline /critpath /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
 	}
 	if o.sampleResources > 0 {
 		smp := obs.StartSampler(obsRun, o.sampleResources)
@@ -380,6 +401,9 @@ func run(o options, out io.Writer) error {
 			Metrics:        report,
 			Timeline:       tl.Summary(),
 			Definition:     definitionStats(def, m),
+		}
+		if graph != nil {
+			rr.Attrib = obs.Attribute(graph.Graph())
 		}
 		if err := rr.WriteJSONFile(o.reportFile); err != nil {
 			return err

@@ -63,23 +63,34 @@ func TestRunWritesMetricsAndTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tf.Close()
-	lines := 0
+	// The trace interleaves event lines ("event" key) with one span line
+	// per finished span ("span" key); every line is exactly one of the two.
+	events, spans := 0, 0
 	sc := bufio.NewScanner(tf)
 	for sc.Scan() {
 		var obj map[string]any
 		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
 			t.Fatalf("trace line %q does not parse: %v", sc.Text(), err)
 		}
-		if _, ok := obj["event"].(string); !ok {
-			t.Fatalf("trace line %q has no event field", sc.Text())
+		_, isEvent := obj["event"].(string)
+		_, isSpan := obj["span"].(string)
+		if isEvent == isSpan {
+			t.Fatalf("trace line %q is neither an event nor a span line", sc.Text())
 		}
-		lines++
+		if isEvent {
+			events++
+		} else {
+			spans++
+		}
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
 	}
-	if lines == 0 {
-		t.Error("trace file is empty")
+	if events == 0 {
+		t.Error("trace file has no event lines")
+	}
+	if spans == 0 {
+		t.Error("trace file has no span lines")
 	}
 }
 

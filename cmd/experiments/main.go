@@ -98,8 +98,11 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			// Tracer for event lines, span sink for tagged span lines —
+			// the span graph is reconstructable offline from the trace.
 			traceSink = s
 			tracers = append(tracers, s)
+			spanSinks = append(spanSinks, s)
 		}
 		if *chromeFile != "" {
 			s, err := obs.CreateChromeTraceFile(*chromeFile)
@@ -116,6 +119,11 @@ func main() {
 		prog = obs.NewProgress(reg)
 		spanSinks = append(spanSinks, prog)
 	}
+	var graph *obs.GraphSink
+	if *reportFile != "" || *httpAddr != "" {
+		graph = obs.NewGraphSink(0)
+		spanSinks = append(spanSinks, graph)
+	}
 
 	start := time.Now()
 	obsRun := obs.NewRun(obs.MultiTracer(tracers...), reg).
@@ -126,12 +134,12 @@ func main() {
 		tl = obs.StartTimeline(obsRun, *timelineTick)
 	}
 	if *httpAddr != "" {
-		srv, err := obs.StartServer(*httpAddr, reg, prog, fr, tl)
+		srv, err := obs.StartServer(*httpAddr, reg, prog, fr, tl, graph)
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Printf("introspection server on http://%s/ (/metrics /progress /timeline /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("introspection server on http://%s/ (/metrics /progress /timeline /critpath /debug/flightrecorder /debug/pprof/)\n", srv.Addr())
 	}
 	if *sampleResources > 0 {
 		smp := obs.StartSampler(obsRun, *sampleResources)
@@ -221,6 +229,9 @@ func main() {
 				ElapsedSeconds: time.Since(start).Seconds(),
 				Metrics:        report,
 				Timeline:       tl.Summary(),
+			}
+			if graph != nil {
+				rr.Attrib = obs.Attribute(graph.Graph())
 			}
 			if err := rr.WriteJSONFile(*reportFile); err != nil {
 				fatal(err)

@@ -1,0 +1,264 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Attrib mode: diff the span-graph attribution tables of two run reports
+// and rank span kinds by how much self time they gained. Where report mode
+// answers "which metric moved", attrib mode answers "which *phase* is
+// responsible for the wall-clock delta" — the first question of a
+// root-cause session on a slow run.
+//
+//	obsreport -attrib old.json new.json
+//	obsreport -attrib -attrib-top negative_reduction old.json new.json
+//	obsreport -attrib -watch 'negative_reduction=1.5' old.json new.json
+//
+// Ranking is by Δself descending (signed), so the kind that grew the most
+// prints first and speedups sink to the bottom. share% is the kind's Δself
+// as a share of the wall-clock delta; on a pure single-phase slowdown it
+// reads ≈100. -attrib-top turns the ranking into a gate: exit 1 unless the
+// named kind ranks first with a positive delta — CI injects a known
+// slowdown and asserts the profiler fingers it. -watch entries reuse the
+// report-mode gate grammar with span kinds as names, applied to the
+// kind's self time (ratio gates on new/old self, absolute gates on new
+// self in seconds).
+//
+// Exit status mirrors report mode: 0 ok, 1 gate failure or watched kind
+// absent from one report, 2 usage/read errors — including a report with
+// no attribution table (the run was not observed with -report wiring) and
+// a watched kind absent from both reports.
+
+// attribRow is one span kind's before/after attribution.
+type attribRow struct {
+	Kind      string   `json:"kind"`
+	SelfOldNS int64    `json:"self_old_ns"`
+	SelfNewNS int64    `json:"self_new_ns"`
+	DeltaNS   int64    `json:"delta_ns"`
+	SharePct  float64  `json:"share_of_wall_delta_pct"`
+	Ratio     *float64 `json:"ratio,omitempty"` // new/old self; omitted when old is 0
+	CumOldNS  int64    `json:"cum_old_ns"`
+	CumNewNS  int64    `json:"cum_new_ns"`
+	CritOldNS int64    `json:"crit_old_ns"`
+	CritNewNS int64    `json:"crit_new_ns"`
+	InOld     bool     `json:"in_old"`
+	InNew     bool     `json:"in_new"`
+}
+
+// attribJSONDoc is the -format json shape of attrib mode.
+type attribJSONDoc struct {
+	Mode        string      `json:"mode"`
+	Old         string      `json:"old"`
+	New         string      `json:"new"`
+	WallOldNS   int64       `json:"wall_old_ns"`
+	WallNewNS   int64       `json:"wall_new_ns"`
+	WallDeltaNS int64       `json:"wall_delta_ns"`
+	Rows        []attribRow `json:"rows"`
+	Top         string      `json:"top,omitempty"` // top positive-delta kind
+	TopExpected string      `json:"top_expected,omitempty"`
+	Regressions []string    `json:"regressions,omitempty"`
+	Missing     []string    `json:"missing,omitempty"`
+	Exit        int         `json:"exit"`
+}
+
+// runAttrib implements -attrib. It returns the process exit code.
+func runAttrib(watch string, threshold float64, top, format, oldPath, newPath string, out, errw io.Writer) int {
+	oldRep, err := obs.LoadRunReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(errw, "obsreport:", err)
+		return 2
+	}
+	newRep, err := obs.LoadRunReport(newPath)
+	if err != nil {
+		fmt.Fprintln(errw, "obsreport:", err)
+		return 2
+	}
+	for _, c := range []struct {
+		path string
+		rep  *obs.RunReport
+	}{{oldPath, oldRep}, {newPath, newRep}} {
+		if c.rep.Attrib == nil {
+			fmt.Fprintf(errw, "obsreport: %s has no attribution table; re-run the tool with -report (and, for live runs, -http) so the span graph is captured\n", c.path)
+			return 2
+		}
+	}
+	watched, err := parseReportGates(watch, threshold)
+	if err != nil {
+		fmt.Fprintln(errw, "obsreport:", err)
+		return 2
+	}
+
+	rows := diffAttrib(oldRep.Attrib, newRep.Attrib)
+	wallDelta := newRep.Attrib.WallNS - oldRep.Attrib.WallNS
+
+	// Gates first, so text and json render identical verdicts.
+	var regressions, missing []string
+	for kind, g := range watched {
+		row := findAttribRow(rows, kind)
+		if row == nil {
+			fmt.Fprintf(errw, "obsreport: watched span kind %q absent from both attribution tables\n", kind)
+			return 2
+		}
+		if (g.needsBaseline() && !row.InOld) || !row.InNew {
+			side := "old"
+			if !row.InNew {
+				side = "new"
+			}
+			fmt.Fprintf(errw, "obsreport: watched span kind %q missing from the %s report's attribution\n", kind, side)
+			missing = append(missing, kind)
+			continue
+		}
+		// Absolute gates are in seconds of self time; ratio gates on
+		// new/old self, with a zero baseline reading as +Inf like report
+		// mode.
+		d := obs.MetricDelta{
+			Old:   time.Duration(row.SelfOldNS).Seconds(),
+			New:   time.Duration(row.SelfNewNS).Seconds(),
+			InOld: row.InOld, InNew: row.InNew,
+		}
+		if row.Ratio != nil {
+			d.Ratio = *row.Ratio
+		} else {
+			d.Ratio = math.Inf(1)
+		}
+		if g.fails(d) {
+			regressions = append(regressions, kind)
+		}
+	}
+	sort.Strings(regressions)
+	sort.Strings(missing)
+
+	topKind := ""
+	if len(rows) > 0 && rows[0].DeltaNS > 0 {
+		topKind = rows[0].Kind
+	}
+	topOK := top == "" || topKind == top
+	exit := 0
+	switch {
+	case !topOK, len(regressions) > 0, len(missing) > 0:
+		exit = 1
+	}
+
+	if format == "json" {
+		writeJSON(out, attribJSONDoc{
+			Mode: "attrib", Old: oldPath, New: newPath,
+			WallOldNS: oldRep.Attrib.WallNS, WallNewNS: newRep.Attrib.WallNS,
+			WallDeltaNS: wallDelta, Rows: rows,
+			Top: topKind, TopExpected: top,
+			Regressions: regressions, Missing: missing, Exit: exit,
+		})
+		return exit
+	}
+
+	fmt.Fprintf(out, "old: %s (%s %s %s, wall %s)\n", oldPath, oldRep.Tool, oldRep.Dataset, oldRep.Learner, secs(oldRep.Attrib.WallNS))
+	fmt.Fprintf(out, "new: %s (%s %s %s, wall %s)\n\n", newPath, newRep.Tool, newRep.Dataset, newRep.Learner, secs(newRep.Attrib.WallNS))
+	fmt.Fprintf(out, "%-28s %12s %12s %12s %8s %8s\n", "kind", "self old", "self new", "Δself", "share%", "ratio")
+	for _, row := range rows {
+		mark := " "
+		switch {
+		case contains(regressions, row.Kind) || contains(missing, row.Kind):
+			mark = "!"
+		case func() bool { _, ok := watched[row.Kind]; return ok }():
+			mark = "*"
+		}
+		r := "+inf"
+		if row.Ratio != nil {
+			r = fmt.Sprintf("%.2fx", *row.Ratio)
+		}
+		fmt.Fprintf(out, "%-28s %12s %12s %12s %8.1f %8s %s\n",
+			row.Kind, secs(row.SelfOldNS), secs(row.SelfNewNS), signedSecs(row.DeltaNS), row.SharePct, r, mark)
+	}
+	fmt.Fprintf(out, "\nwall delta: %s", signedSecs(wallDelta))
+	if topKind != "" {
+		fmt.Fprintf(out, "; top contributor: %s", topKind)
+	}
+	fmt.Fprintln(out)
+	if !topOK {
+		if topKind == "" {
+			fmt.Fprintf(out, "TOP MISMATCH: expected %q to rank first by Δself, but no kind gained self time\n", top)
+		} else {
+			fmt.Fprintf(out, "TOP MISMATCH: expected %q to rank first by Δself, got %q\n", top, topKind)
+		}
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(out, "MISSING: %s absent from one report's attribution\n", strings.Join(missing, ", "))
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(out, "REGRESSION: %s exceeded their self-time gates\n", strings.Join(regressions, ", "))
+	}
+	if exit == 0 && (top != "" || len(watched) > 0) {
+		fmt.Fprintln(out, "ok: attribution gates passed")
+	}
+	return exit
+}
+
+// diffAttrib joins two attribution tables over the union of span kinds and
+// ranks by Δself descending (growth first), ties by kind for determinism.
+func diffAttrib(oldA, newA *obs.AttribReport) []attribRow {
+	kinds := make(map[string]bool)
+	for _, r := range oldA.Rows {
+		kinds[r.Kind] = true
+	}
+	for _, r := range newA.Rows {
+		kinds[r.Kind] = true
+	}
+	wallDelta := newA.WallNS - oldA.WallNS
+	rows := make([]attribRow, 0, len(kinds))
+	for kind := range kinds {
+		o, n := oldA.Row(kind), newA.Row(kind)
+		row := attribRow{Kind: kind, InOld: o != nil, InNew: n != nil}
+		if o != nil {
+			row.SelfOldNS, row.CumOldNS, row.CritOldNS = o.SelfNS, o.CumNS, o.CritNS
+		}
+		if n != nil {
+			row.SelfNewNS, row.CumNewNS, row.CritNewNS = n.SelfNS, n.CumNS, n.CritNS
+		}
+		row.DeltaNS = row.SelfNewNS - row.SelfOldNS
+		if wallDelta != 0 {
+			row.SharePct = 100 * float64(row.DeltaNS) / float64(wallDelta)
+		}
+		if row.SelfOldNS > 0 {
+			r := float64(row.SelfNewNS) / float64(row.SelfOldNS)
+			row.Ratio = &r
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].DeltaNS != rows[j].DeltaNS {
+			return rows[i].DeltaNS > rows[j].DeltaNS
+		}
+		return rows[i].Kind < rows[j].Kind
+	})
+	return rows
+}
+
+func findAttribRow(rows []attribRow, kind string) *attribRow {
+	for i := range rows {
+		if rows[i].Kind == kind {
+			return &rows[i]
+		}
+	}
+	return nil
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// secs renders nanoseconds as seconds with millisecond precision.
+func secs(ns int64) string { return fmt.Sprintf("%.3fs", time.Duration(ns).Seconds()) }
+
+// signedSecs is secs with an explicit sign, for deltas.
+func signedSecs(ns int64) string { return fmt.Sprintf("%+.3fs", time.Duration(ns).Seconds()) }

@@ -13,6 +13,7 @@ package main
 //	name.metric=r     current ≤ r × baseline   (lower is better: timings, allocs)
 //	name.metric>=r    current ≥ r × baseline   (higher is better: parallel_speedup)
 //	name.metric@>=v   current ≥ v              (absolute floor, baseline ignored)
+//	name.metric@<=v   current ≤ v              (absolute ceiling, baseline ignored)
 //
 // metric is ns_per_op or any key of the entry's metrics map. The pseudo-
 // benchmark name "doc" addresses document-level fields instead — e.g.
@@ -53,7 +54,7 @@ type benchFileDoc struct {
 // benchGate is one parsed -watch entry in bench mode.
 type benchGate struct {
 	bench, metric string
-	op            string // "max-ratio", "min-ratio", "abs-min"
+	op            string // "max-ratio", "min-ratio", "abs-min", "abs-max"
 	bound         float64
 }
 
@@ -73,6 +74,10 @@ func parseBenchGates(watch string) ([]benchGate, error) {
 			op = "abs-min"
 			i := strings.Index(w, "@>=")
 			key, val = w[:i], w[i+3:]
+		case strings.Contains(w, "@<="):
+			op = "abs-max"
+			i := strings.Index(w, "@<=")
+			key, val = w[:i], w[i+3:]
 		case strings.Contains(w, ">="):
 			op = "min-ratio"
 			i := strings.Index(w, ">=")
@@ -82,7 +87,7 @@ func parseBenchGates(watch string) ([]benchGate, error) {
 			i := strings.Index(w, "=")
 			key, val = w[:i], w[i+1:]
 		default:
-			return nil, fmt.Errorf("bad -watch entry %q (want name.metric=r, name.metric>=r or name.metric@>=v)", w)
+			return nil, fmt.Errorf("bad -watch entry %q (want name.metric=r, name.metric>=r, name.metric@>=v or name.metric@<=v)", w)
 		}
 		g := benchGate{op: op}
 		if _, err := fmt.Sscanf(strings.TrimSpace(val), "%g", &g.bound); err != nil {
@@ -152,8 +157,35 @@ func metricValue(doc *benchDoc, bench, metric string) (float64, bool) {
 	return 0, false
 }
 
+// benchJSONGate / benchJSONDoc are the -format json shapes of bench mode.
+type benchJSONGate struct {
+	Key     string  `json:"key"`
+	Op      string  `json:"op"`
+	Bound   float64 `json:"bound"`
+	Old     float64 `json:"old"`
+	New     float64 `json:"new"`
+	InOld   bool    `json:"in_old"`
+	InNew   bool    `json:"in_new"`
+	OK      bool    `json:"ok"`
+	Missing bool    `json:"missing,omitempty"`
+}
+
+type benchJSONDoc struct {
+	Mode     string          `json:"mode"`
+	Old      string          `json:"old"`
+	New      string          `json:"new"`
+	CPUs     int             `json:"cpus"`
+	Gates    []benchJSONGate `json:"gates"`
+	Failures []string        `json:"failures,omitempty"`
+	Missing  []string        `json:"missing,omitempty"`
+	Exit     int             `json:"exit"`
+}
+
+// absolute reports whether the op inspects only the current file.
+func (g benchGate) absolute() bool { return g.op == "abs-min" || g.op == "abs-max" }
+
 // runBench is the -bench entry point, called from run with flags parsed.
-func runBench(watch string, cpus int, oldPath, newPath string, out, errw io.Writer) int {
+func runBench(watch string, cpus int, format, oldPath, newPath string, out, errw io.Writer) int {
 	gates, err := parseBenchGates(watch)
 	if err != nil {
 		fmt.Fprintln(errw, "obsreport:", err)
@@ -170,10 +202,14 @@ func runBench(watch string, cpus int, oldPath, newPath string, out, errw io.Writ
 		return 2
 	}
 
-	fmt.Fprintf(out, "old: %s (cpus=%d)\n", oldPath, oldDoc.CPUs)
-	fmt.Fprintf(out, "new: %s (cpus=%d)\n\n", newPath, newDoc.CPUs)
-	fmt.Fprintf(out, "%-52s %14s %14s %8s\n", "benchmark.metric", "old", "new", "check")
+	text := format != "json"
+	if text {
+		fmt.Fprintf(out, "old: %s (cpus=%d)\n", oldPath, oldDoc.CPUs)
+		fmt.Fprintf(out, "new: %s (cpus=%d)\n\n", newPath, newDoc.CPUs)
+		fmt.Fprintf(out, "%-52s %14s %14s %8s\n", "benchmark.metric", "old", "new", "check")
+	}
 	var failures, missing []string
+	var jsonGates []benchJSONGate
 	for _, g := range gates {
 		ov, inOld := metricValue(oldDoc, g.bench, g.metric)
 		nv, inNew := metricValue(newDoc, g.bench, g.metric)
@@ -182,13 +218,17 @@ func runBench(watch string, cpus int, oldPath, newPath string, out, errw io.Writ
 			return 2
 		}
 		// Absolute gates only need the current file; ratio gates need both.
-		if !inNew || (!inOld && g.op != "abs-min") {
+		if !inNew || (!inOld && !g.absolute()) {
 			side := "new"
 			if inNew {
 				side = "old"
 			}
 			fmt.Fprintf(errw, "obsreport: watched benchmark metric %q missing from the %s file\n", g.key(), side)
 			missing = append(missing, g.key())
+			jsonGates = append(jsonGates, benchJSONGate{
+				Key: g.key(), Op: g.op, Bound: g.bound, Old: ov, New: nv,
+				InOld: inOld, InNew: inNew, Missing: true,
+			})
 			continue
 		}
 		var ok bool
@@ -203,13 +243,36 @@ func runBench(watch string, cpus int, oldPath, newPath string, out, errw io.Writ
 		case "abs-min":
 			ok = nv >= g.bound
 			check = fmt.Sprintf(">=%s", num(g.bound))
+		case "abs-max":
+			ok = nv <= g.bound
+			check = fmt.Sprintf("<=%s", num(g.bound))
 		}
-		mark := "*"
 		if !ok {
-			mark = "!"
 			failures = append(failures, g.key())
 		}
-		fmt.Fprintf(out, "%-52s %14s %14s %8s %s\n", g.key(), num(ov), num(nv), check, mark)
+		if text {
+			mark := "*"
+			if !ok {
+				mark = "!"
+			}
+			fmt.Fprintf(out, "%-52s %14s %14s %8s %s\n", g.key(), num(ov), num(nv), check, mark)
+		} else {
+			jsonGates = append(jsonGates, benchJSONGate{
+				Key: g.key(), Op: g.op, Bound: g.bound, Old: ov, New: nv,
+				InOld: inOld, InNew: inNew, OK: ok,
+			})
+		}
+	}
+	exit := 0
+	if len(missing) > 0 || len(failures) > 0 {
+		exit = 1
+	}
+	if !text {
+		writeJSON(out, benchJSONDoc{
+			Mode: "bench", Old: oldPath, New: newPath, CPUs: newDoc.CPUs,
+			Gates: jsonGates, Failures: failures, Missing: missing, Exit: exit,
+		})
+		return exit
 	}
 	if len(missing) > 0 {
 		fmt.Fprintf(out, "\nMISSING: %s absent from one file\n", strings.Join(missing, ", "))

@@ -23,7 +23,7 @@ func TestIntrospectionServerDuringLearn(t *testing.T) {
 	reg := obs.NewRegistry()
 	prog := obs.NewProgress(reg)
 	fr := obs.NewFlightRecorder(2048)
-	srv := httptest.NewServer(obs.NewHandler(reg, prog, fr, nil))
+	srv := httptest.NewServer(obs.NewHandler(reg, prog, fr, nil, nil))
 	defer srv.Close()
 
 	run := obs.NewRun(nil, reg).WithSpans(prog).WithFlightRecorder(fr)
@@ -121,16 +121,19 @@ func TestIntrospectionServerDuringLearn(t *testing.T) {
 // sequential baseline.
 func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
 	type stack struct {
-		reg  *obs.Registry
-		prog *obs.Progress
-		fr   *obs.FlightRecorder
-		srv  *httptest.Server
+		reg   *obs.Registry
+		prog  *obs.Progress
+		fr    *obs.FlightRecorder
+		graph *obs.GraphSink
+		srv   *httptest.Server
 	}
 	mk := func() *stack {
 		reg := obs.NewRegistry()
 		prog := obs.NewProgress(reg)
 		fr := obs.NewFlightRecorder(1024)
-		return &stack{reg: reg, prog: prog, fr: fr, srv: httptest.NewServer(obs.NewHandler(reg, prog, fr, nil))}
+		graph := obs.NewGraphSink(0)
+		return &stack{reg: reg, prog: prog, fr: fr, graph: graph,
+			srv: httptest.NewServer(obs.NewHandler(reg, prog, fr, nil, graph))}
 	}
 	a, b := mk(), mk()
 	defer a.srv.Close()
@@ -140,7 +143,7 @@ func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
 		w := testfix.NewWorld(worldSize)
 		prob := w.ProblemOriginal()
 		params := ilp.Defaults()
-		params.Obs = obs.NewRun(nil, s.reg).WithSpans(s.prog).WithFlightRecorder(s.fr)
+		params.Obs = obs.NewRun(nil, s.reg).WithSpans(obs.MultiSpanSink(s.prog, s.graph)).WithFlightRecorder(s.fr)
 		// A tight stall interval so the watchdog goroutine actively ticks
 		// (and may trip) during the learn; trips must not perturb learning.
 		wd := obs.StartWatchdog(params.Obs, 25*time.Millisecond, nil)
@@ -202,6 +205,17 @@ func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
 		}
 		io.Copy(io.Discard, fresp.Body)
 		fresp.Body.Close()
+		// /critpath over a partial graph must stay valid JSON mid-run.
+		cresp, err := http.Get(s.srv.URL + "/critpath?k=3")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var cp obs.CritPathResponse
+		if err := json.NewDecoder(cresp.Body).Decode(&cp); err != nil {
+			t.Errorf("mid-run /critpath is not valid JSON: %v", err)
+		}
+		cresp.Body.Close()
 	}
 	var ra, rb *result
 	for ra == nil || rb == nil {
@@ -244,6 +258,42 @@ func TestConcurrentLearnsDoNotCrossContaminate(t *testing.T) {
 		resp.Body.Close()
 		if !strings.Contains(string(body), `sirl_span_calls{span="learn"} 1`) {
 			t.Errorf("run %s: /metrics does not show exactly one learn span:\n%s", name, body)
+		}
+	}
+
+	// Span graphs must be disjoint: process-unique span and round IDs mean
+	// no ID appears in both graphs, every span's parent resolves within its
+	// own graph, and each graph holds exactly one learn root.
+	recsA, recsB := a.graph.Records(), b.graph.Records()
+	idsA := map[uint64]bool{}
+	roundsA := map[uint64]bool{}
+	for _, r := range recsA {
+		idsA[r.ID] = true
+		if r.Round != 0 {
+			roundsA[r.Round] = true
+		}
+	}
+	for _, r := range recsB {
+		if idsA[r.ID] {
+			t.Errorf("span ID %d appears in both runs' graphs", r.ID)
+		}
+		if r.Round != 0 && roundsA[r.Round] {
+			t.Errorf("round ID %d appears in both runs' graphs", r.Round)
+		}
+	}
+	for name, recs := range map[string][]obs.SpanRecord{"A": recsA, "B": recsB} {
+		g := obs.BuildGraph(recs)
+		var learnRoots int
+		for _, root := range g.Roots {
+			if root.Name == "learn" {
+				learnRoots++
+			} else if root.ParentID != 0 {
+				t.Errorf("run %s: span %d (%s) has parent %d outside its own graph",
+					name, root.ID, root.Name, root.ParentID)
+			}
+		}
+		if learnRoots != 1 {
+			t.Errorf("run %s: %d learn roots, want exactly 1", name, learnRoots)
 		}
 	}
 }

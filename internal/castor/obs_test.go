@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -289,5 +290,85 @@ func TestProvenanceDoesNotChangeLearning(t *testing.T) {
 				t.Fatalf("clause %s: lineage does not terminate", c)
 			}
 		}
+	}
+}
+
+// TestSpanGraphProfilerDoesNotChangeLearning: the critical-path profiler —
+// GraphSink capture, worker-span emission in the shard pool, attribution —
+// must leave the learned definition byte-identical to an unobserved run in
+// both coverage modes, while producing a table whose self-time percentages
+// telescope to ~100% of the learn wall clock.
+func TestSpanGraphProfilerDoesNotChangeLearning(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		m    ilp.CoverageMode
+	}{{"db", ilp.CoverageDB}, {"subsumption", ilp.CoverageSubsumption}} {
+		t.Run(mode.name, func(t *testing.T) {
+			learn := func(run *obs.Run) string {
+				w := testfix.NewWorld(8)
+				prob := w.ProblemOriginal()
+				params := ilp.Defaults()
+				params.CoverageMode = mode.m
+				params.Parallelism = 4 // force pooled rounds into the graph
+				params.Obs = run
+				def, err := New().Learn(prob, params)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return def.String()
+			}
+
+			plain := learn(nil)
+
+			reg := obs.NewRegistry()
+			graph := obs.NewGraphSink(0)
+			observed := learn(obs.NewRun(nil, reg).WithSpans(graph))
+
+			if plain != observed {
+				t.Errorf("span-graph profiler changed the learned definition:\noff: %s\non:  %s", plain, observed)
+			}
+
+			g := graph.Graph()
+			if g.Len() == 0 || g.Dropped != 0 {
+				t.Fatalf("graph: %d spans, %d dropped", g.Len(), g.Dropped)
+			}
+			a := obs.Attribute(g)
+			if a.WallNS <= 0 {
+				t.Fatalf("attributed wall = %d, want > 0", a.WallNS)
+			}
+			var sumPct float64
+			kinds := map[string]bool{}
+			for _, row := range a.Rows {
+				sumPct += row.Pct
+				kinds[row.Kind] = true
+				if row.SelfNS < 0 || row.CritNS < 0 || row.CritNS > row.CumNS {
+					t.Errorf("row %+v violates 0 <= crit <= cum", row)
+				}
+			}
+			// The acceptance bound: attribution accounts for the whole run.
+			if sumPct < 98 || sumPct > 102 {
+				t.Errorf("Σpct = %.2f, want 100 ± 2", sumPct)
+			}
+			if !kinds["learn"] {
+				t.Errorf("no learn row in attribution (kinds: %v)", kinds)
+			}
+			// Parallelism=4 put pooled rounds in the graph: a shard kind must
+			// appear, and the round telemetry must have measured chains.
+			var shard bool
+			for k := range kinds {
+				if strings.HasPrefix(k, "shard_") {
+					shard = true
+				}
+			}
+			if !shard {
+				t.Errorf("no shard_* kind in attribution (kinds: %v)", kinds)
+			}
+			if chains := g.CriticalChains(5); len(chains) == 0 {
+				t.Error("no critical chains over a parallel run")
+			}
+			if sr := reg.Gauge(obs.GPoolStraggler); sr < 1 {
+				t.Errorf("pool_straggler_ratio = %v, want >= 1", sr)
+			}
+		})
 	}
 }

@@ -195,7 +195,7 @@ func (en *Engine) evaluate(c *logic.Clause, examples []logic.Atom, known *Bitset
 		costAt = func(i int) int64 { return costs[i] }
 	}
 	shards := planShards(n, en.shardCount(n), costAt)
-	runShards(pl, "coverage_testing", shards, func(sh shard) {
+	runShards(en.run, pl, "coverage_testing", shards, func(sh shard) {
 		for i := sh.lo; i < sh.hi; i++ {
 			en.run.Heartbeat()
 			buf[i] = known.Get(i) || en.cover(c, examples[i])
@@ -405,7 +405,7 @@ func (en *Engine) batchCovered(pl *pool, cands []Candidate, examples []logic.Ato
 			costAt = func(k int) int64 { return costs[itemEx[k]] }
 		}
 		shards := planShards(len(itemCand), en.shardCount(len(itemCand)), costAt)
-		runShards(pl, "candidate_scoring", shards, func(sh shard) {
+		runShards(en.run, pl, "candidate_scoring", shards, func(sh shard) {
 			for k := sh.lo; k < sh.hi; k++ {
 				en.run.Heartbeat()
 				ci, ej := itemCand[k], itemEx[k]
@@ -532,7 +532,7 @@ func (en *Engine) scoreNeg(pl *pool, s *Score, cand Candidate, neg []logic.Atom,
 		if costs != nil {
 			costAt = func(k int) int64 { return costs[items[k]] }
 		}
-		runShards(pl, "candidate_scoring", planShards(len(items), en.shardCount(len(items)), costAt), scan)
+		runShards(en.run, pl, "candidate_scoring", planShards(len(items), en.shardCount(len(items)), costAt), scan)
 	}
 	if aborted.Load() {
 		// Pruning efficiency split: pairs the abort saved vs. pairs scored

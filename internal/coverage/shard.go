@@ -89,6 +89,8 @@ type poolUtil struct {
 	shardHist *obs.Histogram
 	busyNS    atomic.Int64 // worker time inside shard fns, all rounds
 	idleNS    atomic.Int64 // worker time waiting on the cursor, all rounds
+	critNS    atomic.Int64 // slowest worker chain per round, summed
+	meanNS    atomic.Int64 // mean active worker chain per round, summed
 }
 
 // newPoolUtil builds the accumulator, or nil when the run carries no
@@ -107,7 +109,11 @@ func newPoolUtil(run *obs.Run) *poolUtil {
 // starved at the drained cursor while a straggler shard finished. The
 // busy ratio is therefore in-round utilization — serial learner sections
 // between rounds are excluded by construction (phase timers cover those).
-func (u *poolUtil) roundDone(workers, shards, tasks int, wall, busy, maxShard, sumShard time.Duration) {
+// maxChain/sumChain/active describe the round's per-worker drain chains
+// (every shard one worker pulled, summed): the slowest chain is what the
+// join actually waited on, so maxChain over the mean active chain is the
+// round's straggler ratio.
+func (u *poolUtil) roundDone(workers, shards, tasks int, wall, busy, maxShard, sumShard, maxChain, sumChain time.Duration, active int) {
 	if u == nil {
 		return
 	}
@@ -128,6 +134,18 @@ func (u *poolUtil) roundDone(workers, shards, tasks int, wall, busy, maxShard, s
 		// average shards — the cost model misjudged.
 		u.reg.MaxGauge(obs.GPoolImbalance,
 			float64(maxShard)*float64(shards)/float64(sumShard))
+	}
+	if active > 0 && sumChain > 0 && maxChain > 0 {
+		mean := int64(sumChain) / int64(active)
+		if mean < 1 {
+			mean = 1
+		}
+		u.reg.MaxGauge(obs.GPoolStragglerMax, float64(maxChain)/float64(mean))
+		// The whole-run gauge weights rounds by their wall time: long
+		// straggly rounds dominate, sub-millisecond rounds barely move it.
+		critTot := u.critNS.Add(int64(maxChain))
+		meanTot := u.meanNS.Add(mean)
+		u.reg.SetGauge(obs.GPoolStraggler, float64(critTot)/float64(meanTot))
 	}
 	u.run.Inc(obs.CPoolRounds)
 	u.run.Add(obs.CPoolShards, int64(shards))
@@ -175,17 +193,40 @@ func newPool(workers int, label string, util *poolUtil) *pool {
 // profiles attribute single-shard batches to their pipeline stage instead
 // of the caller's stack. label names that phase; a non-nil pool's own
 // label wins so both paths always agree.
-func runShards(p *pool, label string, shards []shard, fn func(sh shard)) {
+//
+// When run records spans, every shard becomes a shard_<label> span tagged
+// with a fresh pool-round ID and the draining worker's index, parented
+// under the span open on the submitting goroutine — the fork/join edges
+// the span-graph profiler (obs.Attribute, obs.CriticalChains) rebuilds
+// wall-clock attribution from. The inline path emits the same tags
+// (worker 0, its own round ID), so a trace is graph-complete regardless
+// of which path a batch took.
+func runShards(run *obs.Run, p *pool, label string, shards []shard, fn func(sh shard)) {
+	if len(shards) == 0 {
+		return
+	}
+	if p != nil {
+		label = p.label
+	}
+	spanning := run.Spanning()
+	var parent *obs.Span
+	var round uint64
+	var kind string
+	if spanning {
+		parent = run.CurrentSpan()
+		round = obs.NextPoolRound()
+		kind = "shard_" + label
+	}
 	if p == nil || len(shards) <= 1 {
-		if len(shards) == 0 {
-			return
-		}
-		if p != nil {
-			label = p.label
-		}
 		obs.WithPhaseLabel(label, func() {
 			for _, sh := range shards {
-				fn(sh)
+				if spanning {
+					sp := run.StartWorkerSpan(parent, kind, round, 0, obs.F("tasks", sh.hi-sh.lo))
+					fn(sh)
+					sp.End()
+				} else {
+					fn(sh)
+				}
 			}
 		})
 		return
@@ -193,40 +234,63 @@ func runShards(p *pool, label string, shards []shard, fn func(sh shard)) {
 	u := p.util
 	var start time.Time
 	var busy, maxShard, sumShard atomic.Int64
-	run := fn
+	var chain []int64 // per-worker drained wall time this round; disjoint indices
 	if u != nil {
 		start = time.Now()
-		// The accounting wrapper measures each shard's drain wall time;
-		// workers accumulate their busy time shard by shard, so the
-		// submitter can charge the rest of the round to idling.
-		run = func(sh shard) {
-			s0 := time.Now()
-			fn(sh)
-			d := int64(time.Since(s0))
-			busy.Add(d)
-			sumShard.Add(d)
-			for {
-				cur := maxShard.Load()
-				if d <= cur || maxShard.CompareAndSwap(cur, d) {
-					break
-				}
-			}
-			u.shardHist.Observe(time.Duration(d))
+		chain = make([]int64, p.workers)
+	}
+	// doShard runs one shard on worker w: span around it when spanning,
+	// drain-time accounting when observed — workers accumulate their busy
+	// time shard by shard, so the submitter can charge the rest of the
+	// round to idling and rank worker chains for straggler detection.
+	doShard := func(w int, sh shard) {
+		var sp *obs.Span
+		if spanning {
+			sp = run.StartWorkerSpan(parent, kind, round, w, obs.F("tasks", sh.hi-sh.lo))
 		}
+		if u == nil {
+			fn(sh)
+			sp.End()
+			return
+		}
+		s0 := time.Now()
+		fn(sh)
+		d := int64(time.Since(s0))
+		busy.Add(d)
+		sumShard.Add(d)
+		chain[w] += d
+		for {
+			cur := maxShard.Load()
+			if d <= cur || maxShard.CompareAndSwap(cur, d) {
+				break
+			}
+		}
+		u.shardHist.Observe(time.Duration(d))
+		sp.End()
 	}
 	var cursor atomic.Int64
-	drain := func() {
+	drain := func(w int) {
 		for {
 			k := int(cursor.Add(1)) - 1
 			if k >= len(shards) {
 				return
 			}
-			run(shards[k])
+			doShard(w, shards[k])
 		}
 	}
 	p.round.Add(p.workers)
-	for w := 0; w < p.workers; w++ {
-		p.tasks <- drain
+	if u == nil && !spanning {
+		// Unobserved rounds keep the zero-extra-alloc submit: one shared
+		// closure, no per-worker identity needed.
+		shared := func() { drain(0) }
+		for w := 0; w < p.workers; w++ {
+			p.tasks <- shared
+		}
+	} else {
+		for w := 0; w < p.workers; w++ {
+			w := w
+			p.tasks <- func() { drain(w) }
+		}
 	}
 	p.round.Wait()
 	if u != nil {
@@ -234,8 +298,20 @@ func runShards(p *pool, label string, shards []shard, fn func(sh shard)) {
 		for _, sh := range shards {
 			tasks += sh.hi - sh.lo
 		}
+		var maxChain, sumChain int64
+		active := 0
+		for _, c := range chain {
+			if c > 0 {
+				active++
+				sumChain += c
+				if c > maxChain {
+					maxChain = c
+				}
+			}
+		}
 		u.roundDone(p.workers, len(shards), tasks, time.Since(start),
-			time.Duration(busy.Load()), time.Duration(maxShard.Load()), time.Duration(sumShard.Load()))
+			time.Duration(busy.Load()), time.Duration(maxShard.Load()), time.Duration(sumShard.Load()),
+			time.Duration(maxChain), time.Duration(sumChain), active)
 	}
 }
 

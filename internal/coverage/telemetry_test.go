@@ -62,7 +62,7 @@ func assertLabeledWhileBlocked(t *testing.T, phase string, body func(entered cha
 func TestRunShardsLabelsInlinePath(t *testing.T) {
 	assertLabeledWhileBlocked(t, "test_inline_phase", func(entered chan<- struct{}, release <-chan struct{}) {
 		first := true
-		runShards(nil, "test_inline_phase", []shard{{0, 1}}, func(sh shard) {
+		runShards(nil, nil, "test_inline_phase", []shard{{0, 1}}, func(sh shard) {
 			if first {
 				first = false
 				close(entered)
@@ -79,7 +79,7 @@ func TestRunShardsLabelsSingleShardOnPool(t *testing.T) {
 	defer pl.close()
 	assertLabeledWhileBlocked(t, "test_pool_phase", func(entered chan<- struct{}, release <-chan struct{}) {
 		first := true
-		runShards(pl, "caller_label_must_lose", []shard{{0, 1}}, func(sh shard) {
+		runShards(nil, pl, "caller_label_must_lose", []shard{{0, 1}}, func(sh shard) {
 			if first {
 				first = false
 				close(entered)
@@ -96,7 +96,7 @@ func TestRunShardsLabelsPooledWorkers(t *testing.T) {
 		var once bool
 		var mu = make(chan struct{}, 1)
 		mu <- struct{}{}
-		runShards(pl, "test_worker_phase", []shard{{0, 1}, {1, 2}, {2, 3}}, func(sh shard) {
+		runShards(nil, pl, "test_worker_phase", []shard{{0, 1}, {1, 2}, {2, 3}}, func(sh shard) {
 			<-mu
 			first := !once
 			once = true
@@ -332,4 +332,94 @@ func atomIndex(e logic.Atom) int {
 		return i + 100
 	}
 	return i
+}
+
+// TestRunShardsEmitsWorkerSpans: with a spanning run, every shard — pooled
+// or inline — emits a worker span tagged with the pool round and parented
+// under the span that submitted the round, so the span graph (and the
+// offline -trace reconstruction) sees both code paths identically.
+func TestRunShardsEmitsWorkerSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	graph := obs.NewGraphSink(0)
+	run := obs.NewRun(nil, reg).WithSpans(graph)
+	parent := run.StartSpan("learn")
+
+	util := newPoolUtil(run)
+	pl := newPool(2, "test_span_phase", util)
+	runShards(run, pl, "caller_label_must_lose", planShards(40, 8, nil), func(sh shard) {
+		time.Sleep(100 * time.Microsecond)
+	})
+	pl.close()
+	pooled := graph.Records()
+	if len(pooled) < 2 {
+		t.Fatalf("pooled path emitted %d spans, want >= 2", len(pooled))
+	}
+	round := pooled[0].Round
+	for _, rec := range pooled {
+		if rec.Name != "shard_test_span_phase" {
+			t.Errorf("span name = %q, want shard_test_span_phase (pool label wins)", rec.Name)
+		}
+		if rec.Round != round || rec.Round == 0 {
+			t.Errorf("span round = %d, want uniform non-zero %d", rec.Round, round)
+		}
+		if rec.ParentID != parent.ID {
+			t.Errorf("span parent = %d, want submitting span %d", rec.ParentID, parent.ID)
+		}
+		if rec.Worker < 0 || rec.Worker >= 2 {
+			t.Errorf("span worker = %d, want 0 or 1", rec.Worker)
+		}
+		if rec.DurNS <= 0 {
+			t.Errorf("span dur = %d, want > 0", rec.DurNS)
+		}
+	}
+	if sr := reg.Gauge(obs.GPoolStraggler); sr < 1 {
+		t.Errorf("pool_straggler_ratio = %v, want >= 1 (max chain can't be below mean)", sr)
+	}
+	if srm := reg.Gauge(obs.GPoolStragglerMax); srm < reg.Gauge(obs.GPoolStraggler)-1e-9 {
+		t.Errorf("pool_straggler_ratio_max %v < wall-weighted ratio %v", srm, reg.Gauge(obs.GPoolStraggler))
+	}
+
+	// Inline path (nil pool): same tags, worker 0, a fresh round per call.
+	runShards(run, nil, "inline_phase", planShards(4, 2, nil), func(sh shard) {})
+	inline := graph.Records()[len(pooled):]
+	if len(inline) == 0 {
+		t.Fatal("inline path emitted no spans")
+	}
+	for _, rec := range inline {
+		if rec.Name != "shard_inline_phase" || rec.Worker != 0 {
+			t.Errorf("inline span = %+v, want shard_inline_phase on worker 0", rec)
+		}
+		if rec.Round != inline[0].Round || rec.Round == round || rec.Round == 0 {
+			t.Errorf("inline round = %d, want uniform, fresh, non-zero", rec.Round)
+		}
+		if rec.ParentID != parent.ID {
+			t.Errorf("inline parent = %d, want %d", rec.ParentID, parent.ID)
+		}
+	}
+	parent.End()
+
+	// The parentage must survive graph reconstruction: every shard span is
+	// a child of learn, grouped into exactly two rounds.
+	g := graph.Graph()
+	learn := g.Node(parent.ID)
+	if learn == nil {
+		t.Fatal("learn span missing from graph")
+	}
+	if got := len(learn.Children); got != len(pooled)+len(inline) {
+		t.Errorf("learn has %d children, want %d", got, len(pooled)+len(inline))
+	}
+	if chains := g.CriticalChains(0); len(chains) != 2 {
+		t.Errorf("got %d critical chains, want 2 (one per round)", len(chains))
+	}
+}
+
+// Unobserved runs must emit no spans and take the shared-closure path.
+func TestRunShardsUnobservedEmitsNothing(t *testing.T) {
+	graph := obs.NewGraphSink(0)
+	pl := newPool(2, "test_unobserved", nil)
+	defer pl.close()
+	runShards(nil, pl, "x", planShards(10, 4, nil), func(sh shard) {})
+	if n := len(graph.Records()); n != 0 {
+		t.Errorf("unobserved run emitted %d spans", n)
+	}
 }

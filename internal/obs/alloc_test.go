@@ -19,6 +19,8 @@ func TestNilRunFastPathAllocs(t *testing.T) {
 		"Add":           func() { r.Add(CTuplesScanned, 42) },
 		"Phase":         func() { r.EndPhase(PCoverage, r.StartPhase(PCoverage)) },
 		"Span":          func() { r.StartSpan("learn").End() },
+		"WorkerSpan":    func() { r.StartWorkerSpan(nil, "shard", 1, 0).End() },
+		"CurrentSpan":   func() { _ = r.CurrentSpan() },
 		"Annotate":      func() { r.StartSpan("learn").Annotate() },
 		"Tracing":       func() { _ = r.Tracing() },
 		"Spanning":      func() { _ = r.Spanning() },

@@ -1,0 +1,146 @@
+package obs
+
+import "sort"
+
+// Wall-clock attribution over the span graph. Three accountings per span
+// kind, answering different questions:
+//
+//   - cum  — summed durations of every span of the kind. Overlap-blind:
+//     parallel shard spans all count, so cum across kinds exceeds wall
+//     time. "How much machine time went through this phase?"
+//   - self — wall time attributed exclusively to the kind: a span's
+//     duration minus what its children account for, where a pooled round
+//     of shard spans accounts for its *envelope* (last end − first
+//     start), not the sum of its parallel members. Selves telescope, so
+//     Σ self over kinds equals the run's wall time and the Pct column
+//     sums to ~100. "Which phase does wall clock actually sit in?"
+//   - crit — the kind's share of the critical path. For serial spans
+//     crit equals self (a single-goroutine region gates wall clock by
+//     definition); for a pooled round it is the slowest worker chain —
+//     the only chain that gated the join. self − crit for a shard kind
+//     is pure straggler wait: time the round's envelope stayed open past
+//     the work a perfectly balanced pool would have needed.
+//
+// Clamps (negative self from clock skew between goroutines, a chain
+// exceeding its round envelope) round to the nearest consistent value, so
+// pathological timestamps cost accuracy, never invariants like Pct < 0.
+
+// AttribRow is one span kind's attribution totals.
+type AttribRow struct {
+	Kind   string  `json:"kind"`
+	Count  int64   `json:"count"`
+	SelfNS int64   `json:"self_ns"`
+	CumNS  int64   `json:"cum_ns"`
+	CritNS int64   `json:"crit_ns"`
+	Pct    float64 `json:"pct"` // 100 * self / wall
+}
+
+// AttribReport is the attribution table embedded in run reports and served
+// by /critpath. WallNS is the total attributed wall time — the summed
+// durations of the graph's serial roots (for a complete single run: the
+// learn span's duration).
+type AttribReport struct {
+	WallNS       int64       `json:"wall_ns"`
+	Rows         []AttribRow `json:"rows"` // by self time, descending
+	DroppedSpans int64       `json:"dropped_spans,omitempty"`
+}
+
+// Row returns the row for kind, or nil.
+func (a *AttribReport) Row(kind string) *AttribRow {
+	if a == nil {
+		return nil
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Kind == kind {
+			return &a.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Attribute computes the attribution table over a span graph. Shard spans
+// of one round are folded as a group (their envelope is the round's
+// contribution to the parent; nested spans under individual shards, if
+// any ever appear, are counted in cum only). Concurrent Learns must use
+// separate GraphSinks — overlapping roots would sum, not union.
+func Attribute(g *SpanGraph) *AttribReport {
+	type acc struct{ self, cum, crit, count int64 }
+	kinds := map[string]*acc{}
+	get := func(name string) *acc {
+		a := kinds[name]
+		if a == nil {
+			a = &acc{}
+			kinds[name] = a
+		}
+		return a
+	}
+
+	var walk func(n *SpanNode)
+	// fold accounts a span list (the children of one span, or the roots)
+	// and returns its wall contribution to the enclosing region: serial
+	// spans contribute their duration, each pooled round its envelope.
+	var fold func(spans []*SpanNode) int64
+	fold = func(spans []*SpanNode) int64 {
+		var contrib int64
+		rounds := map[uint64][]*SpanNode{}
+		var order []uint64
+		for _, c := range spans {
+			if c.Round != 0 {
+				if _, ok := rounds[c.Round]; !ok {
+					order = append(order, c.Round)
+				}
+				rounds[c.Round] = append(rounds[c.Round], c)
+				continue
+			}
+			walk(c)
+			contrib += c.DurNS
+		}
+		for _, r := range order {
+			members := rounds[r]
+			wall, maxChain, _, _, _ := roundStats(members)
+			if wall < 0 {
+				wall = 0
+			}
+			a := get(members[0].Name)
+			for _, m := range members {
+				a.cum += m.DurNS
+				a.count++
+			}
+			a.self += wall
+			if maxChain > wall {
+				maxChain = wall
+			}
+			a.crit += maxChain
+			contrib += wall
+		}
+		return contrib
+	}
+	walk = func(n *SpanNode) {
+		a := get(n.Name)
+		a.cum += n.DurNS
+		a.count++
+		self := n.DurNS - fold(n.Children)
+		if self < 0 {
+			self = 0
+		}
+		a.self += self
+		a.crit += self
+	}
+
+	wall := fold(g.Roots)
+	rows := make([]AttribRow, 0, len(kinds))
+	for k, a := range kinds {
+		row := AttribRow{Kind: k, Count: a.count, SelfNS: a.self, CumNS: a.cum, CritNS: a.crit}
+		if wall > 0 {
+			row.Pct = 100 * float64(a.self) / float64(wall)
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].SelfNS != rows[j].SelfNS {
+			return rows[i].SelfNS > rows[j].SelfNS
+		}
+		return rows[i].Kind < rows[j].Kind
+	})
+	return &AttribReport{WallNS: wall, Rows: rows, DroppedSpans: g.Dropped}
+}

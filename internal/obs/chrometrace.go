@@ -13,9 +13,13 @@ import (
 // instant events) in the Chrome trace-event JSON format, loadable by
 // Perfetto (ui.perfetto.dev) and chrome://tracing — the -chrometrace
 // flag. Spans become complete ("ph":"X") slices with their fields as
-// args; trace events become instants ("ph":"i"). All slices share one
-// pid/tid track: learners start and end spans on the learning goroutine,
-// so slices nest by time exactly as the span tree nests.
+// args; trace events become instants ("ph":"i"). Spans on the run's
+// owning goroutine render on tid 1, where slices nest by time exactly as
+// the span tree nests; pool-worker shard spans render on tid 2+worker, so
+// a pooled round appears as parallel slices across worker tracks. Slice
+// args carry span_id, parent, and — for worker spans — worker and round,
+// so the span graph survives the export (chrometrace_golden_test.go pins
+// this schema).
 type ChromeTraceSink struct {
 	mu   sync.Mutex
 	w    *bufio.Writer
@@ -54,8 +58,8 @@ func (s *ChromeTraceSink) write(b []byte) {
 }
 
 // event emits one trace-event object. fields become the args payload.
-func (s *ChromeTraceSink) event(name, ph string, ts time.Time, dur time.Duration, id uint64, fields []Field) {
-	buf := make([]byte, 0, 160)
+func (s *ChromeTraceSink) event(name, ph string, ts time.Time, dur time.Duration, tid uint64, sp *Span, fields []Field) {
+	buf := make([]byte, 0, 192)
 	buf = append(buf, `{"name":`...)
 	buf = appendJSONValue(buf, name)
 	buf = append(buf, `,"ph":"`...)
@@ -69,17 +73,41 @@ func (s *ChromeTraceSink) event(name, ph string, ts time.Time, dur time.Duration
 	if ph == "i" {
 		buf = append(buf, `,"s":"t"`...)
 	}
-	buf = append(buf, `,"pid":1,"tid":1`...)
-	if id != 0 || len(fields) > 0 {
+	buf = append(buf, `,"pid":1,"tid":`...)
+	buf = strconv.AppendUint(buf, tid, 10)
+	if sp != nil || len(fields) > 0 {
 		buf = append(buf, `,"args":{`...)
-		if id != 0 {
-			buf = append(buf, `"span_id":`...)
-			buf = strconv.AppendUint(buf, id, 10)
-		}
-		for i, f := range fields {
-			if id != 0 || i > 0 {
+		first := true
+		arg := func(key string) {
+			if !first {
 				buf = append(buf, ',')
 			}
+			first = false
+			buf = append(buf, '"')
+			buf = append(buf, key...)
+			buf = append(buf, '"', ':')
+		}
+		if sp != nil {
+			arg("span_id")
+			buf = strconv.AppendUint(buf, sp.ID, 10)
+			if sp.ParentID != 0 {
+				arg("parent")
+				buf = strconv.AppendUint(buf, sp.ParentID, 10)
+			}
+			if sp.Worker >= 0 {
+				arg("worker")
+				buf = strconv.AppendInt(buf, int64(sp.Worker), 10)
+			}
+			if sp.Round != 0 {
+				arg("round")
+				buf = strconv.AppendUint(buf, sp.Round, 10)
+			}
+		}
+		for _, f := range fields {
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
 			buf = appendJSONValue(buf, f.Key)
 			buf = append(buf, ':')
 			buf = appendJSONValue(buf, f.Value)
@@ -103,16 +131,21 @@ func (s *ChromeTraceSink) event(name, ph string, ts time.Time, dur time.Duration
 // so starts need no output.
 func (s *ChromeTraceSink) SpanStart(*Span) {}
 
-// SpanEnd implements SpanSink: one complete slice per finished span.
+// SpanEnd implements SpanSink: one complete slice per finished span, on
+// the owning goroutine's track (tid 1) or the span's worker track.
 func (s *ChromeTraceSink) SpanEnd(sp *Span, d time.Duration) {
-	s.event(sp.Name, "X", sp.Start, d, sp.ID, sp.Fields)
+	tid := uint64(1)
+	if sp.Worker >= 0 {
+		tid = uint64(2 + sp.Worker)
+	}
+	s.event(sp.Name, "X", sp.Start, d, tid, sp, sp.Fields)
 }
 
 // Emit implements Tracer: flat trace events render as instant markers on
-// the same track, so covering.accepted and friends line up with the span
+// the main track, so covering.accepted and friends line up with the span
 // slices around them.
 func (s *ChromeTraceSink) Emit(e Event) {
-	s.event(e.Name, "i", e.Time, 0, 0, e.Fields)
+	s.event(e.Name, "i", e.Time, 0, 1, nil, e.Fields)
 }
 
 // Close completes the JSON envelope, flushes and, when the sink owns its

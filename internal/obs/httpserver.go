@@ -15,12 +15,13 @@ import (
 //	/metrics               Prometheus text exposition of the registry
 //	/progress              JSON snapshot of live spans + counter deltas
 //	/timeline              metric timeline rings (JSON; ?series=&since=)
+//	/critpath              span-graph attribution + top-k critical chains (?k=)
 //	/debug/flightrecorder  JSONL dump of the flight-recorder ring
 //	/debug/pprof/*         the standard pprof handlers
 //
 // Any argument may be nil; the corresponding endpoint then reports an
 // empty state rather than disappearing, so scrapers see a stable surface.
-func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline) http.Handler {
+func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline, graph *GraphSink) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
@@ -32,6 +33,7 @@ func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline)
 		fmt.Fprintln(w, "  /metrics               Prometheus counters, latency histograms, gauges")
 		fmt.Fprintln(w, "  /progress              live span stack and counter deltas (JSON)")
 		fmt.Fprintln(w, "  /timeline              metric timeline rings (JSON; ?series=a,b&since=unix_ms)")
+		fmt.Fprintln(w, "  /critpath              wall-clock attribution and top-k critical chains (JSON; ?k=10)")
 		fmt.Fprintln(w, "  /debug/flightrecorder  flight-recorder ring dump (JSONL)")
 		fmt.Fprintln(w, "  /debug/pprof/          CPU, heap, goroutine profiles")
 	})
@@ -77,6 +79,31 @@ func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline)
 		enc.SetIndent("", "  ")
 		enc.Encode(tl.Dump(filter, since)) //nolint:errcheck // best-effort HTTP response; nil-safe
 	})
+	mux.HandleFunc("/critpath", func(w http.ResponseWriter, r *http.Request) {
+		k := 10
+		if s := r.URL.Query().Get("k"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "k: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			k = v
+		}
+		// Mid-run the graph covers finished spans only: a round whose
+		// ancestors are still open surfaces with a truncated path. That is
+		// the useful live view — the rounds themselves are complete.
+		g := graph.Graph()
+		resp := CritPathResponse{
+			Spans:   g.Len(),
+			Dropped: g.Dropped,
+			Attrib:  Attribute(g),
+			Chains:  g.CriticalChains(k),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp) //nolint:errcheck // best-effort HTTP response
+	})
 	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		fr.WriteJSONL(w) //nolint:errcheck // best-effort HTTP response; nil-safe
@@ -89,6 +116,16 @@ func NewHandler(reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline)
 	return mux
 }
 
+// CritPathResponse is the JSON shape /critpath serves: the point-in-time
+// attribution table over the finished spans plus the top-k critical
+// chains, with the graph's size and drop count for trust calibration.
+type CritPathResponse struct {
+	Spans   int           `json:"spans"`
+	Dropped int64         `json:"dropped_spans,omitempty"`
+	Attrib  *AttribReport `json:"attrib"`
+	Chains  []CritChain   `json:"chains"`
+}
+
 // Server is a running introspection server.
 type Server struct {
 	l   net.Listener
@@ -97,12 +134,12 @@ type Server struct {
 
 // StartServer listens on addr (e.g. ":6060", "localhost:0") and serves the
 // introspection handler in a background goroutine until Close.
-func StartServer(addr string, reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline) (*Server, error) {
+func StartServer(addr string, reg *Registry, prog *Progress, fr *FlightRecorder, tl *Timeline, graph *GraphSink) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{l: l, srv: &http.Server{Handler: NewHandler(reg, prog, fr, tl)}}
+	s := &Server{l: l, srv: &http.Server{Handler: NewHandler(reg, prog, fr, tl, graph)}}
 	go s.srv.Serve(l) //nolint:errcheck // always returns ErrServerClosed after Close
 	return s, nil
 }

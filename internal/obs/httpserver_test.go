@@ -20,7 +20,7 @@ func TestMetricsEndpointRendersEveryCounter(t *testing.T) {
 	run.Observe("subsumption_probe", 3*time.Millisecond)
 	run.Sample()
 
-	srv := httptest.NewServer(NewHandler(reg, nil, nil, nil))
+	srv := httptest.NewServer(NewHandler(reg, nil, nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/metrics")
 	if err != nil {
@@ -118,7 +118,7 @@ func TestProgressEndpoint(t *testing.T) {
 	child := run.StartSpan("beam_round")
 	run.Inc(CCoverageTests)
 
-	srv := httptest.NewServer(NewHandler(reg, prog, nil, nil))
+	srv := httptest.NewServer(NewHandler(reg, prog, nil, nil, nil))
 	defer srv.Close()
 	get := func() Snapshot {
 		resp, err := http.Get(srv.URL + "/progress")
@@ -185,7 +185,7 @@ func TestProgressElapsedSeconds(t *testing.T) {
 }
 
 func TestHandlerIndexAndPprof(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(NewRegistry(), NewProgress(nil), NewFlightRecorder(8), nil))
+	srv := httptest.NewServer(NewHandler(NewRegistry(), NewProgress(nil), NewFlightRecorder(8), nil, nil))
 	defer srv.Close()
 	for _, path := range []string{"/", "/debug/pprof/", "/debug/pprof/goroutine?debug=1"} {
 		resp, err := http.Get(srv.URL + path)
@@ -208,7 +208,7 @@ func TestHandlerIndexAndPprof(t *testing.T) {
 }
 
 func TestHandlerNilBackends(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(nil, nil, nil, nil))
+	srv := httptest.NewServer(NewHandler(nil, nil, nil, nil, nil))
 	defer srv.Close()
 	for _, path := range []string{"/metrics", "/progress", "/debug/flightrecorder"} {
 		resp, err := http.Get(srv.URL + path)
@@ -228,7 +228,7 @@ func TestFlightRecorderEndpoint(t *testing.T) {
 	run := (*Run)(nil).WithFlightRecorder(fr)
 	run.StartSpan("learn").End()
 
-	srv := httptest.NewServer(NewHandler(nil, nil, fr, nil))
+	srv := httptest.NewServer(NewHandler(nil, nil, fr, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/debug/flightrecorder")
 	if err != nil {
@@ -263,7 +263,7 @@ func TestFlightRecorderEndpoint(t *testing.T) {
 }
 
 func TestStartServer(t *testing.T) {
-	srv, err := StartServer("localhost:0", NewRegistry(), nil, nil, nil)
+	srv, err := StartServer("localhost:0", NewRegistry(), nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +292,7 @@ func TestTimelineEndpoint(t *testing.T) {
 	tl.tick()
 	tl.Stop()
 
-	srv := httptest.NewServer(NewHandler(reg, nil, nil, tl))
+	srv := httptest.NewServer(NewHandler(reg, nil, nil, tl, nil))
 	defer srv.Close()
 
 	get := func(path string) TimelineDump {
@@ -347,7 +347,7 @@ func TestTimelineEndpoint(t *testing.T) {
 }
 
 func TestTimelineEndpointNilTimeline(t *testing.T) {
-	srv := httptest.NewServer(NewHandler(nil, nil, nil, nil))
+	srv := httptest.NewServer(NewHandler(nil, nil, nil, nil, nil))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/timeline")
 	if err != nil {
@@ -363,5 +363,85 @@ func TestTimelineEndpointNilTimeline(t *testing.T) {
 	}
 	if len(d.Series) != 0 {
 		t.Errorf("nil timeline served %d series", len(d.Series))
+	}
+}
+
+func TestCritPathEndpoint(t *testing.T) {
+	graph := NewGraphSink(0)
+	run := (*Run)(nil).WithSpans(graph)
+	root := run.StartSpan("learn")
+	round := NextPoolRound()
+	run.StartWorkerSpan(root, "shard_candidate_scoring", round, 0).End()
+	run.StartWorkerSpan(root, "shard_candidate_scoring", round, 1).End()
+	root.End()
+
+	srv := httptest.NewServer(NewHandler(nil, nil, nil, nil, graph))
+	defer srv.Close()
+
+	get := func(path string) CritPathResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("Content-Type = %q, want application/json", ct)
+		}
+		var cp CritPathResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cp); err != nil {
+			t.Fatalf("/critpath is not valid JSON: %v", err)
+		}
+		return cp
+	}
+
+	cp := get("/critpath")
+	if cp.Spans != 3 {
+		t.Errorf("spans = %d, want 3", cp.Spans)
+	}
+	if cp.Attrib == nil || cp.Attrib.Row("shard_candidate_scoring") == nil {
+		t.Fatalf("attrib = %+v, want a shard_candidate_scoring row", cp.Attrib)
+	}
+	if len(cp.Chains) != 1 || cp.Chains[0].Round != round || cp.Chains[0].Shards != 2 {
+		t.Errorf("chains = %+v, want one 2-shard round %d", cp.Chains, round)
+	}
+	if len(cp.Chains[0].Path) != 1 || cp.Chains[0].Path[0].Name != "learn" {
+		t.Errorf("chain path = %+v, want [learn]", cp.Chains[0].Path)
+	}
+
+	if cp = get("/critpath?k=0"); len(cp.Chains) != 1 {
+		t.Errorf("k=0 (all) chains = %d, want 1", len(cp.Chains))
+	}
+
+	resp, err := http.Get(srv.URL + "/critpath?k=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("k=-1: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCritPathEndpointNilGraph(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil, nil, nil, nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/critpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (stable surface with nil graph)", resp.StatusCode)
+	}
+	var cp CritPathResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cp); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Spans != 0 || len(cp.Chains) != 0 {
+		t.Errorf("nil graph served %+v", cp)
 	}
 }

@@ -54,6 +54,14 @@ const (
 	GPoolBusyRatio   = "pool_busy_ratio"
 	GPoolImbalance   = "pool_shard_imbalance_max"
 	HShardDrain      = "shard_drain"
+	// Straggler gauges measure per-worker *chains* (all shards one worker
+	// drained in a round), not individual shards: a round's wall clock is
+	// its slowest chain. GPoolStraggler is Σ slowest-chain / Σ mean-active-
+	// chain across rounds (wall-weighted, so long rounds dominate);
+	// GPoolStragglerMax is the worst single round. 1.0 is a perfectly
+	// balanced pool; N means the slowest worker carried N× the average.
+	GPoolStraggler    = "pool_straggler_ratio"
+	GPoolStragglerMax = "pool_straggler_ratio_max"
 )
 
 // StoreStat is the access-statistics snapshot of one relation of the
@@ -562,6 +570,7 @@ const (
 	FamGauge     = "gauge"
 	FamStore     = "relstore"
 	FamTimeline  = "timeline"
+	FamAttrib    = "attrib"
 )
 
 // FlatMetricsWithFamilies is FlatMetrics also reporting which family

@@ -64,6 +64,54 @@ func (s *JSONLSink) Emit(e Event) {
 	s.mu.Unlock()
 }
 
+// SpanStart implements SpanSink as a no-op: span lines are written whole
+// at SpanEnd, when the duration is known, which keeps the trace one line
+// per span and the offline graph reconstruction trivial.
+func (s *JSONLSink) SpanStart(*Span) {}
+
+// SpanEnd implements SpanSink. Each finished span becomes one line
+//
+//	{"t":…,"span":"beam_round","id":7,"parent":3,"worker":-1,"round":0,
+//	 "start_ns":…,"dur_ns":…,…fields}
+//
+// distinguishable from event lines by the "span" key. worker is -1 for
+// spans on the run's owning goroutine, the pool-worker index otherwise;
+// round joins the shard spans of one pooled drain (0 = none). The keys
+// t/span/id/parent/worker/round/start_ns/dur_ns are reserved — span
+// fields with those names would shadow them in consumers, so field keys
+// avoid them by convention. ReadSpanJSONL inverts this encoding.
+func (s *JSONLSink) SpanEnd(sp *Span, d time.Duration) {
+	buf := make([]byte, 0, 192)
+	buf = append(buf, `{"t":`...)
+	buf = appendJSONValue(buf, sp.Start.UTC().Format(time.RFC3339Nano))
+	buf = append(buf, `,"span":`...)
+	buf = appendJSONValue(buf, sp.Name)
+	buf = append(buf, `,"id":`...)
+	buf = appendJSONValue(buf, sp.ID)
+	buf = append(buf, `,"parent":`...)
+	buf = appendJSONValue(buf, sp.ParentID)
+	buf = append(buf, `,"worker":`...)
+	buf = appendJSONValue(buf, sp.Worker)
+	buf = append(buf, `,"round":`...)
+	buf = appendJSONValue(buf, sp.Round)
+	buf = append(buf, `,"start_ns":`...)
+	buf = appendJSONValue(buf, sp.Start.UnixNano())
+	buf = append(buf, `,"dur_ns":`...)
+	buf = appendJSONValue(buf, int64(d))
+	for _, f := range sp.Fields {
+		buf = append(buf, ',')
+		buf = appendJSONValue(buf, f.Key)
+		buf = append(buf, ':')
+		buf = appendJSONValue(buf, f.Value)
+	}
+	buf = append(buf, '}', '\n')
+	s.mu.Lock()
+	if _, err := s.w.Write(buf); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
 func appendJSONValue(buf []byte, v any) []byte {
 	b, err := json.Marshal(v)
 	if err != nil {

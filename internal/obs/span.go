@@ -26,6 +26,15 @@ import (
 // experiments binary learns many times) never collide in one export.
 var spanIDs atomic.Uint64
 
+// poolRoundIDs issues process-unique pool-round IDs. Rounds join the shard
+// spans of one worker-pool drain into a fork/join group in the span graph;
+// process-uniqueness means rounds from concurrent Learns never collide.
+var poolRoundIDs atomic.Uint64
+
+// NextPoolRound allocates a fresh pool-round ID (never 0, which marks
+// "no round" on a span).
+func NextPoolRound() uint64 { return poolRoundIDs.Add(1) }
+
 // Span is one open (or finished) region of a run. A nil *Span is the nop
 // default returned by StartSpan on an unobserved run: End and Annotate on
 // nil return immediately, so call sites need no guards.
@@ -43,6 +52,13 @@ type Span struct {
 	Start time.Time
 	// Fields are the span's annotations, in emission order.
 	Fields []Field
+	// Worker is the pool-worker index that drained the span's region, or
+	// -1 for spans on the run's owning goroutine (the default).
+	Worker int
+	// Round is the pool-round ID joining the shard spans of one pooled
+	// drain; 0 for spans outside any round. Sibling spans sharing a round
+	// form a fork/join group whose wall time is the slowest worker chain.
+	Round uint64
 }
 
 // SpanSink consumes span lifecycle notifications. SpanStart runs before
@@ -81,7 +97,7 @@ func (r *Run) StartSpan(name string, fields ...Field) *Span {
 	if r == nil || (r.reg == nil && r.spans == nil && r.flight == nil) {
 		return nil
 	}
-	s := &Span{run: r, ID: spanIDs.Add(1), Name: name, Start: time.Now(), Fields: fields}
+	s := &Span{run: r, ID: spanIDs.Add(1), Name: name, Start: time.Now(), Fields: fields, Worker: -1}
 	r.spanMu.Lock()
 	if r.cur != nil {
 		s.parent = r.cur
@@ -90,6 +106,44 @@ func (r *Run) StartSpan(name string, fields ...Field) *Span {
 	r.cur = s
 	r.spanMu.Unlock()
 	r.beat.Add(1) // span progress doubles as a watchdog heartbeat
+	if f := r.flight; f != nil {
+		f.record(s.Start.UnixNano(), FKSpanStart, f.nameID(name), int64(s.ID), int64(s.ParentID))
+	}
+	if r.spans != nil {
+		r.spans.SpanStart(s)
+	}
+	return s
+}
+
+// CurrentSpan returns the innermost span still open on the run's owning
+// goroutine, or nil. Pool submitters capture it before fanning out so
+// worker spans parent under the span whose region forked them.
+func (r *Run) CurrentSpan() *Span {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	s := r.cur
+	r.spanMu.Unlock()
+	return s
+}
+
+// StartWorkerSpan opens a span with an explicit parent, worker index, and
+// pool-round ID, without touching the run's implicit span stack — worker
+// goroutines run concurrently, so pushing them onto the owning goroutine's
+// stack would scramble parentage for everyone. End works as usual (the
+// stack-revert in End is guarded, so a span that never entered the stack
+// never pops it). Returns nil on an unobserved run.
+func (r *Run) StartWorkerSpan(parent *Span, name string, round uint64, worker int, fields ...Field) *Span {
+	if r == nil || (r.reg == nil && r.spans == nil && r.flight == nil) {
+		return nil
+	}
+	s := &Span{run: r, ID: spanIDs.Add(1), Name: name, Start: time.Now(), Fields: fields, Worker: worker, Round: round}
+	if parent != nil {
+		s.parent = parent
+		s.ParentID = parent.ID
+	}
+	r.beat.Add(1)
 	if f := r.flight; f != nil {
 		f.record(s.Start.UnixNano(), FKSpanStart, f.nameID(name), int64(s.ID), int64(s.ParentID))
 	}
@@ -118,11 +172,15 @@ func (s *Span) End() {
 	}
 	d := time.Since(s.Start)
 	r := s.run
-	r.spanMu.Lock()
-	if r.cur == s {
-		r.cur = s.parent
+	if s.Worker < 0 {
+		// Worker spans never enter the implicit stack, so they skip the
+		// revert entirely rather than contend on spanMu from N goroutines.
+		r.spanMu.Lock()
+		if r.cur == s {
+			r.cur = s.parent
+		}
+		r.spanMu.Unlock()
 	}
-	r.spanMu.Unlock()
 	r.beat.Add(1) // span progress doubles as a watchdog heartbeat
 	if f := r.flight; f != nil {
 		f.Record(FKSpanEnd, s.Name, int64(d), int64(s.ID))
